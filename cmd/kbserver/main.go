@@ -1,0 +1,83 @@
+// Command kbserver exposes the query relaxation system over HTTP with a
+// small JSON API, the way the paper's method was deployed as a cloud
+// service interacting with the conversational frontend.
+//
+// Endpoints:
+//
+//	GET  /healthz                           liveness probe
+//	GET  /stats                             world and ingestion statistics
+//	GET  /relax?term=X&context=C&k=N        ranked relaxed results
+//	POST /chat {"session":"s1","text":"…"}  stateful conversation turn
+//
+// Usage:
+//
+//	kbserver -addr :8080 -seed 42
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"medrelax"
+	"medrelax/internal/dialog"
+	"medrelax/internal/server"
+)
+
+// systemBackend adapts the medrelax facade to the server's Backend.
+type systemBackend struct {
+	sys *medrelax.System
+}
+
+func (b *systemBackend) Relax(term, ctx string, k int) ([]server.RelaxResult, error) {
+	results, err := b.sys.Relax(term, ctx, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]server.RelaxResult, 0, len(results))
+	for _, r := range results {
+		rr := server.RelaxResult{Concept: r.ConceptName, Score: r.Score, Hops: r.Hops}
+		for _, inst := range r.Instances {
+			rr.Instances = append(rr.Instances, inst.Name)
+		}
+		out = append(out, rr)
+	}
+	return out, nil
+}
+
+func (b *systemBackend) NewConversation() (*dialog.Conversation, error) {
+	return b.sys.NewConversation(true)
+}
+
+func (b *systemBackend) Stats() map[string]any {
+	return map[string]any{
+		"eksConcepts":      b.sys.World.Graph.Len(),
+		"eksEdges":         b.sys.World.Graph.EdgeCount(),
+		"shortcutsAdded":   b.sys.Ingestion.ShortcutsAdded,
+		"kbInstances":      b.sys.Med.Store.Len(),
+		"flaggedConcepts":  len(b.sys.Ingestion.Flagged),
+		"contexts":         len(b.sys.Ingestion.Contexts),
+		"corpusTokens":     b.sys.Corpus.TokenCount(),
+		"embeddingVocab":   b.sys.MedModel.VocabSize(),
+		"ontologyConcepts": b.sys.Med.Ontology.ConceptCount(),
+	}
+}
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		seed = flag.Int64("seed", 42, "generation seed")
+	)
+	flag.Parse()
+
+	cfg := medrelax.DefaultConfig()
+	cfg.Seed = *seed
+	log.Print("building synthetic world and running ingestion ...")
+	sys, err := medrelax.Build(cfg)
+	if err != nil {
+		log.Fatalf("kbserver: %v", err)
+	}
+	srv := server.New(&systemBackend{sys: sys})
+	log.Printf("kbserver listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,227 @@
+// Command medrelax builds the synthetic medical world, runs the offline
+// knowledge source ingestion, and answers query relaxation requests — one
+// shot with -term, or interactively over stdin.
+//
+// Usage:
+//
+//	medrelax -term pyelectasia -context Indication-hasFinding-Finding -k 10
+//	medrelax            # interactive: one term per line
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"medrelax"
+	"medrelax/internal/core"
+	"medrelax/internal/match"
+	"medrelax/internal/ontology"
+	"medrelax/internal/persist"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 42, "generation seed")
+		term    = flag.String("term", "", "query term to relax (empty: interactive)")
+		context = flag.String("context", medrelax.ContextIndication, "query context Domain-Relationship-Range (empty: context-free)")
+		k       = flag.Int("k", 10, "number of results")
+		mapper  = flag.String("mapper", "EMBEDDING", "term mapping method: EXACT, EDIT or EMBEDDING")
+		quiet   = flag.Bool("quiet", false, "suppress build progress output")
+		save    = flag.String("save", "", "after building, save the ingestion bundle to this file")
+		load    = flag.String("load", "", "serve from a saved ingestion bundle instead of rebuilding the world")
+		dot     = flag.String("dot", "", "write a Graphviz DOT neighbourhood of -term to this file and exit")
+		dotHops = flag.Int("dot-radius", 2, "hop radius of the -dot neighbourhood")
+	)
+	flag.Parse()
+
+	if *load != "" {
+		if err := serveFromBundle(*load, *term, *context, *k, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, "medrelax:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cfg := medrelax.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.MapperName = *mapper
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, "building synthetic world and running ingestion ...")
+	}
+	sys, err := medrelax.Build(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "medrelax:", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "EKS: %d concepts, %d edges (%d shortcuts added); MED: %d instances; flagged concepts: %d\n",
+			sys.World.Graph.Len(), sys.World.Graph.EdgeCount(), sys.Ingestion.ShortcutsAdded,
+			sys.Med.Store.Len(), len(sys.Ingestion.Flagged))
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "medrelax:", err)
+			os.Exit(1)
+		}
+		err = persist.Save(f, sys.Ingestion)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "medrelax: saving bundle:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "ingestion bundle saved to %s\n", *save)
+		}
+	}
+
+	if *dot != "" {
+		if err := writeDOT(sys, *term, *dot, *dotHops); err != nil {
+			fmt.Fprintln(os.Stderr, "medrelax:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "DOT neighbourhood written to %s\n", *dot)
+		}
+		return
+	}
+
+	if *term != "" {
+		if err := relaxOnce(sys, *term, *context, *k); err != nil {
+			fmt.Fprintln(os.Stderr, "medrelax:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("enter a query term per line (ctrl-D to exit):")
+	scanner := bufio.NewScanner(os.Stdin)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if err := relaxOnce(sys, line, *context, *k); err != nil {
+			fmt.Println("  ", err)
+		}
+	}
+}
+
+func relaxOnce(sys *medrelax.System, term, context string, k int) error {
+	results, err := sys.Relax(term, context, k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("relaxations of %q (context %s):\n", term, displayContext(context))
+	for i, r := range results {
+		names := make([]string, 0, len(r.Instances))
+		for _, inst := range r.Instances {
+			names = append(names, inst.Name)
+		}
+		fmt.Printf("%3d. %-50s score=%.4f hops=%d instances=[%s]\n",
+			i+1, r.ConceptName, r.Score, r.Hops, strings.Join(names, "; "))
+	}
+	return nil
+}
+
+// serveFromBundle answers queries from a saved ingestion without
+// regenerating the world or retraining embeddings: term mapping runs on
+// exact match, edit distance and the lookup service — everything the
+// bundle contains.
+func serveFromBundle(path, term, context string, k int, quiet bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	ing, err := persist.Load(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "loaded bundle: %d EKS concepts, %d instances, %d flagged, %d contexts\n",
+			ing.Graph.Len(), ing.Store.Len(), len(ing.Flagged), len(ing.Contexts))
+	}
+	mapper := match.NewCombined(match.NewExact(ing.Graph), match.NewEdit(ing.Graph, 0), match.NewLookupService(ing.Graph))
+	sim := core.NewSimilarity(ing.Graph, ing.Frequencies, ing.Ontology)
+	relaxer := core.NewRelaxer(ing, sim, mapper, core.RelaxOptions{Radius: 3, DynamicRadius: true})
+
+	relax := func(q string) error {
+		var ctxPtr *ontology.Context
+		if context != "" {
+			parsed, err := ontology.ParseContext(context)
+			if err != nil {
+				return err
+			}
+			ctxPtr = &parsed
+		}
+		results, err := relaxer.RelaxTerm(q, ctxPtr, k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("relaxations of %q (context %s):\n", q, displayContext(context))
+		for i, r := range results {
+			concept, _ := ing.Graph.Concept(r.Concept)
+			names := make([]string, 0, len(r.Instances))
+			for _, iid := range r.Instances {
+				if inst, ok := ing.Store.Instance(iid); ok {
+					names = append(names, inst.Name)
+				}
+			}
+			fmt.Printf("%3d. %-50s score=%.4f hops=%d instances=[%s]\n",
+				i+1, concept.Name, r.Score, r.Hops, strings.Join(names, "; "))
+		}
+		return nil
+	}
+
+	if term != "" {
+		return relax(term)
+	}
+	fmt.Println("enter a query term per line (ctrl-D to exit):")
+	scanner := bufio.NewScanner(os.Stdin)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if err := relax(line); err != nil {
+			fmt.Println("  ", err)
+		}
+	}
+	return nil
+}
+
+// writeDOT renders the term's EKS neighbourhood (flagged concepts
+// highlighted, shortcut edges dashed with distances) for Graphviz.
+func writeDOT(sys *medrelax.System, term, path string, radius int) error {
+	if term == "" {
+		return fmt.Errorf("-dot requires -term")
+	}
+	ids := sys.World.Graph.LookupName(term)
+	if len(ids) == 0 {
+		return fmt.Errorf("term %q not found in the external knowledge source", term)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = sys.World.Graph.WriteDOT(f, ids[0], radius, sys.Ingestion.Flagged)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func displayContext(ctx string) string {
+	if ctx == "" {
+		return "none"
+	}
+	return ctx
+}

@@ -1,0 +1,3 @@
+module medrelax
+
+go 1.22

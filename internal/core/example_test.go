@@ -1,0 +1,28 @@
+package core_test
+
+import (
+	"fmt"
+	"math"
+
+	"medrelax/internal/core"
+	"medrelax/internal/eks"
+)
+
+// ExamplePathWeights_PathWeight reproduces the paper's Example 4: the path
+// from pneumonia to lower respiratory tract infection (4 hops, first 3
+// generalizations) is penalized to 0.9^6, while the reverse direction only
+// pays 0.9^3.
+func ExamplePathWeights_PathWeight() {
+	w := core.DefaultPathWeights()
+	gen := eks.Step{Generalization: true}
+	spec := eks.Step{Generalization: false}
+
+	forward := eks.Path{Steps: []eks.Step{gen, gen, gen, spec}}
+	backward := eks.Path{Steps: []eks.Step{gen, spec, spec, spec}}
+
+	fmt.Printf("pneumonia -> LRTI: %.4f (0.9^6 = %.4f)\n", w.PathWeight(forward), math.Pow(0.9, 6))
+	fmt.Printf("LRTI -> pneumonia: %.4f (0.9^3 = %.4f)\n", w.PathWeight(backward), math.Pow(0.9, 3))
+	// Output:
+	// pneumonia -> LRTI: 0.5314 (0.9^6 = 0.5314)
+	// LRTI -> pneumonia: 0.7290 (0.9^3 = 0.7290)
+}

@@ -1,0 +1,326 @@
+// Package core implements the paper's primary contribution: the two-phase
+// query relaxation method of Sections 3 and 5.
+//
+// The offline phase (Algorithm 1, Ingest) customizes an external knowledge
+// source to a given KB: it enumerates the possible query contexts from the
+// domain ontology, maps KB instances to external concepts, computes
+// per-context concept frequencies from the document corpus (Equations 1–2,
+// tf-idf adjusted), and adds application-specific shortcut edges that bring
+// flagged concepts within a small hop radius while preserving semantic
+// distances.
+//
+// The online phase (Algorithm 2, Relaxer) receives a [query term, context]
+// pair, finds the corresponding external concept, gathers flagged concepts
+// within a hop radius, and ranks them by the combined similarity measure
+// (Equation 5): a directional path weight (Equation 4) times the IC-based
+// similarity (Equation 3) under the context-appropriate frequencies.
+package core
+
+import (
+	"math"
+
+	"medrelax/internal/corpus"
+	"medrelax/internal/eks"
+	"medrelax/internal/ontology"
+)
+
+// FrequencyOptions controls how concept frequencies are derived from the
+// corpus.
+type FrequencyOptions struct {
+	// UseTFIDF applies the paper's tf-idf adjustment: each concept's direct
+	// mention count is weighted by its inverse document frequency, damping
+	// concepts that are frequent only because they appear in a few very
+	// verbose documents.
+	UseTFIDF bool
+	// Smoothing is the pseudo-count added when normalizing, so that
+	// never-mentioned concepts receive a large finite information content
+	// rather than an infinite one. Defaults to 0.02 when zero; smaller
+	// values make the absence of corpus evidence for a context more
+	// damning, which is what lets the contextual IC demote findings the KB
+	// holds no data about in that context.
+	Smoothing float64
+}
+
+func (o FrequencyOptions) withDefaults() FrequencyOptions {
+	if o.Smoothing <= 0 {
+		o.Smoothing = 0.02
+	}
+	return o
+}
+
+// FrequencyTable holds, for every external concept, its propagated
+// frequency per context label (Equation 2: direct mentions plus the
+// frequencies of its direct descendants), plus an aggregate over all
+// labels used when no contextual information is available.
+type FrequencyTable struct {
+	// raw[label][id] is the propagated (un-normalized) frequency of the
+	// concept under the given corpus context label.
+	raw map[string]map[eks.ConceptID]float64
+	// aggregate[id] is the propagated frequency summed over all labels,
+	// including unlabeled (general) text.
+	aggregate map[eks.ConceptID]float64
+	rootID    eks.ConceptID
+	smoothing float64
+}
+
+// BuildFrequencyTable computes per-context concept frequencies for every
+// concept of g from the corpus c.
+//
+// Direct mention counts are gathered with the corpus phrase scanner over
+// each concept's preferred name and synonyms; a mention inside a section
+// labeled with context ℓ counts toward label ℓ. Counts then propagate
+// bottom-up over the subsumption hierarchy in topological order (children
+// before parents), exactly as in Algorithm 1 lines 12–18: the frequency of
+// a concept is its direct count plus the sum of its direct children's
+// frequencies.
+func BuildFrequencyTable(g *eks.Graph, c *corpus.Corpus, opts FrequencyOptions) (*FrequencyTable, error) {
+	opts = opts.withDefaults()
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	root, ok := g.Root()
+	if !ok {
+		return nil, errNoRoot
+	}
+
+	// Gather direct counts for every concept name and synonym.
+	var phrases []string
+	for _, id := range g.ConceptIDs() {
+		concept, _ := g.Concept(id)
+		phrases = append(phrases, concept.Name)
+		phrases = append(phrases, concept.Synonyms...)
+	}
+	stats := c.CountPhrases(phrases)
+	n := c.DocCount()
+
+	// direct[label][id]: tf (or tf-idf) of the concept under each label.
+	direct := map[string]map[eks.ConceptID]float64{}
+	addDirect := func(label string, id eks.ConceptID, v float64) {
+		m, ok := direct[label]
+		if !ok {
+			m = map[eks.ConceptID]float64{}
+			direct[label] = m
+		}
+		m[id] += v
+	}
+	for _, id := range g.ConceptIDs() {
+		concept, _ := g.Concept(id)
+		names := append([]string{concept.Name}, concept.Synonyms...)
+		for _, name := range names {
+			st, ok := lookupStats(stats, name)
+			if !ok || st.TotalTF == 0 {
+				continue
+			}
+			weight := 1.0
+			if opts.UseTFIDF {
+				weight = corpus.IDF(st.DF, n)
+			}
+			for label, tf := range st.TF {
+				addDirect(label, id, float64(tf)*weight)
+			}
+		}
+	}
+
+	return buildFromDirect(g, order, root, direct, opts), nil
+}
+
+// BuildFrequencyTableFromDirectCounts builds a frequency table from
+// already-gathered direct mention counts per context label, propagating
+// them bottom-up exactly like BuildFrequencyTable. It serves callers whose
+// counts come from an external pipeline rather than the corpus scanner, and
+// the paper-figure fixtures whose counts are given in the paper.
+func BuildFrequencyTableFromDirectCounts(g *eks.Graph, direct map[string]map[eks.ConceptID]float64, opts FrequencyOptions) (*FrequencyTable, error) {
+	opts = opts.withDefaults()
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	root, ok := g.Root()
+	if !ok {
+		return nil, errNoRoot
+	}
+	return buildFromDirect(g, order, root, direct, opts), nil
+}
+
+// buildFromDirect propagates direct counts bottom-up per label (Equation 2)
+// and assembles the table.
+func buildFromDirect(g *eks.Graph, order []eks.ConceptID, root eks.ConceptID, direct map[string]map[eks.ConceptID]float64, opts FrequencyOptions) *FrequencyTable {
+	t := &FrequencyTable{
+		raw:       map[string]map[eks.ConceptID]float64{},
+		aggregate: map[eks.ConceptID]float64{},
+		rootID:    root,
+		smoothing: opts.Smoothing,
+	}
+	for label, dm := range direct {
+		freqs := make(map[eks.ConceptID]float64, g.Len())
+		for _, id := range order { // children before parents
+			f := dm[id]
+			for _, child := range g.Children(id) {
+				f += freqs[child]
+			}
+			freqs[id] = f
+		}
+		t.raw[label] = freqs
+	}
+	for _, freqs := range t.raw {
+		for id, f := range freqs {
+			t.aggregate[id] += f
+		}
+	}
+	return t
+}
+
+func lookupStats(stats map[string]corpus.TermStats, name string) (corpus.TermStats, bool) {
+	// corpus.CountPhrases keys by normalized phrase; reuse its convention by
+	// looking up both the raw and trimmed forms cheaply via a re-scan-free
+	// normalization — the corpus package normalized with the same tokenizer.
+	st, ok := stats[normalizeName(name)]
+	return st, ok
+}
+
+// Raw returns the propagated (un-normalized) frequency of a concept under a
+// single corpus context label, 0 when never mentioned.
+func (t *FrequencyTable) Raw(id eks.ConceptID, label string) float64 {
+	return t.raw[label][id]
+}
+
+// RawAggregate returns the propagated frequency summed over all labels.
+func (t *FrequencyTable) RawAggregate(id eks.ConceptID) float64 {
+	return t.aggregate[id]
+}
+
+// Labels returns the number of distinct context labels with any counts.
+func (t *FrequencyTable) Labels() int { return len(t.raw) }
+
+// normalized maps a raw frequency to the smoothed probability of the
+// concept under the root's total for the same slice of the table; the root
+// always normalizes to 1 (Section 5.1).
+func (t *FrequencyTable) normalized(f, rootF float64) float64 {
+	return (f + t.smoothing) / (rootF + t.smoothing)
+}
+
+// NormalizedForContext returns the normalized frequency of the concept for
+// a query context, summing the per-label frequencies over every known label
+// whose context is subsumed by ctx under the domain ontology o (same
+// relationship name, domain and range being subconcepts). This realizes the
+// paper's Example 3: a query in context Drug-cause-Risk aggregates the
+// frequencies of all three Risk subconcept contexts.
+//
+// A nil ctx — no contextual information available — aggregates every label,
+// which is the paper's stated fallback and the behaviour of QR-no-context.
+func (t *FrequencyTable) NormalizedForContext(id eks.ConceptID, ctx *ontology.Context, o *ontology.Ontology) float64 {
+	if ctx == nil || o == nil {
+		return t.normalized(t.aggregate[id], t.aggregate[t.rootID])
+	}
+	f, rootF := 0.0, 0.0
+	matched := false
+	for label, freqs := range t.raw {
+		lc, err := ontology.ParseContext(label)
+		if err != nil {
+			continue
+		}
+		if lc.Relationship != ctx.Relationship {
+			continue
+		}
+		if !o.IsSubConceptOf(lc.Domain, ctx.Domain) || !o.IsSubConceptOf(lc.Range, ctx.Range) {
+			continue
+		}
+		matched = true
+		f += freqs[id]
+		rootF += freqs[t.rootID]
+	}
+	if !matched {
+		// No corpus evidence for this context at all: fall back to the
+		// aggregate so IC stays informative rather than uniformly maximal.
+		return t.normalized(t.aggregate[id], t.aggregate[t.rootID])
+	}
+	return t.normalized(f, rootF)
+}
+
+// FrequencySnapshot is the serializable state of a FrequencyTable, used by
+// the persistence layer to save and restore the offline phase.
+type FrequencySnapshot struct {
+	// Labels holds, per context label, the propagated frequencies as
+	// parallel ID/value slices (JSON-friendly; map keys must be strings).
+	Labels []FrequencyLabelSnapshot
+	Root   eks.ConceptID
+	Smooth float64
+}
+
+// FrequencyLabelSnapshot is one label's slice of the table.
+type FrequencyLabelSnapshot struct {
+	Label  string
+	IDs    []eks.ConceptID
+	Values []float64
+}
+
+// Snapshot exports the table's state deterministically (labels and IDs
+// sorted).
+func (t *FrequencyTable) Snapshot() FrequencySnapshot {
+	snap := FrequencySnapshot{Root: t.rootID, Smooth: t.smoothing}
+	var labels []string
+	for l := range t.raw {
+		labels = append(labels, l)
+	}
+	sortStrings(labels)
+	for _, l := range labels {
+		freqs := t.raw[l]
+		var ids []eks.ConceptID
+		for id := range freqs {
+			ids = append(ids, id)
+		}
+		sortConceptIDs(ids)
+		ls := FrequencyLabelSnapshot{Label: l, IDs: ids, Values: make([]float64, len(ids))}
+		for i, id := range ids {
+			ls.Values[i] = freqs[id]
+		}
+		snap.Labels = append(snap.Labels, ls)
+	}
+	return snap
+}
+
+// RestoreFrequencyTable rebuilds a table from a snapshot.
+func RestoreFrequencyTable(snap FrequencySnapshot) (*FrequencyTable, error) {
+	t := &FrequencyTable{
+		raw:       map[string]map[eks.ConceptID]float64{},
+		aggregate: map[eks.ConceptID]float64{},
+		rootID:    snap.Root,
+		smoothing: snap.Smooth,
+	}
+	if t.smoothing <= 0 {
+		t.smoothing = FrequencyOptions{}.withDefaults().Smoothing
+	}
+	for _, ls := range snap.Labels {
+		if len(ls.IDs) != len(ls.Values) {
+			return nil, errSnapshotShape
+		}
+		m := make(map[eks.ConceptID]float64, len(ls.IDs))
+		for i, id := range ls.IDs {
+			m[id] = ls.Values[i]
+			t.aggregate[id] += ls.Values[i]
+		}
+		t.raw[ls.Label] = m
+	}
+	return t, nil
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// IC returns the information content of the concept under the query
+// context: IC(A) = −log(freq(A)) over normalized frequencies (Equation 1).
+// The root has IC 0; never-mentioned concepts get a large finite IC thanks
+// to smoothing.
+func (t *FrequencyTable) IC(id eks.ConceptID, ctx *ontology.Context, o *ontology.Ontology) float64 {
+	f := t.NormalizedForContext(id, ctx, o)
+	if f >= 1 {
+		return 0
+	}
+	return -math.Log(f)
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"medrelax/internal/corpus"
+	"medrelax/internal/eks"
+	"medrelax/internal/kb"
+	"medrelax/internal/match"
+	"medrelax/internal/ontology"
+)
+
+// IngestOptions tunes the offline phase.
+type IngestOptions struct {
+	// Frequency controls the corpus-derived frequency table.
+	Frequency FrequencyOptions
+	// ShortcutMaxDist caps the original distance of shortcut edges added
+	// during customization; 0 means unlimited, exactly as in Algorithm 1.
+	// Large graphs can set a cap to bound edge growth.
+	ShortcutMaxDist int
+	// DisableShortcuts skips the external-knowledge-source customization
+	// entirely (ablation: BenchmarkAblationShortcutEdges).
+	DisableShortcuts bool
+}
+
+// Ingestion is the output of the offline phase (Algorithm 1): the set of
+// possible contexts C, the per-context frequencies F, the instance-concept
+// mappings M, and the flagged external concepts FEC. It also retains the
+// handles needed by the online phase.
+type Ingestion struct {
+	// Contexts is the set of possible query contexts, derived from the
+	// domain ontology's relationships.
+	Contexts []ontology.Context
+	// Mappings maps each KB instance to its external concept (instances the
+	// mapper could not place are absent).
+	Mappings map[kb.InstanceID]eks.ConceptID
+	// InstancesFor is the reverse of Mappings: external concept to the KB
+	// instances mapped onto it.
+	InstancesFor map[eks.ConceptID][]kb.InstanceID
+	// Flagged is the FEC set: external concepts with at least one
+	// corresponding KB instance. Only flagged concepts are returned by the
+	// online phase.
+	Flagged map[eks.ConceptID]bool
+	// Frequencies is the per-context frequency table.
+	Frequencies *FrequencyTable
+	// Graph is the customized external knowledge source (shortcut edges
+	// added in place).
+	Graph *eks.Graph
+	// Store and Ontology are the knowledge base this ingestion serves.
+	Store    *kb.Store
+	Ontology *ontology.Ontology
+	// ShortcutsAdded counts the application-specific edges introduced.
+	ShortcutsAdded int
+}
+
+// Ingest runs the offline external knowledge source ingestion (Algorithm 1)
+// over the domain ontology o, the instance store, the external knowledge
+// source g (mutated in place by customization), the document corpus corp,
+// and the chosen instance-to-concept mapper.
+func Ingest(o *ontology.Ontology, store *kb.Store, g *eks.Graph, corp *corpus.Corpus, mapper match.Mapper, opts IngestOptions) (*Ingestion, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid external knowledge source: %w", err)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid domain ontology: %w", err)
+	}
+
+	ing := &Ingestion{
+		Contexts:     o.Contexts(), // Algorithm 1, lines 1–4
+		Mappings:     make(map[kb.InstanceID]eks.ConceptID),
+		InstancesFor: make(map[eks.ConceptID][]kb.InstanceID),
+		Flagged:      make(map[eks.ConceptID]bool),
+		Graph:        g,
+		Store:        store,
+		Ontology:     o,
+	}
+
+	// Mappings (lines 5–11): map every instance, flag mapped concepts.
+	for _, inst := range store.AllInstances() {
+		id, ok := mapper.Map(inst.Name)
+		if !ok {
+			continue
+		}
+		ing.Mappings[inst.ID] = id
+		ing.InstancesFor[id] = append(ing.InstancesFor[id], inst.ID)
+		ing.Flagged[id] = true
+	}
+	for _, ids := range ing.InstancesFor {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+
+	// Concept frequency (lines 12–18).
+	ft, err := BuildFrequencyTable(g, corp, opts.Frequency)
+	if err != nil {
+		return nil, err
+	}
+	ing.Frequencies = ft
+
+	// External knowledge source customization (lines 19–23): for each
+	// concept A and each non-parent ancestor B, when A or B is flagged, add
+	// an application-specific edge carrying the original distance.
+	if !opts.DisableShortcuts {
+		order, err := g.TopologicalOrder()
+		if err != nil {
+			return nil, err
+		}
+		type plannedEdge struct {
+			from, to eks.ConceptID
+			dist     int
+		}
+		var planned []plannedEdge
+		for _, a := range order {
+			aFlagged := ing.Flagged[a]
+			for b, dist := range g.UpDistances(a) {
+				if dist < 2 {
+					continue // direct parents stay as they are
+				}
+				if opts.ShortcutMaxDist > 0 && dist > opts.ShortcutMaxDist {
+					continue
+				}
+				if !aFlagged && !ing.Flagged[b] {
+					continue
+				}
+				if g.HasEdge(a, b) {
+					continue
+				}
+				planned = append(planned, plannedEdge{from: a, to: b, dist: dist})
+			}
+		}
+		// Deterministic insertion order.
+		sort.Slice(planned, func(i, j int) bool {
+			if planned[i].from != planned[j].from {
+				return planned[i].from < planned[j].from
+			}
+			return planned[i].to < planned[j].to
+		})
+		for _, e := range planned {
+			if err := g.AddShortcutEdge(e.from, e.to, e.dist); err != nil {
+				return nil, fmt.Errorf("core: customization: %w", err)
+			}
+			ing.ShortcutsAdded++
+		}
+	}
+	return ing, nil
+}
+
+// ConceptForTerm maps a query term to an external concept with the given
+// mapper — the first step of the online phase (Algorithm 2, line 1).
+func (ing *Ingestion) ConceptForTerm(term string, mapper match.Mapper) (eks.ConceptID, bool) {
+	return mapper.Map(term)
+}
+
+// InstanceResults resolves a ranked list of external concepts into KB
+// instances through the mappings (Algorithm 2, line 7).
+func (ing *Ingestion) InstanceResults(conceptIDs []eks.ConceptID) []kb.InstanceID {
+	var out []kb.InstanceID
+	seen := map[kb.InstanceID]bool{}
+	for _, cid := range conceptIDs {
+		for _, iid := range ing.InstancesFor[cid] {
+			if !seen[iid] {
+				seen[iid] = true
+				out = append(out, iid)
+			}
+		}
+	}
+	return out
+}

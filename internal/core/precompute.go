@@ -1,0 +1,155 @@
+package core
+
+import (
+	"sort"
+
+	"medrelax/internal/eks"
+	"medrelax/internal/ontology"
+)
+
+// PrecomputedSimilarity materializes, for selected query concepts and
+// contexts, the ranked flagged candidates within the search radius — the
+// paper's online phase "retrieves the pre-computed similarity between A
+// and each external concept in its neighborhood" (Section 5.2), trading
+// offline time and memory for constant-time online lookups.
+//
+// The paper also notes that precomputing *all pairs* "leads to unnecessary
+// computations and space consumption"; accordingly the store is scoped to
+// the flagged concepts (the only valid query anchors with KB answers), a
+// fixed context list, and the top MaxPerQuery candidates per entry.
+type PrecomputedSimilarity struct {
+	// entries[q][ctxKey] is the ranked candidate list.
+	entries map[eks.ConceptID]map[string][]Result
+	radius  int
+}
+
+// PrecomputeOptions tunes the build.
+type PrecomputeOptions struct {
+	// Radius is the hop radius candidates are gathered in. Default 3.
+	Radius int
+	// MaxPerQuery caps each entry's candidate list. Default 50.
+	MaxPerQuery int
+	// Contexts are the query contexts to precompute for; a nil-context
+	// (context-free) entry is always included.
+	Contexts []ontology.Context
+}
+
+func (o PrecomputeOptions) withDefaults() PrecomputeOptions {
+	if o.Radius <= 0 {
+		o.Radius = 3
+	}
+	if o.MaxPerQuery <= 0 {
+		o.MaxPerQuery = 50
+	}
+	return o
+}
+
+func ctxKey(ctx *ontology.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	return ctx.String()
+}
+
+// Precompute builds the store over every flagged concept of the ingestion,
+// using sim for scoring. It runs once, offline, after Ingest.
+func Precompute(ing *Ingestion, sim *Similarity, opts PrecomputeOptions) *PrecomputedSimilarity {
+	opts = opts.withDefaults()
+	p := &PrecomputedSimilarity{
+		entries: make(map[eks.ConceptID]map[string][]Result, len(ing.Flagged)),
+		radius:  opts.Radius,
+	}
+	relaxer := NewRelaxer(ing, sim, nil, RelaxOptions{Radius: opts.Radius})
+
+	var queries []eks.ConceptID
+	for q := range ing.Flagged {
+		queries = append(queries, q)
+	}
+	sort.Slice(queries, func(i, j int) bool { return queries[i] < queries[j] })
+
+	ctxs := make([]*ontology.Context, 0, len(opts.Contexts)+1)
+	ctxs = append(ctxs, nil)
+	for i := range opts.Contexts {
+		ctxs = append(ctxs, &opts.Contexts[i])
+	}
+
+	for _, q := range queries {
+		byCtx := make(map[string][]Result, len(ctxs))
+		for _, ctx := range ctxs {
+			ranked := relaxer.RankedCandidates(q, ctx)
+			if len(ranked) > opts.MaxPerQuery {
+				ranked = ranked[:opts.MaxPerQuery]
+			}
+			byCtx[ctxKey(ctx)] = ranked
+		}
+		p.entries[q] = byCtx
+	}
+	return p
+}
+
+// Lookup returns the precomputed ranked candidates for a query concept and
+// context. ok is false when the concept or context was not precomputed —
+// callers fall back to live computation.
+func (p *PrecomputedSimilarity) Lookup(q eks.ConceptID, ctx *ontology.Context) ([]Result, bool) {
+	byCtx, ok := p.entries[q]
+	if !ok {
+		return nil, false
+	}
+	ranked, ok := byCtx[ctxKey(ctx)]
+	return ranked, ok
+}
+
+// Queries returns the number of precomputed query concepts.
+func (p *PrecomputedSimilarity) Queries() int { return len(p.entries) }
+
+// Entries returns the total number of (query, context) entries.
+func (p *PrecomputedSimilarity) Entries() int {
+	n := 0
+	for _, byCtx := range p.entries {
+		n += len(byCtx)
+	}
+	return n
+}
+
+// CachedRelaxer serves relaxations from a PrecomputedSimilarity store,
+// falling back to a live Relaxer for query concepts or contexts outside
+// the store (e.g. a query term that maps to an unflagged concept).
+type CachedRelaxer struct {
+	live  *Relaxer
+	store *PrecomputedSimilarity
+}
+
+// NewCachedRelaxer wraps the live relaxer with the store.
+func NewCachedRelaxer(live *Relaxer, store *PrecomputedSimilarity) *CachedRelaxer {
+	return &CachedRelaxer{live: live, store: store}
+}
+
+// RelaxTerm maps the term and relaxes, preferring the precomputed store.
+func (r *CachedRelaxer) RelaxTerm(term string, ctx *ontology.Context, k int) ([]Result, error) {
+	q, ok := r.live.mapper.Map(term)
+	if !ok {
+		return r.live.RelaxTerm(term, ctx, k) // surfaces the mapping error
+	}
+	return r.RelaxConcept(q, ctx, k), nil
+}
+
+// RelaxConcept relaxes from an already-mapped concept.
+func (r *CachedRelaxer) RelaxConcept(q eks.ConceptID, ctx *ontology.Context, k int) []Result {
+	ranked, ok := r.store.Lookup(q, ctx)
+	if !ok {
+		return r.live.RelaxConcept(q, ctx, k)
+	}
+	if k <= 0 {
+		return ranked
+	}
+	var out []Result
+	instances := 0
+	for _, res := range ranked {
+		if instances >= k {
+			break
+		}
+		out = append(out, res)
+		instances += len(res.Instances)
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"medrelax/internal/eks"
+	"medrelax/internal/kb"
+	"medrelax/internal/match"
+	"medrelax/internal/ontology"
+)
+
+// Result is one relaxed answer: an external concept within the search
+// radius of the query concept, its similarity score under Equation 5, its
+// hop distance in the customized graph, and the KB instances mapped to it.
+type Result struct {
+	Concept   eks.ConceptID
+	Score     float64
+	Hops      int
+	Instances []kb.InstanceID
+}
+
+// RelaxOptions tunes the online phase.
+type RelaxOptions struct {
+	// Radius is the hop radius r of Algorithm 2. Defaults to 3: after
+	// customization, flagged concepts are one hop from their flagged
+	// ancestors/descendants, so a small radius reaches far semantically.
+	Radius int
+	// DynamicRadius grows the radius (up to MaxRadius) when fewer than k
+	// candidates are found — the paper's "dynamically decided" alternative
+	// to a fixed r.
+	DynamicRadius bool
+	// MaxRadius bounds dynamic growth. Defaults to 8.
+	MaxRadius int
+	// IncludeSelf also returns the query concept itself when flagged;
+	// Algorithm 2 returns strict neighbours, but answer expansion
+	// (Section 6.1, scenario 2) wants the exact match ranked first.
+	IncludeSelf bool
+}
+
+func (o RelaxOptions) withDefaults() RelaxOptions {
+	if o.Radius <= 0 {
+		o.Radius = 3
+	}
+	if o.MaxRadius <= 0 {
+		o.MaxRadius = 8
+	}
+	if o.MaxRadius < o.Radius {
+		o.MaxRadius = o.Radius
+	}
+	return o
+}
+
+// Relaxer executes the online query relaxation (Algorithm 2) over an
+// ingestion.
+type Relaxer struct {
+	ing    *Ingestion
+	sim    *Similarity
+	mapper match.Mapper
+	opts   RelaxOptions
+}
+
+// NewRelaxer builds the online phase. sim decides which variant runs (full
+// QR, no-context, no-corpus, IC baseline); mapper resolves query terms to
+// external concepts and is typically the same one used during ingestion.
+func NewRelaxer(ing *Ingestion, sim *Similarity, mapper match.Mapper, opts RelaxOptions) *Relaxer {
+	return &Relaxer{ing: ing, sim: sim, mapper: mapper, opts: opts.withDefaults()}
+}
+
+// RelaxTerm maps a query term to an external concept and relaxes it. It
+// fails when the term cannot be mapped to any external concept.
+func (r *Relaxer) RelaxTerm(term string, ctx *ontology.Context, k int) ([]Result, error) {
+	q, ok := r.mapper.Map(term)
+	if !ok {
+		return nil, fmt.Errorf("core: query term %q has no corresponding external concept", term)
+	}
+	return r.RelaxConcept(q, ctx, k), nil
+}
+
+// RelaxConcept runs Algorithm 2 from an already-mapped query concept:
+// gather flagged concepts within the hop radius, rank them by Equation 5
+// under the query context, and keep popping candidates until at least k KB
+// instances are collected (or candidates run out). The full ranked
+// candidate list that was consumed is returned.
+func (r *Relaxer) RelaxConcept(q eks.ConceptID, ctx *ontology.Context, k int) []Result {
+	target := k
+	if target <= 0 {
+		target = defaultCandidateTarget
+	}
+	ranked := r.rankedCandidatesTarget(q, ctx, target)
+	if k <= 0 {
+		return ranked
+	}
+	var out []Result
+	instances := 0
+	for _, res := range ranked {
+		if instances >= k {
+			break
+		}
+		out = append(out, res)
+		instances += len(res.Instances)
+	}
+	return out
+}
+
+// RankedCandidates returns every flagged concept within the (possibly
+// dynamically grown) radius of q, ranked by similarity to q, best first.
+// Ties break by concept ID for determinism.
+func (r *Relaxer) RankedCandidates(q eks.ConceptID, ctx *ontology.Context) []Result {
+	return r.rankedCandidatesTarget(q, ctx, defaultCandidateTarget)
+}
+
+// rankedCandidatesTarget gathers and ranks candidates; with DynamicRadius
+// the radius grows until the candidates can supply target KB instances —
+// the paper's "dynamically decided if a fixed r cannot provide k results".
+func (r *Relaxer) rankedCandidatesTarget(q eks.ConceptID, ctx *ontology.Context, target int) []Result {
+	radius := r.opts.Radius
+	var cands []eks.Neighbor
+	for {
+		cands = r.flaggedWithin(q, radius)
+		if !r.opts.DynamicRadius || radius >= r.opts.MaxRadius || r.instanceCount(cands) >= target {
+			break
+		}
+		radius++
+	}
+	out := make([]Result, 0, len(cands))
+	for _, nb := range cands {
+		out = append(out, Result{
+			Concept:   nb.ID,
+			Score:     r.sim.Sim(q, nb.ID, ctx),
+			Hops:      nb.Hops,
+			Instances: r.ing.InstancesFor[nb.ID],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Concept < out[j].Concept
+	})
+	return out
+}
+
+func (r *Relaxer) instanceCount(cands []eks.Neighbor) int {
+	n := 0
+	for _, nb := range cands {
+		n += len(r.ing.InstancesFor[nb.ID])
+	}
+	return n
+}
+
+// defaultCandidateTarget is the dynamic-radius growth target when the
+// caller did not bound k: keep widening until this many KB instances are
+// reachable (or MaxRadius is hit).
+const defaultCandidateTarget = 10
+
+func (r *Relaxer) flaggedWithin(q eks.ConceptID, radius int) []eks.Neighbor {
+	nbs := r.ing.Graph.NeighborsWithinHops(q, radius)
+	out := make([]eks.Neighbor, 0, len(nbs))
+	if r.opts.IncludeSelf && r.ing.Flagged[q] {
+		out = append(out, eks.Neighbor{ID: q, Hops: 0})
+	}
+	for _, nb := range nbs {
+		if r.ing.Flagged[nb.ID] {
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+// TopKInstances flattens ranked results into at most k distinct KB
+// instances, preserving rank order — the Res set of Algorithm 2.
+func TopKInstances(results []Result, k int) []kb.InstanceID {
+	var out []kb.InstanceID
+	seen := map[kb.InstanceID]bool{}
+	for _, res := range results {
+		for _, id := range res.Instances {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			out = append(out, id)
+			if len(out) == k {
+				return out
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"medrelax/internal/eks"
+	"medrelax/internal/ontology"
+	"medrelax/internal/stringutil"
+)
+
+var (
+	errNoRoot        = errors.New("core: external knowledge source has no root")
+	errSnapshotShape = errors.New("core: frequency snapshot has mismatched id/value lengths")
+)
+
+func normalizeName(name string) string { return stringutil.Normalize(name) }
+
+// PathWeights are the per-hop edge weights of Equation 4. The paper's
+// empirical study sets generalization to 0.9 and specialization to 1.0;
+// LearnPathWeights can fit them from labeled data instead.
+type PathWeights struct {
+	Generalization float64
+	Specialization float64
+}
+
+// DefaultPathWeights returns the paper's empirical weights.
+func DefaultPathWeights() PathWeights {
+	return PathWeights{Generalization: 0.9, Specialization: 1.0}
+}
+
+// PathWeight computes p_{A,B} of Equation 4 for a directed hop sequence
+// from the query concept A to a candidate B:
+//
+//	p_{A,B} = Π_{i=1..D} w_i^{D−i}
+//
+// where D is the semantic path length and w_i the weight of the i-th hop.
+// The exponent D−i penalizes early hops hardest, so a generalization at the
+// start of the path costs more than one near the end — capturing that the
+// meaning drifts most when the query term itself is generalized first.
+// The empty path has weight 1.
+func (w PathWeights) PathWeight(p eks.Path) float64 {
+	d := p.Len()
+	weight := 1.0
+	for i, step := range p.Steps {
+		wi := w.Specialization
+		if step.Generalization {
+			wi = w.Generalization
+		}
+		weight *= math.Pow(wi, float64(d-(i+1)))
+	}
+	return weight
+}
+
+// ICSource yields the information content of a concept under a query
+// context. FrequencyTable (corpus-based) and IntrinsicIC (structure-based)
+// both implement it, letting the similarity measure run with or without a
+// corpus (the paper's QR vs QR-no-corpus variants).
+type ICSource interface {
+	IC(id eks.ConceptID, ctx *ontology.Context, o *ontology.Ontology) float64
+}
+
+// Similarity evaluates the paper's measures over one external knowledge
+// source.
+//
+// Paths between a query concept A and a candidate B are taken as the
+// canonical taxonomy path: up from A to the common subsumer C minimizing
+// dist(A,C)+dist(B,C), then down to B — dist(A,C) generalization hops
+// followed by dist(B,C) specializations. This is exactly the path shape the
+// paper draws in Figure 6, and it lets one query's subsumer-distance map be
+// reused across every candidate, which keeps online relaxation at
+// Θ(N log N) per query as the paper's complexity analysis assumes.
+//
+// Similarity is not safe for concurrent use: it caches the subsumer
+// distances of the most recent query concept.
+type Similarity struct {
+	Graph    *eks.Graph
+	IC       ICSource
+	Ontology *ontology.Ontology
+	Weights  PathWeights
+	// UsePathWeight disables Equation 4 when false, reducing Equation 5 to
+	// the plain IC similarity — the paper's IC baseline.
+	UsePathWeight bool
+
+	// Per-query cache: subsumer distances of the last query concept.
+	cachedQuery eks.ConceptID
+	cachedUp    map[eks.ConceptID]int
+}
+
+// NewSimilarity returns the full measure (path weight enabled, default
+// weights).
+func NewSimilarity(g *eks.Graph, ic ICSource, o *ontology.Ontology) *Similarity {
+	return &Similarity{Graph: g, IC: ic, Ontology: o, Weights: DefaultPathWeights(), UsePathWeight: true}
+}
+
+// subsumers returns SubsumerDistances(a), caching the most recent query.
+func (s *Similarity) subsumers(a eks.ConceptID) map[eks.ConceptID]int {
+	if s.cachedUp != nil && s.cachedQuery == a {
+		return s.cachedUp
+	}
+	s.cachedQuery = a
+	s.cachedUp = s.Graph.SubsumerDistances(a)
+	return s.cachedUp
+}
+
+// canonicalMeet finds the common subsumers of a and b minimizing the
+// combined distance, returning the tied set (sorted), the generalization
+// hop count dist(a, c) and specialization hop count dist(b, c) of the
+// canonical path through the deterministic representative (minimal up-hops,
+// then minimal ID). ok is false when a and b share no subsumer.
+func (s *Similarity) canonicalMeet(a, b eks.ConceptID) (lcs []eks.ConceptID, gen, spec int, ok bool) {
+	ua := s.subsumers(a)
+	ub := s.Graph.SubsumerDistances(b)
+	if ua == nil || ub == nil {
+		return nil, 0, 0, false
+	}
+	best := -1
+	var ids []eks.ConceptID
+	repGen, repSpec := 0, 0
+	var rep eks.ConceptID
+	for c, da := range ua {
+		db, shared := ub[c]
+		if !shared {
+			continue
+		}
+		sum := da + db
+		switch {
+		case best == -1 || sum < best:
+			best = sum
+			ids = ids[:0]
+			ids = append(ids, c)
+			rep, repGen, repSpec = c, da, db
+		case sum == best:
+			ids = append(ids, c)
+			if da < repGen || (da == repGen && c < rep) {
+				rep, repGen, repSpec = c, da, db
+			}
+		}
+	}
+	if best == -1 {
+		return nil, 0, 0, false
+	}
+	sortConceptIDs(ids)
+	return ids, repGen, repSpec, true
+}
+
+// SimIC computes the IC-based similarity of Equation 3,
+//
+//	sim_IC(A,B) = 2·IC(lcs(A,B)) / (IC(A)+IC(B)),
+//
+// under the query context. Per footnote 1, when several least common
+// subsumers tie on distance to the pair, the average of their ICs is used.
+// The result is clamped to [0,1]; a pair with no common subsumer has
+// similarity 0, and identical concepts have similarity 1.
+func (s *Similarity) SimIC(a, b eks.ConceptID, ctx *ontology.Context) float64 {
+	if a == b {
+		return 1
+	}
+	lcs, _, _, ok := s.canonicalMeet(a, b)
+	if !ok {
+		return 0
+	}
+	return s.simICFromLCS(a, b, lcs, ctx)
+}
+
+func (s *Similarity) simICFromLCS(a, b eks.ConceptID, lcs []eks.ConceptID, ctx *ontology.Context) float64 {
+	lcsIC := 0.0
+	for _, id := range lcs {
+		lcsIC += s.IC.IC(id, ctx, s.Ontology)
+	}
+	lcsIC /= float64(len(lcs))
+	denom := s.IC.IC(a, ctx, s.Ontology) + s.IC.IC(b, ctx, s.Ontology)
+	if denom <= 0 {
+		return 0
+	}
+	sim := 2 * lcsIC / denom
+	if sim < 0 {
+		return 0
+	}
+	if sim > 1 {
+		return 1
+	}
+	return sim
+}
+
+// Sim computes the combined similarity of Equation 5 from the query concept
+// a to the candidate b: sim(A,B) = p_{A,B} × sim_IC(A,B). Unlike sim_IC the
+// measure is asymmetric, because the path weight depends on which endpoint
+// is the query term (Example 4). Disconnected pairs score 0.
+func (s *Similarity) Sim(a, b eks.ConceptID, ctx *ontology.Context) float64 {
+	if a == b {
+		return 1
+	}
+	lcs, gen, spec, ok := s.canonicalMeet(a, b)
+	if !ok {
+		return 0
+	}
+	ic := s.simICFromLCS(a, b, lcs, ctx)
+	if !s.UsePathWeight {
+		return ic
+	}
+	return s.Weights.PathWeight(canonicalPath(gen, spec)) * ic
+}
+
+// canonicalPath materializes the up-then-down hop sequence of a canonical
+// taxonomy path.
+func canonicalPath(gen, spec int) eks.Path {
+	steps := make([]eks.Step, 0, gen+spec)
+	for i := 0; i < gen; i++ {
+		steps = append(steps, eks.Step{Generalization: true})
+	}
+	for i := 0; i < spec; i++ {
+		steps = append(steps, eks.Step{Generalization: false})
+	}
+	return eks.Path{Steps: steps}
+}
+
+func sortConceptIDs(ids []eks.ConceptID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// IntrinsicIC is the corpus-free information content of Seco, Veale & Hayes
+// (ECAI 2004), estimated purely from the taxonomy structure:
+//
+//	IC(A) = 1 − log(desc(A)+1) / log(|V|)
+//
+// where desc(A) is the number of descendants of A and |V| the number of
+// concepts. Leaves have IC 1 and the root tends toward 0. The query context
+// is ignored — there is no corpus to contextualize. This powers the
+// QR-no-corpus variant.
+type IntrinsicIC struct {
+	graph *eks.Graph
+	cache map[eks.ConceptID]float64
+	logV  float64
+}
+
+// NewIntrinsicIC precomputes descendant counts for every concept of g.
+func NewIntrinsicIC(g *eks.Graph) *IntrinsicIC {
+	ic := &IntrinsicIC{graph: g, cache: make(map[eks.ConceptID]float64, g.Len())}
+	v := g.Len()
+	if v < 2 {
+		v = 2
+	}
+	ic.logV = math.Log(float64(v))
+	for _, id := range g.ConceptIDs() {
+		d := g.DescendantCount(id)
+		ic.cache[id] = 1 - math.Log(float64(d)+1)/ic.logV
+	}
+	return ic
+}
+
+// IC implements ICSource; ctx and o are ignored.
+func (ic *IntrinsicIC) IC(id eks.ConceptID, _ *ontology.Context, _ *ontology.Ontology) float64 {
+	return ic.cache[id]
+}
+
+// noContextIC wraps an ICSource and discards the query context, giving the
+// QR-no-context variant: frequencies aggregate over all contexts.
+type noContextIC struct{ src ICSource }
+
+// WithoutContext returns an ICSource that ignores contextual information.
+func WithoutContext(src ICSource) ICSource { return noContextIC{src: src} }
+
+// IC implements ICSource.
+func (n noContextIC) IC(id eks.ConceptID, _ *ontology.Context, o *ontology.Ontology) float64 {
+	return n.src.IC(id, nil, o)
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"medrelax/internal/eks"
+	"medrelax/internal/ontology"
+)
+
+func buildSim(t *testing.T) (*Similarity, *eks.Graph, *ontology.Ontology) {
+	t.Helper()
+	o := testOntology(t)
+	g := testEKS(t)
+	ft, err := BuildFrequencyTable(g, testCorpus(), FrequencyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSimilarity(g, ft, o), g, o
+}
+
+func TestPathWeightEquation4(t *testing.T) {
+	w := DefaultPathWeights()
+	gen := eks.Step{Generalization: true}
+	spec := eks.Step{Generalization: false}
+
+	// Empty path: weight 1.
+	if got := w.PathWeight(eks.Path{}); got != 1 {
+		t.Errorf("empty path weight = %v, want 1", got)
+	}
+	// Example 4, path 1: pneumonia -> LRTI, 4 hops, first 3 generalizations:
+	// p = 0.9^3 · 0.9^2 · 0.9^1 · 1^0 = 0.9^6.
+	p1 := eks.Path{Steps: []eks.Step{gen, gen, gen, spec}}
+	if got, want := w.PathWeight(p1), math.Pow(0.9, 6); math.Abs(got-want) > 1e-12 {
+		t.Errorf("path1 weight = %v, want %v", got, want)
+	}
+	// Example 4, path 2: LRTI -> pneumonia, 1 generalization then 3
+	// specializations: p = 0.9^3 · 1^2 · 1^1 · 1^0 = 0.9^3.
+	p2 := eks.Path{Steps: []eks.Step{gen, spec, spec, spec}}
+	if got, want := w.PathWeight(p2), math.Pow(0.9, 3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("path2 weight = %v, want %v", got, want)
+	}
+	// The asymmetry the paper motivates: starting with generalizations
+	// penalizes more.
+	if w.PathWeight(p1) >= w.PathWeight(p2) {
+		t.Error("early generalizations must be penalized more")
+	}
+	// All-specialization path has weight 1 under the default weights.
+	p3 := eks.Path{Steps: []eks.Step{spec, spec, spec}}
+	if got := w.PathWeight(p3); got != 1 {
+		t.Errorf("all-spec path weight = %v, want 1", got)
+	}
+	// The final hop never contributes (exponent 0).
+	p4 := eks.Path{Steps: []eks.Step{spec, gen}}
+	p5 := eks.Path{Steps: []eks.Step{spec, spec}}
+	if w.PathWeight(p4) != w.PathWeight(p5) {
+		t.Error("last hop has exponent 0 and must not change the weight")
+	}
+}
+
+func TestPathWeightRange(t *testing.T) {
+	w := DefaultPathWeights()
+	// Any path weight lies in (0, 1] for weights in (0, 1].
+	for _, n := range []int{1, 2, 5, 10} {
+		steps := make([]eks.Step, n)
+		for i := range steps {
+			steps[i] = eks.Step{Generalization: i%2 == 0}
+		}
+		p := w.PathWeight(eks.Path{Steps: steps})
+		if p <= 0 || p > 1 {
+			t.Errorf("path weight %v out of (0,1] for %d hops", p, n)
+		}
+	}
+}
+
+func TestSimICProperties(t *testing.T) {
+	sim, g, _ := buildSim(t)
+	ids := g.ConceptIDs()
+	ctx := &ontology.Context{Domain: "Indication", Relationship: "hasFinding", Range: "Finding"}
+	for _, a := range ids {
+		// Identity.
+		if got := sim.SimIC(a, a, ctx); got != 1 {
+			t.Errorf("SimIC(%d,%d) = %v, want 1", a, a, got)
+		}
+		for _, b := range ids {
+			s := sim.SimIC(a, b, ctx)
+			// Range.
+			if s < 0 || s > 1 {
+				t.Errorf("SimIC(%d,%d) = %v out of [0,1]", a, b, s)
+			}
+			// Symmetry (Equation 3 is symmetric).
+			if got := sim.SimIC(b, a, ctx); math.Abs(got-s) > 1e-12 {
+				t.Errorf("SimIC not symmetric for (%d,%d): %v vs %v", a, b, s, got)
+			}
+		}
+	}
+}
+
+func TestSimICOrdering(t *testing.T) {
+	sim, _, _ := buildSim(t)
+	// headache (5) is closer to frequent headache (6) — LCS is headache
+	// itself — than to pain in throat (4), whose LCS is the more general
+	// pain of head and neck region (2).
+	near := sim.SimIC(5, 6, nil)
+	far := sim.SimIC(5, 4, nil)
+	if near <= far {
+		t.Errorf("SimIC(headache, frequent headache)=%v must exceed SimIC(headache, pain in throat)=%v", near, far)
+	}
+	// Unrelated subtree is even farther: LCS is the root with IC 0.
+	if got := sim.SimIC(5, 10, nil); got != 0 {
+		t.Errorf("SimIC(headache, bronchitis) = %v, want 0 (root LCS)", got)
+	}
+}
+
+func TestSimCombined(t *testing.T) {
+	sim, _, _ := buildSim(t)
+	ctx := &ontology.Context{Domain: "Indication", Relationship: "hasFinding", Range: "Finding"}
+	// Equation 5 is bounded by its factors.
+	for _, pair := range [][2]eks.ConceptID{{5, 6}, {5, 4}, {6, 3}, {8, 7}} {
+		s := sim.Sim(pair[0], pair[1], ctx)
+		ic := sim.SimIC(pair[0], pair[1], ctx)
+		if s < 0 || s > ic+1e-12 {
+			t.Errorf("Sim(%v) = %v out of [0, SimIC=%v]", pair, s, ic)
+		}
+	}
+	// Asymmetry: from the specific query term the path starts with
+	// generalizations and is penalized more (Example 4).
+	down := sim.Sim(6, 3, ctx) // frequent headache -> craniofacial pain: 2 gens
+	up := sim.Sim(3, 6, ctx)   // craniofacial pain -> frequent headache: 2 specs
+	if down >= up {
+		t.Errorf("Sim must be asymmetric: specific->general %v, general->specific %v", down, up)
+	}
+}
+
+func TestSimWithoutPathWeight(t *testing.T) {
+	sim, _, _ := buildSim(t)
+	sim.UsePathWeight = false
+	// Without Equation 4 the measure reduces to SimIC.
+	for _, pair := range [][2]eks.ConceptID{{5, 6}, {5, 4}, {6, 3}} {
+		if got, want := sim.Sim(pair[0], pair[1], nil), sim.SimIC(pair[0], pair[1], nil); got != want {
+			t.Errorf("Sim(%v) = %v, want SimIC %v", pair, got, want)
+		}
+	}
+}
+
+func TestSimDisconnected(t *testing.T) {
+	o := testOntology(t)
+	g := eks.New()
+	if err := g.AddConcept(eks.Concept{ID: 1, Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddConcept(eks.Concept{ID: 2, Name: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimilarity(g, NewIntrinsicIC(g), o)
+	if got := sim.Sim(1, 2, nil); got != 0 {
+		t.Errorf("disconnected Sim = %v, want 0", got)
+	}
+	if got := sim.SimIC(1, 2, nil); got != 0 {
+		t.Errorf("disconnected SimIC = %v, want 0", got)
+	}
+}
+
+func TestIntrinsicIC(t *testing.T) {
+	g := testEKS(t)
+	ic := NewIntrinsicIC(g)
+	// Leaves have IC 1.
+	for _, leaf := range []eks.ConceptID{4, 6, 8, 10, 11} {
+		if got := ic.IC(leaf, nil, nil); math.Abs(got-1) > 1e-12 {
+			t.Errorf("IC(leaf %d) = %v, want 1", leaf, got)
+		}
+	}
+	// Root has the lowest IC.
+	rootIC := ic.IC(1, nil, nil)
+	for _, id := range g.ConceptIDs() {
+		if ic.IC(id, nil, nil) < rootIC-1e-12 {
+			t.Errorf("IC(%d) below root IC", id)
+		}
+	}
+	// Monotone along subsumption.
+	for _, p := range [][2]eks.ConceptID{{6, 5}, {5, 3}, {3, 2}, {2, 1}, {10, 9}} {
+		if ic.IC(p[0], nil, nil) < ic.IC(p[1], nil, nil) {
+			t.Errorf("intrinsic IC not monotone for %v", p)
+		}
+	}
+}
+
+func TestWithoutContext(t *testing.T) {
+	o := testOntology(t)
+	g := testEKS(t)
+	ft, err := BuildFrequencyTable(g, testCorpus(), FrequencyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := WithoutContext(ft)
+	ctx := &ontology.Context{Domain: "Risk", Relationship: "hasFinding", Range: "Finding"}
+	// The wrapper must ignore the context entirely.
+	if nc.IC(5, ctx, o) != ft.IC(5, nil, o) {
+		t.Error("WithoutContext must discard the context")
+	}
+}

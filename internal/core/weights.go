@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"medrelax/internal/eks"
+)
+
+// WeightExample is one labeled training pair for the path-weight learner: a
+// path between a query concept and a candidate, and whether a domain expert
+// judged the candidate semantically related.
+type WeightExample struct {
+	Path     eks.Path
+	Relevant bool
+}
+
+// LearnPathWeights fits the generalization/specialization hop weights of
+// Equation 4 from labeled examples with logistic regression, the "simple
+// statistical regression analysis" the paper uses (Section 5.2).
+//
+// The model is log-linear in the log-weights: with G = Σ(D−i) over the
+// generalization hops of a path and S the same sum over specialization
+// hops, log p_{A,B} = G·log(w_gen) + S·log(w_spec). We fit
+// P(relevant) = σ(b + βg·G + βs·S) by gradient descent and read the hop
+// weights off as w = e^β, clamped to (0, 1] — a hop can only ever discount.
+//
+// It returns an error when the examples are degenerate (all one label, or
+// empty).
+func LearnPathWeights(examples []WeightExample, iterations int, learningRate float64) (PathWeights, error) {
+	if iterations <= 0 {
+		iterations = 2000
+	}
+	if learningRate <= 0 {
+		learningRate = 0.05
+	}
+	pos, neg := 0, 0
+	for _, ex := range examples {
+		if ex.Relevant {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return PathWeights{}, fmt.Errorf("core: weight learning needs both labels (got %d relevant, %d irrelevant)", pos, neg)
+	}
+
+	// Featurize: exponent-weighted hop counts.
+	type feat struct {
+		g, s float64
+		y    float64
+	}
+	feats := make([]feat, 0, len(examples))
+	for _, ex := range examples {
+		d := ex.Path.Len()
+		var g, s float64
+		for i, step := range ex.Path.Steps {
+			e := float64(d - (i + 1))
+			if step.Generalization {
+				g += e
+			} else {
+				s += e
+			}
+		}
+		y := 0.0
+		if ex.Relevant {
+			y = 1
+		}
+		feats = append(feats, feat{g: g, s: s, y: y})
+	}
+
+	// L2 regularization keeps the slope coefficients bounded on separable
+	// data, where unregularized logistic regression would diverge and read
+	// off as a degenerate hop weight near zero.
+	const lambda = 0.05
+	b, bg, bs := 0.0, 0.0, 0.0
+	n := float64(len(feats))
+	for it := 0; it < iterations; it++ {
+		var db, dbg, dbs float64
+		for _, f := range feats {
+			p := sigmoid(b + bg*f.g + bs*f.s)
+			err := p - f.y
+			db += err
+			dbg += err * f.g
+			dbs += err * f.s
+		}
+		b -= learningRate * db / n
+		bg -= learningRate * (dbg/n + lambda*bg)
+		bs -= learningRate * (dbs/n + lambda*bs)
+	}
+	return PathWeights{
+		Generalization: clampWeight(math.Exp(bg)),
+		Specialization: clampWeight(math.Exp(bs)),
+	}, nil
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// clampWeight keeps a learned hop weight in (0, 1]: weights above 1 would
+// reward distance, and non-positive weights are meaningless in Equation 4.
+func clampWeight(w float64) float64 {
+	if w > 1 {
+		return 1
+	}
+	if w < 0.01 {
+		return 0.01
+	}
+	return w
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"medrelax/internal/eks"
+)
+
+func TestLearnPathWeightsDegenerate(t *testing.T) {
+	gen := eks.Step{Generalization: true}
+	if _, err := LearnPathWeights(nil, 0, 0); err == nil {
+		t.Error("empty examples must fail")
+	}
+	onlyPos := []WeightExample{{Path: eks.Path{Steps: []eks.Step{gen}}, Relevant: true}}
+	if _, err := LearnPathWeights(onlyPos, 0, 0); err == nil {
+		t.Error("single-label data must fail")
+	}
+}
+
+// genExamples draws labeled paths whose relevance probability is the true
+// Equation 4 weight under the given generalization hop weight (spec = 1).
+func genExamples(seed int64, n int, trueGen float64) []WeightExample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]WeightExample, 0, n)
+	for i := 0; i < n; i++ {
+		d := 1 + rng.Intn(5)
+		steps := make([]eks.Step, d)
+		for j := range steps {
+			steps[j] = eks.Step{Generalization: rng.Intn(2) == 0}
+		}
+		p := PathWeights{Generalization: trueGen, Specialization: 1}.PathWeight(eks.Path{Steps: steps})
+		out = append(out, WeightExample{
+			Path:     eks.Path{Steps: steps},
+			Relevant: rng.Float64() < p,
+		})
+	}
+	return out
+}
+
+func TestLearnPathWeightsRecoversPenalty(t *testing.T) {
+	w, err := LearnPathWeights(genExamples(21, 800, 0.9), 3000, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Generalization >= w.Specialization {
+		t.Errorf("learner must penalize generalization: got gen=%v spec=%v", w.Generalization, w.Specialization)
+	}
+	if w.Generalization <= 0 || w.Generalization > 1 || w.Specialization <= 0 || w.Specialization > 1 {
+		t.Errorf("weights out of (0,1]: %+v", w)
+	}
+}
+
+func TestLearnPathWeightsOrdering(t *testing.T) {
+	// A harsher true generalization penalty must yield a smaller learned
+	// generalization weight.
+	mild, err := LearnPathWeights(genExamples(33, 800, 0.95), 3000, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	harsh, err := LearnPathWeights(genExamples(33, 800, 0.5), 3000, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if harsh.Generalization >= mild.Generalization {
+		t.Errorf("harsher penalty must learn a smaller weight: harsh=%v mild=%v",
+			harsh.Generalization, mild.Generalization)
+	}
+}
+
+func TestClampWeight(t *testing.T) {
+	if clampWeight(2) != 1 {
+		t.Error("weights above 1 must clamp to 1")
+	}
+	if clampWeight(-3) != 0.01 {
+		t.Error("non-positive weights must clamp to 0.01")
+	}
+	if clampWeight(0.7) != 0.7 {
+		t.Error("in-range weights must pass through")
+	}
+}

@@ -1,0 +1,58 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzCountPhrases(f *testing.F) {
+	f.Add("bronchitis and pain in throat", "pain in throat", "pain")
+	f.Add("", "", "")
+	f.Add("a a a a a", "a", "a a")
+	f.Fuzz(func(t *testing.T, text, p1, p2 string) {
+		if len(text) > 2048 || len(p1) > 64 || len(p2) > 64 {
+			return
+		}
+		c := New([]Document{{ID: "d", Sections: []Section{{Label: "L", Text: text}}}})
+		stats := c.CountPhrases([]string{p1, p2})
+		total := 0
+		for key, st := range stats {
+			if st.TotalTF < 0 || st.DF < 0 || st.DF > 1 {
+				t.Fatalf("stats out of range for %q: %+v", key, st)
+			}
+			labelSum := 0
+			for _, n := range st.TF {
+				labelSum += n
+			}
+			if labelSum != st.TotalTF {
+				t.Fatalf("per-label sum %d != total %d for %q", labelSum, st.TotalTF, key)
+			}
+			total += st.TotalTF
+		}
+		// Greedy non-overlapping matches can never exceed the token count.
+		if total > c.TokenCount() {
+			t.Fatalf("matched %d phrases in %d tokens", total, c.TokenCount())
+		}
+	})
+}
+
+func FuzzWordFrequencies(f *testing.F) {
+	f.Add("one two two three three three")
+	f.Fuzz(func(t *testing.T, text string) {
+		if len(text) > 2048 {
+			return
+		}
+		c := New([]Document{{ID: "d", Sections: []Section{{Text: text}}}})
+		sum := 0.0
+		for w, fr := range c.WordFrequencies() {
+			if fr <= 0 || fr > 1 {
+				t.Fatalf("frequency of %q = %v", w, fr)
+			}
+			sum += fr
+		}
+		if c.TokenCount() > 0 && (sum < 0.999 || sum > 1.001) {
+			t.Fatalf("frequencies sum to %v", sum)
+		}
+		_ = strings.TrimSpace(text)
+	})
+}

@@ -1,0 +1,115 @@
+// Package dialog implements the conversational system of the paper's
+// Sections 4 and 6.1: an ontology-bootstrapped intent (context) classifier,
+// entity mention extraction over the KB lexicon, and a stateful dialogue
+// manager that integrates query relaxation for the paper's two scenarios —
+// repairing a conversation when a query term is unknown (Figure 7) and
+// expanding answers beyond the exact match (Figure 8).
+//
+// It stands in for the IBM Watson Assistant integration the paper built:
+// the contract is identical — the NLI layer turns a natural language
+// utterance into a [query term, context] pair and hands it to the
+// relaxation method.
+package dialog
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"medrelax/internal/kb"
+	"medrelax/internal/ontology"
+)
+
+// Example is one labeled training utterance for the intent classifier.
+type Example struct {
+	Text    string
+	Context ontology.Context
+}
+
+// contextTemplates phrase questions for the finding-centric contexts of the
+// MED ontology. The %s slot takes an instance name.
+var contextTemplates = map[string][]string{
+	"Indication-hasFinding-Finding": {
+		"what drugs treat %s",
+		"which drugs are used to treat %s",
+		"what is the treatment for %s",
+		"how do i treat %s",
+		"what medication helps with %s",
+		"give me drugs for %s",
+	},
+	"Risk-hasFinding-Finding": {
+		"what drugs cause %s",
+		"which drugs have the risk of causing %s",
+		"what medication can lead to %s",
+		"can any drug cause %s",
+		"which drugs list %s as a side effect",
+	},
+	"Drug-treat-Indication": {
+		"what does %s treat",
+		"what is %s used for",
+		"what are the indications of %s",
+	},
+	"Drug-cause-Risk": {
+		"what are the risks of using %s",
+		"what side effects does %s have",
+		"what are the adverse effects of %s",
+	},
+}
+
+// genericTemplates cover every other context so the classifier sees the
+// whole context space, as Algorithm 1's context generation intends.
+var genericTemplates = []string{
+	"what is the %[1]s of %[2]s",
+	"show the %[1]s for %[2]s",
+	"tell me about the %[1]s of %[2]s",
+}
+
+// GenerateTrainingExamples bootstraps the conversation space from the
+// domain ontology (Section 4): it enumerates every context, phrases it with
+// templates, and enriches the workload by substituting instances of the
+// context's relevant concept — the paper's "replace identified instances
+// with other instances of the same concept".
+func GenerateTrainingExamples(o *ontology.Ontology, store *kb.Store, seed int64, perContext int) []Example {
+	if perContext <= 0 {
+		perContext = 12
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []Example
+	for _, ctx := range o.Contexts() {
+		templates := contextTemplates[ctx.String()]
+		slotConcept := ctx.Range
+		if len(templates) == 0 {
+			templates = nil
+			for _, g := range genericTemplates {
+				templates = append(templates, fmt.Sprintf(g, ctx.Relationship, "%s"))
+			}
+			slotConcept = ctx.Domain
+		}
+		slots := instanceNames(o, store, slotConcept)
+		if len(slots) == 0 {
+			slots = []string{slotConcept}
+		}
+		for i := 0; i < perContext; i++ {
+			tmpl := templates[i%len(templates)]
+			slot := slots[rng.Intn(len(slots))]
+			out = append(out, Example{Text: fmt.Sprintf(tmpl, slot), Context: ctx})
+		}
+	}
+	return out
+}
+
+// instanceNames returns names of instances typed by the concept or any of
+// its subconcepts, sorted for determinism.
+func instanceNames(o *ontology.Ontology, store *kb.Store, concept string) []string {
+	concepts := append([]string{concept}, o.Descendants(concept)...)
+	var names []string
+	for _, c := range concepts {
+		for _, id := range store.InstancesOf(c) {
+			if inst, ok := store.Instance(id); ok {
+				names = append(names, inst.Name)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,65 @@
+package eks
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the neighbourhood of a concept (or the whole graph when
+// center is 0) in Graphviz DOT format: native subsumption edges solid,
+// shortcut edges dashed with their attached distance — matching how the
+// paper draws its Figure 5. Intended for debugging and documentation.
+func (g *Graph) WriteDOT(w io.Writer, center ConceptID, radius int, highlight map[ConceptID]bool) error {
+	include := map[ConceptID]bool{}
+	if center == 0 {
+		for _, id := range g.ConceptIDs() {
+			include[id] = true
+		}
+	} else {
+		if _, ok := g.Concept(center); !ok {
+			return fmt.Errorf("eks: unknown center concept %d", center)
+		}
+		include[center] = true
+		for _, nb := range g.NeighborsWithinHops(center, radius) {
+			include[nb.ID] = true
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("digraph eks {\n")
+	b.WriteString("  rankdir=BT;\n")
+	b.WriteString("  node [shape=box, fontsize=10];\n")
+	for _, id := range g.ConceptIDs() {
+		if !include[id] {
+			continue
+		}
+		c, _ := g.Concept(id)
+		attrs := ""
+		if highlight[id] {
+			attrs = ", style=filled, fillcolor=lightyellow"
+		}
+		if id == center {
+			attrs = ", style=filled, fillcolor=lightblue"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q%s];\n", id, c.Name, attrs)
+	}
+	for _, id := range g.ConceptIDs() {
+		if !include[id] {
+			continue
+		}
+		for _, e := range g.UpEdges(id) {
+			if !include[e.To] {
+				continue
+			}
+			if e.Shortcut {
+				fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, label=\"%d\"];\n", e.From, e.To, e.Dist)
+			} else {
+				fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,413 @@
+// Package eks models an external knowledge source (EKS) such as SNOMED CT:
+// a rooted directed acyclic graph of concepts connected by subsumption
+// relationships A ⊑ B ("A specializes B", "B generalizes A").
+//
+// The package distinguishes two metrics over the graph, following the
+// paper's offline customization step (Section 5.1):
+//
+//   - the application (hop) metric, in which every edge — including the
+//     shortcut edges added during ingestion — counts as one hop; this is the
+//     metric used to gather candidates within radius r online, and
+//   - the semantic (original) metric, in which an edge contributes its
+//     attached original distance (1 for native subsumption edges, the
+//     pre-customization path length for shortcut edges); this is the metric
+//     used by the similarity measure, so that adding shortcut edges never
+//     changes similarity scores.
+package eks
+
+import (
+	"fmt"
+	"sort"
+
+	"medrelax/internal/stringutil"
+)
+
+// ConceptID identifies a concept in the external knowledge source. IDs are
+// SCTID-style opaque integers; they carry no structural meaning.
+type ConceptID int64
+
+// Concept is a node of the external knowledge source: a preferred name plus
+// zero or more synonyms.
+type Concept struct {
+	ID       ConceptID
+	Name     string
+	Synonyms []string
+}
+
+// Edge is a subsumption edge From ⊑ To: traversing it From→To is a
+// generalization, To→From a specialization. Dist is the number of original
+// subsumption hops the edge stands for: 1 for native edges, the length of
+// the replaced path for shortcut edges added during ingestion.
+type Edge struct {
+	From, To ConceptID
+	Dist     int
+	Shortcut bool
+}
+
+// Graph is a mutable external knowledge source. The zero value is not
+// usable; call New.
+type Graph struct {
+	concepts map[ConceptID]*Concept
+	// up[c] holds edges c ⊑ parent (native and shortcut);
+	// down[c] holds the reverse adjacency.
+	up, down map[ConceptID][]Edge
+	root     ConceptID
+	hasRoot  bool
+	nameIdx  map[string][]ConceptID
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		concepts: make(map[ConceptID]*Concept),
+		up:       make(map[ConceptID][]Edge),
+		down:     make(map[ConceptID][]Edge),
+		nameIdx:  make(map[string][]ConceptID),
+	}
+}
+
+// AddConcept inserts a concept. It returns an error if the ID is already
+// present or the name is empty.
+func (g *Graph) AddConcept(c Concept) error {
+	if c.Name == "" {
+		return fmt.Errorf("eks: concept %d has empty name", c.ID)
+	}
+	if _, ok := g.concepts[c.ID]; ok {
+		return fmt.Errorf("eks: duplicate concept id %d", c.ID)
+	}
+	cc := c
+	g.concepts[c.ID] = &cc
+	g.indexName(c.Name, c.ID)
+	for _, s := range c.Synonyms {
+		g.indexName(s, c.ID)
+	}
+	return nil
+}
+
+func (g *Graph) indexName(name string, id ConceptID) {
+	key := stringutil.Normalize(name)
+	if key == "" {
+		return
+	}
+	for _, existing := range g.nameIdx[key] {
+		if existing == id {
+			return
+		}
+	}
+	g.nameIdx[key] = append(g.nameIdx[key], id)
+}
+
+// AddSynonym attaches an additional surface form to an existing concept and
+// indexes it for LookupName. Unknown concepts and blank synonyms are
+// ignored.
+func (g *Graph) AddSynonym(id ConceptID, synonym string) {
+	c, ok := g.concepts[id]
+	if !ok || stringutil.Normalize(synonym) == "" {
+		return
+	}
+	c.Synonyms = append(c.Synonyms, synonym)
+	g.indexName(synonym, id)
+}
+
+// SetRoot declares the top concept (owl:Thing). Validate checks that every
+// concept is a descendant of the root.
+func (g *Graph) SetRoot(id ConceptID) error {
+	if _, ok := g.concepts[id]; !ok {
+		return fmt.Errorf("eks: root %d not a concept", id)
+	}
+	g.root = id
+	g.hasRoot = true
+	return nil
+}
+
+// Root returns the top concept ID. ok is false if SetRoot was never called.
+func (g *Graph) Root() (id ConceptID, ok bool) { return g.root, g.hasRoot }
+
+// AddSubsumption records child ⊑ parent as a native one-hop edge.
+func (g *Graph) AddSubsumption(child, parent ConceptID) error {
+	return g.addEdge(Edge{From: child, To: parent, Dist: 1})
+}
+
+// AddShortcutEdge records an application-specific edge child ⊑ parent that
+// stands for dist original hops (Algorithm 1, line 21).
+func (g *Graph) AddShortcutEdge(child, parent ConceptID, dist int) error {
+	if dist < 2 {
+		return fmt.Errorf("eks: shortcut edge %d->%d must span at least 2 hops, got %d", child, parent, dist)
+	}
+	return g.addEdge(Edge{From: child, To: parent, Dist: dist, Shortcut: true})
+}
+
+func (g *Graph) addEdge(e Edge) error {
+	if e.From == e.To {
+		return fmt.Errorf("eks: self edge on %d", e.From)
+	}
+	if _, ok := g.concepts[e.From]; !ok {
+		return fmt.Errorf("eks: edge source %d not a concept", e.From)
+	}
+	if _, ok := g.concepts[e.To]; !ok {
+		return fmt.Errorf("eks: edge target %d not a concept", e.To)
+	}
+	for _, ex := range g.up[e.From] {
+		if ex.To == e.To {
+			return fmt.Errorf("eks: duplicate edge %d->%d", e.From, e.To)
+		}
+	}
+	g.up[e.From] = append(g.up[e.From], e)
+	g.down[e.To] = append(g.down[e.To], e)
+	return nil
+}
+
+// Concept returns the concept with the given ID.
+func (g *Graph) Concept(id ConceptID) (Concept, bool) {
+	c, ok := g.concepts[id]
+	if !ok {
+		return Concept{}, false
+	}
+	return *c, true
+}
+
+// Len returns the number of concepts.
+func (g *Graph) Len() int { return len(g.concepts) }
+
+// EdgeCount returns the number of edges, counting shortcuts.
+func (g *Graph) EdgeCount() int {
+	n := 0
+	for _, es := range g.up {
+		n += len(es)
+	}
+	return n
+}
+
+// ShortcutCount returns the number of shortcut edges.
+func (g *Graph) ShortcutCount() int {
+	n := 0
+	for _, es := range g.up {
+		for _, e := range es {
+			if e.Shortcut {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ConceptIDs returns all concept IDs in ascending order.
+func (g *Graph) ConceptIDs() []ConceptID {
+	ids := make([]ConceptID, 0, len(g.concepts))
+	for id := range g.concepts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// LookupName returns the concepts whose preferred name or any synonym
+// normalizes to the same form as name, in ascending ID order.
+func (g *Graph) LookupName(name string) []ConceptID {
+	ids := g.nameIdx[stringutil.Normalize(name)]
+	out := make([]ConceptID, len(ids))
+	copy(out, ids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NameKeys returns every normalized name key in the index. The order is
+// unspecified. It is intended for matchers that scan the lexicon.
+func (g *Graph) NameKeys() []string {
+	keys := make([]string, 0, len(g.nameIdx))
+	for k := range g.nameIdx {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// IDsForNameKey returns the concept IDs indexed under an already-normalized
+// key, or nil.
+func (g *Graph) IDsForNameKey(key string) []ConceptID {
+	ids := g.nameIdx[key]
+	out := make([]ConceptID, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// Parents returns the native (non-shortcut) direct parents of id.
+func (g *Graph) Parents(id ConceptID) []ConceptID {
+	var out []ConceptID
+	for _, e := range g.up[id] {
+		if !e.Shortcut {
+			out = append(out, e.To)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Children returns the native (non-shortcut) direct children of id.
+func (g *Graph) Children(id ConceptID) []ConceptID {
+	var out []ConceptID
+	for _, e := range g.down[id] {
+		if !e.Shortcut {
+			out = append(out, e.From)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// UpEdges returns all edges (native and shortcut) from id toward its
+// generalizations.
+func (g *Graph) UpEdges(id ConceptID) []Edge {
+	es := g.up[id]
+	out := make([]Edge, len(es))
+	copy(out, es)
+	return out
+}
+
+// DownEdges returns all edges (native and shortcut) from id toward its
+// specializations.
+func (g *Graph) DownEdges(id ConceptID) []Edge {
+	es := g.down[id]
+	out := make([]Edge, len(es))
+	copy(out, es)
+	return out
+}
+
+// Ancestors returns the set of all concepts reachable from id by following
+// native subsumption edges upward, excluding id itself.
+func (g *Graph) Ancestors(id ConceptID) map[ConceptID]bool {
+	out := make(map[ConceptID]bool)
+	stack := []ConceptID{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.up[cur] {
+			if e.Shortcut {
+				continue
+			}
+			if !out[e.To] {
+				out[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return out
+}
+
+// Descendants returns the set of all concepts reachable from id by
+// following native subsumption edges downward, excluding id itself.
+func (g *Graph) Descendants(id ConceptID) map[ConceptID]bool {
+	out := make(map[ConceptID]bool)
+	stack := []ConceptID{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.down[cur] {
+			if e.Shortcut {
+				continue
+			}
+			if !out[e.From] {
+				out[e.From] = true
+				stack = append(stack, e.From)
+			}
+		}
+	}
+	return out
+}
+
+// DescendantCount returns |Descendants(id)|. Used by the intrinsic
+// (corpus-free) information-content measure.
+func (g *Graph) DescendantCount(id ConceptID) int { return len(g.Descendants(id)) }
+
+// TopologicalOrder returns every concept with children before parents
+// (Algorithm 1, line 12), considering native edges only. It returns an
+// error if the native subsumption graph has a cycle.
+func (g *Graph) TopologicalOrder() ([]ConceptID, error) {
+	// Kahn's algorithm over the child→parent direction: indegree counts
+	// native down-edges (children not yet emitted).
+	indeg := make(map[ConceptID]int, len(g.concepts))
+	for id := range g.concepts {
+		n := 0
+		for _, e := range g.down[id] {
+			if !e.Shortcut {
+				n++
+			}
+		}
+		indeg[id] = n
+	}
+	// Deterministic order: seed the queue sorted by ID.
+	var queue []ConceptID
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+	order := make([]ConceptID, 0, len(g.concepts))
+	for len(queue) > 0 {
+		// Pop the smallest ID for determinism.
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		next := make([]ConceptID, 0)
+		for _, e := range g.up[id] {
+			if e.Shortcut {
+				continue
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				next = append(next, e.To)
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		queue = mergeSorted(queue, next)
+	}
+	if len(order) != len(g.concepts) {
+		return nil, fmt.Errorf("eks: subsumption graph has a cycle (%d of %d concepts ordered)", len(order), len(g.concepts))
+	}
+	return order, nil
+}
+
+func mergeSorted(a, b []ConceptID) []ConceptID {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]ConceptID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Validate checks structural invariants: the graph is a DAG over native
+// edges, a root is set, and every concept other than the root reaches the
+// root by following native subsumption upward.
+func (g *Graph) Validate() error {
+	if !g.hasRoot {
+		return fmt.Errorf("eks: no root set")
+	}
+	if _, err := g.TopologicalOrder(); err != nil {
+		return err
+	}
+	for id := range g.concepts {
+		if id == g.root {
+			continue
+		}
+		if !g.Ancestors(id)[g.root] {
+			c := g.concepts[id]
+			return fmt.Errorf("eks: concept %d (%q) does not reach root", id, c.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+package eks
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Neighbor is a concept found within some radius of a source concept,
+// together with its hop distance (application metric: every edge counts 1).
+type Neighbor struct {
+	ID   ConceptID
+	Hops int
+}
+
+// NeighborsWithinHops returns every concept, excluding from itself, whose
+// hop distance from `from` is at most radius, treating every edge — native
+// or shortcut, in either direction — as one hop. This is the candidate
+// gathering step of Algorithm 2 (line 2). Results are ordered by increasing
+// hop count, then by ID.
+func (g *Graph) NeighborsWithinHops(from ConceptID, radius int) []Neighbor {
+	if _, ok := g.concepts[from]; !ok || radius < 0 {
+		return nil
+	}
+	dist := map[ConceptID]int{from: 0}
+	frontier := []ConceptID{from}
+	var out []Neighbor
+	for hops := 1; hops <= radius && len(frontier) > 0; hops++ {
+		var next []ConceptID
+		for _, cur := range frontier {
+			for _, e := range g.up[cur] {
+				if _, seen := dist[e.To]; !seen {
+					dist[e.To] = hops
+					next = append(next, e.To)
+					out = append(out, Neighbor{ID: e.To, Hops: hops})
+				}
+			}
+			for _, e := range g.down[cur] {
+				if _, seen := dist[e.From]; !seen {
+					dist[e.From] = hops
+					next = append(next, e.From)
+					out = append(out, Neighbor{ID: e.From, Hops: hops})
+				}
+			}
+		}
+		frontier = next
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hops != out[j].Hops {
+			return out[i].Hops < out[j].Hops
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Step is one original subsumption hop along a path between two concepts.
+// Generalization is true when the hop follows the subsumption direction
+// (child to parent); false when it moves against it (specialization).
+type Step struct {
+	Generalization bool
+}
+
+// Path is a sequence of original hops from a source concept to a target
+// concept. Its length is the semantic distance |D| of Equation 4; traversing
+// a shortcut edge of attached distance d contributes d identical hops, so
+// paths are invariant under the offline customization.
+type Path struct {
+	Steps []Step
+}
+
+// Len returns the semantic distance |D|.
+func (p Path) Len() int { return len(p.Steps) }
+
+// Generalizations returns how many hops of the path are generalizations.
+func (p Path) Generalizations() int {
+	n := 0
+	for _, s := range p.Steps {
+		if s.Generalization {
+			n++
+		}
+	}
+	return n
+}
+
+// pqItem is a priority-queue entry for Dijkstra over the semantic metric.
+type pqItem struct {
+	id   ConceptID
+	dist int
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].id < q[j].id
+}
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestSemanticPath returns a minimum-semantic-distance path from `from`
+// to `to`, expanding shortcut edges into their attached number of hops. The
+// boolean result is false when the concepts are disconnected or unknown.
+//
+// Among equal-length paths the one that is lexicographically smallest by
+// (predecessor ID) is returned, making the result deterministic.
+func (g *Graph) ShortestSemanticPath(from, to ConceptID) (Path, bool) {
+	if _, ok := g.concepts[from]; !ok {
+		return Path{}, false
+	}
+	if _, ok := g.concepts[to]; !ok {
+		return Path{}, false
+	}
+	if from == to {
+		return Path{}, true
+	}
+	type prevEdge struct {
+		prev ConceptID
+		gen  bool // direction of the hops contributed by this edge
+		dist int  // hops contributed
+	}
+	distTo := map[ConceptID]int{from: 0}
+	prev := map[ConceptID]prevEdge{}
+	h := &pq{{id: from, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.dist > distTo[it.id] {
+			continue
+		}
+		if it.id == to {
+			break
+		}
+		relax := func(nb ConceptID, gen bool, w int) {
+			nd := it.dist + w
+			old, seen := distTo[nb]
+			if !seen || nd < old || (nd == old && it.id < prev[nb].prev) {
+				distTo[nb] = nd
+				prev[nb] = prevEdge{prev: it.id, gen: gen, dist: w}
+				heap.Push(h, pqItem{id: nb, dist: nd})
+			}
+		}
+		for _, e := range g.up[it.id] {
+			relax(e.To, true, e.Dist)
+		}
+		for _, e := range g.down[it.id] {
+			relax(e.From, false, e.Dist)
+		}
+	}
+	if _, ok := distTo[to]; !ok {
+		return Path{}, false
+	}
+	// Reconstruct, expanding each edge into its attached number of hops.
+	var rev []Step
+	cur := to
+	for cur != from {
+		pe := prev[cur]
+		for i := 0; i < pe.dist; i++ {
+			rev = append(rev, Step{Generalization: pe.gen})
+		}
+		cur = pe.prev
+	}
+	steps := make([]Step, len(rev))
+	for i := range rev {
+		steps[i] = rev[len(rev)-1-i]
+	}
+	return Path{Steps: steps}, true
+}
+
+// SemanticDistance returns the length of the shortest semantic path between
+// a and b, and false when disconnected.
+func (g *Graph) SemanticDistance(a, b ConceptID) (int, bool) {
+	p, ok := g.ShortestSemanticPath(a, b)
+	if !ok {
+		return 0, false
+	}
+	return p.Len(), true
+}
+
+// LCSResult is the outcome of a least-common-subsumer computation: the set
+// of minimal common subsumers (more than one only on ties) and the combined
+// semantic distance from the pair to each of them.
+type LCSResult struct {
+	IDs      []ConceptID
+	Combined int // distUp(a, lcs) + distUp(b, lcs)
+}
+
+// LCS returns the least common subsumer(s) of a and b per the paper's
+// footnote 1: among all common subsumers (a concept C with a ⊑* C and
+// b ⊑* C, where a concept subsumes itself), choose those with the shortest
+// combined upward path to the pair; all ties are returned so the caller can
+// average their information content. ok is false when a and b share no
+// subsumer (cannot happen on a validated rooted graph).
+func (g *Graph) LCS(a, b ConceptID) (LCSResult, bool) {
+	da := g.upDistances(a)
+	db := g.upDistances(b)
+	if da == nil || db == nil {
+		return LCSResult{}, false
+	}
+	best := -1
+	var ids []ConceptID
+	for id, x := range da {
+		y, ok := db[id]
+		if !ok {
+			continue
+		}
+		sum := x + y
+		switch {
+		case best == -1 || sum < best:
+			best = sum
+			ids = ids[:0]
+			ids = append(ids, id)
+		case sum == best:
+			ids = append(ids, id)
+		}
+	}
+	if best == -1 {
+		return LCSResult{}, false
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return LCSResult{IDs: ids, Combined: best}, true
+}
+
+// upDistances returns the minimal upward semantic distance from id to every
+// subsumer of id (including id itself at distance 0), following native and
+// shortcut edges upward only.
+func (g *Graph) upDistances(id ConceptID) map[ConceptID]int {
+	if _, ok := g.concepts[id]; !ok {
+		return nil
+	}
+	dist := map[ConceptID]int{id: 0}
+	h := &pq{{id: id, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.dist > dist[it.id] {
+			continue
+		}
+		for _, e := range g.up[it.id] {
+			nd := it.dist + e.Dist
+			if old, seen := dist[e.To]; !seen || nd < old {
+				dist[e.To] = nd
+				heap.Push(h, pqItem{id: e.To, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// SubsumerDistances returns the minimal upward semantic distance from id to
+// every subsumer of id, including id itself at distance 0. Shortcut edges
+// participate with their attached distances. It returns nil for an unknown
+// concept. This is the workhorse of canonical-path similarity: the shortest
+// up-then-down path between a and b runs through the common subsumer
+// minimizing SubsumerDistances(a)[c] + SubsumerDistances(b)[c].
+func (g *Graph) SubsumerDistances(id ConceptID) map[ConceptID]int {
+	return g.upDistances(id)
+}
+
+// UpDistances returns the minimal upward semantic distance from id to every
+// subsumer of id, excluding id itself. Shortcut edges participate with
+// their attached distances, so results are invariant under customization.
+// It returns nil for an unknown concept.
+func (g *Graph) UpDistances(id ConceptID) map[ConceptID]int {
+	d := g.upDistances(id)
+	if d == nil {
+		return nil
+	}
+	delete(d, id)
+	return d
+}
+
+// HasEdge reports whether any edge (native or shortcut) runs from child to
+// parent.
+func (g *Graph) HasEdge(child, parent ConceptID) bool {
+	for _, e := range g.up[child] {
+		if e.To == parent {
+			return true
+		}
+	}
+	return false
+}
+
+// DepthFromRoot returns the minimal semantic distance from the root down to
+// id (equivalently, from id up to the root). ok is false when no root is
+// set or id does not reach it.
+func (g *Graph) DepthFromRoot(id ConceptID) (int, bool) {
+	if !g.hasRoot {
+		return 0, false
+	}
+	d, ok := g.upDistances(id)[g.root]
+	return d, ok
+}

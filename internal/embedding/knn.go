@@ -1,0 +1,67 @@
+package embedding
+
+import "sort"
+
+// Index is a brute-force nearest-neighbour index over named vectors, used
+// to match surface forms against a lexicon of concept-name embeddings.
+// For the lexicon sizes in scope (10³–10⁵ names) exact scan is both simple
+// and fast enough; the interface would admit an ANN structure if needed.
+type Index struct {
+	keys    []string
+	vectors []Vector
+	dim     int
+}
+
+// NewIndex returns an empty index for vectors of the given dimension.
+func NewIndex(dim int) *Index { return &Index{dim: dim} }
+
+// Add inserts a named vector. Zero vectors are skipped: they carry no
+// information and would match nothing under cosine anyway.
+func (ix *Index) Add(key string, v Vector) {
+	if len(v) != ix.dim || v.IsZero() {
+		return
+	}
+	ix.keys = append(ix.keys, key)
+	ix.vectors = append(ix.vectors, v)
+}
+
+// Len returns the number of indexed vectors.
+func (ix *Index) Len() int { return len(ix.keys) }
+
+// Hit is one nearest-neighbour result.
+type Hit struct {
+	Key    string
+	Cosine float64
+}
+
+// Nearest returns the k indexed entries most cosine-similar to q, best
+// first. Ties break by key for determinism. A zero query returns nil.
+func (ix *Index) Nearest(q Vector, k int) []Hit {
+	if k <= 0 || q.IsZero() || len(ix.keys) == 0 {
+		return nil
+	}
+	hits := make([]Hit, 0, len(ix.keys))
+	for i, v := range ix.vectors {
+		hits = append(hits, Hit{Key: ix.keys[i], Cosine: Cosine(q, v)})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Cosine != hits[j].Cosine {
+			return hits[i].Cosine > hits[j].Cosine
+		}
+		return hits[i].Key < hits[j].Key
+	})
+	if k > len(hits) {
+		k = len(hits)
+	}
+	return hits[:k]
+}
+
+// Best returns the single nearest entry and its cosine, or ok=false for a
+// zero query or empty index.
+func (ix *Index) Best(q Vector) (Hit, bool) {
+	hs := ix.Nearest(q, 1)
+	if len(hs) == 0 {
+		return Hit{}, false
+	}
+	return hs[0], true
+}

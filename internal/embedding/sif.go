@@ -1,0 +1,110 @@
+package embedding
+
+// SIFEncoder embeds phrases with the smooth inverse frequency scheme of
+// Arora, Liang & Ma ("A Simple but Tough-to-Beat Baseline for Sentence
+// Embeddings", ICLR 2017 — the paper's reference [3]): each word vector is
+// weighted by a/(a + p(w)) where p(w) is the word's corpus frequency, the
+// weighted vectors are averaged, and the projection onto the common
+// component (the first principal direction of a reference phrase set) is
+// removed.
+type SIFEncoder struct {
+	model *Model
+	a     float64
+	// common is the estimated first principal direction (unit norm), or nil
+	// when no reference set was supplied or estimation degenerated.
+	common Vector
+}
+
+// DefaultSIFWeight is the smoothing constant a of the SIF weighting; 1e-3
+// is the value recommended by Arora et al.
+const DefaultSIFWeight = 1e-3
+
+// NewSIFEncoder builds an encoder over a trained model. referencePhrases,
+// when non-empty, is a set of tokenized phrases (typically the concept
+// names the encoder will be used on) from which the common component is
+// estimated; pass nil to skip common-component removal.
+func NewSIFEncoder(model *Model, a float64, referencePhrases [][]string) *SIFEncoder {
+	if a <= 0 {
+		a = DefaultSIFWeight
+	}
+	e := &SIFEncoder{model: model, a: a}
+	if len(referencePhrases) > 0 {
+		e.common = e.estimateCommonComponent(referencePhrases)
+	}
+	return e
+}
+
+// weightedAverage computes the SIF-weighted mean of the in-vocabulary word
+// vectors of tokens.
+func (e *SIFEncoder) weightedAverage(tokens []string) Vector {
+	out := make(Vector, e.model.Dim())
+	n := 0
+	for _, tok := range tokens {
+		v, ok := e.model.Word(tok)
+		if !ok {
+			continue
+		}
+		w := e.a / (e.a + e.model.WordFrequency(tok))
+		out.AddScaled(w, v)
+		n++
+	}
+	if n > 0 {
+		out.Scale(1 / float64(n))
+	}
+	return out
+}
+
+// estimateCommonComponent runs power iteration on the covariance of the
+// reference phrase embeddings to find their first principal direction.
+func (e *SIFEncoder) estimateCommonComponent(phrases [][]string) Vector {
+	embs := make([]Vector, 0, len(phrases))
+	for _, p := range phrases {
+		v := e.weightedAverage(p)
+		if !v.IsZero() {
+			embs = append(embs, v)
+		}
+	}
+	if len(embs) < 2 {
+		return nil
+	}
+	dim := e.model.Dim()
+	// Deterministic start: the mean of the embeddings.
+	u := make(Vector, dim)
+	for _, v := range embs {
+		u.Add(v)
+	}
+	if u.IsZero() {
+		u[0] = 1
+	}
+	normalize(u)
+	for it := 0; it < 50; it++ {
+		next := make(Vector, dim)
+		for _, v := range embs {
+			next.AddScaled(v.Dot(u), v)
+		}
+		if next.IsZero() {
+			return nil
+		}
+		normalize(next)
+		u = next
+	}
+	return u
+}
+
+func normalize(v Vector) {
+	n := v.Norm()
+	if n > 0 {
+		v.Scale(1 / n)
+	}
+}
+
+// Encode embeds a tokenized phrase: SIF-weighted average minus its
+// projection on the common component. The zero vector marks fully
+// out-of-vocabulary phrases.
+func (e *SIFEncoder) Encode(tokens []string) Vector {
+	v := e.weightedAverage(tokens)
+	if e.common != nil && !v.IsZero() {
+		v.AddScaled(-v.Dot(e.common), e.common)
+	}
+	return v
+}

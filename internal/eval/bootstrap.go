@@ -1,0 +1,86 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// CI is a bootstrap confidence interval over a per-query metric.
+type CI struct {
+	Mean       float64
+	Low, High  float64 // the (1-Level)/2 and 1-(1-Level)/2 quantiles
+	Level      float64 // e.g. 0.95
+	Resamples  int
+	SampleSize int
+}
+
+// BootstrapCI computes a percentile-bootstrap confidence interval for the
+// mean of per-query values: the paper reports point estimates over 100
+// queries; the interval makes the reproduction's comparisons honest about
+// sampling noise (is QR's lead over QR-no-context bigger than seed luck?).
+func BootstrapCI(values []float64, resamples int, level float64, seed int64) CI {
+	n := len(values)
+	ci := CI{Level: level, Resamples: resamples, SampleSize: n}
+	if n == 0 {
+		return ci
+	}
+	if resamples <= 0 {
+		resamples = 2000
+		ci.Resamples = resamples
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+		ci.Level = level
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	ci.Mean = sum / float64(n)
+
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, resamples)
+	for i := range means {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += values[rng.Intn(n)]
+		}
+		means[i] = s / float64(n)
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	ci.Low = quantile(means, alpha)
+	ci.High = quantile(means, 1-alpha)
+	return ci
+}
+
+// quantile returns the q-quantile of sorted values by linear interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// PairedBootstrapDelta bootstraps the mean difference a-b over paired
+// per-query values (same queries, two methods). A CI excluding zero means
+// the methods differ beyond resampling noise.
+func PairedBootstrapDelta(a, b []float64, resamples int, level float64, seed int64) CI {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	deltas := make([]float64, n)
+	for i := 0; i < n; i++ {
+		deltas[i] = a[i] - b[i]
+	}
+	return BootstrapCI(deltas, resamples, level, seed)
+}

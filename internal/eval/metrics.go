@@ -1,0 +1,93 @@
+// Package eval implements the paper's experimental apparatus (Section 7):
+// precision/recall/F1 metrics, the relevance oracle standing in for the 20
+// subject-matter experts, the mapping-accuracy experiment (Table 1), the
+// overall-effectiveness experiment (Table 2), and the simulated user study
+// (Table 3).
+package eval
+
+import "fmt"
+
+// PRF bundles precision, recall and F1, each in percent as the paper
+// reports them.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// NewPRF computes the percentages from true positives, false positives and
+// false negatives. Degenerate denominators yield zero components.
+func NewPRF(tp, fp, fn int) PRF {
+	var p, r float64
+	if tp+fp > 0 {
+		p = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		r = float64(tp) / float64(tp+fn)
+	}
+	return fromRates(p, r)
+}
+
+func fromRates(p, r float64) PRF {
+	f1 := 0.0
+	if p+r > 0 {
+		f1 = 2 * p * r / (p + r)
+	}
+	return PRF{Precision: 100 * p, Recall: 100 * r, F1: 100 * f1}
+}
+
+// MeanPRF averages per-query precision and recall rates (given in [0,1])
+// and recomputes F1 from the means — the macro-averaging convention of
+// IR-style P@k/R@k reporting.
+func MeanPRF(precisions, recalls []float64) PRF {
+	if len(precisions) == 0 || len(precisions) != len(recalls) {
+		return PRF{}
+	}
+	var sp, sr float64
+	for i := range precisions {
+		sp += precisions[i]
+		sr += recalls[i]
+	}
+	n := float64(len(precisions))
+	return fromRates(sp/n, sr/n)
+}
+
+// String renders the triple like the paper's tables.
+func (m PRF) String() string {
+	return fmt.Sprintf("P=%.2f R=%.2f F1=%.2f", m.Precision, m.Recall, m.F1)
+}
+
+// PrecisionRecallAtK computes the per-query P@k and R@k rates (in [0,1])
+// for one ranked result list against a relevant set: precision is the
+// fraction of relevant results among the returned top k (the paper's
+// "number of relevant results among the top 10 returned concepts", so the
+// denominator is k when at least k results came back, otherwise the number
+// returned); recall divides by the total number of relevant items.
+// totalRelevant == 0 yields recall 1 when nothing was expected.
+func PrecisionRecallAtK(ranked []bool, k, totalRelevant int) (p, r float64) {
+	if k <= 0 {
+		return 0, 0
+	}
+	n := len(ranked)
+	if n > k {
+		n = k
+	}
+	hits := 0
+	for i := 0; i < n; i++ {
+		if ranked[i] {
+			hits++
+		}
+	}
+	if n > 0 {
+		p = float64(hits) / float64(n)
+	}
+	if totalRelevant > 0 {
+		r = float64(hits) / float64(totalRelevant)
+	} else {
+		r = 1
+	}
+	if r > 1 {
+		r = 1
+	}
+	return p, r
+}

@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"sort"
+
+	"medrelax/internal/eks"
+	"medrelax/internal/medkb"
+	"medrelax/internal/ontology"
+	"medrelax/internal/synthkb"
+)
+
+// Oracle is the stand-in for the paper's 20 subject-matter experts: it
+// judges whether a relaxed concept is semantically related to a query
+// concept in a given context, reading the generator's latent ground truth
+// (body system, condition type, polarity) rather than anything the methods
+// under evaluation can see.
+type Oracle struct {
+	World *synthkb.World
+	Med   *medkb.MED
+}
+
+// NewOracle builds an oracle.
+func NewOracle(world *synthkb.World, med *medkb.MED) *Oracle {
+	return &Oracle{World: world, Med: med}
+}
+
+// Relevant judges candidate cand as a relaxation of query in ctx. The
+// judgment mirrors how an SME reasons:
+//
+//   - the same concept is always relevant;
+//   - clinically opposite findings (planted antonym pairs) are never
+//     relevant — drugs for hypothermia do not treat hyperpyrexia;
+//   - the finding must concern the same body system and have a clinically
+//     compatible condition type (the generator's type ring: an infection
+//     relates to an inflammation, not to a neoplasm);
+//   - across types it must share the anatomical site (a cornea abscess
+//     relates to a cornea stenosis); away from the query's site, only
+//     base-level conditions count — relaxing "lung infection" into
+//     "chronic trachea inflammation stage 2" is too specific a leap;
+//   - and, when a context is given, the KB must actually hold data of that
+//     kind for the candidate: a relaxation into a finding no drug treats is
+//     not a useful answer to "what drugs treat X".
+func (o *Oracle) Relevant(query, cand eks.ConceptID, ctx *ontology.Context) bool {
+	if query == cand {
+		return true
+	}
+	a, okA := o.World.Attrs[query]
+	b, okB := o.World.Attrs[cand]
+	if !okA || !okB {
+		return false
+	}
+	if a.Polarity*b.Polarity < 0 {
+		return false
+	}
+	if a.System == "" || a.System != b.System {
+		return false
+	}
+	sameOrgan := a.Organ != "" && a.Organ == b.Organ
+	if sameOrgan {
+		// Same anatomical site: related across pathology types, but a
+		// clinically adjacent type is required once the severity levels
+		// drift apart (a stage-3 staging of an unrelated process at the
+		// same site is not a useful relaxation).
+		if !synthkb.RelatedTypes(a.Type, b.Type) && absInt(a.Severity-b.Severity) > 1 {
+			return false
+		}
+	} else {
+		// Away from the query's anatomical site, only clinically adjacent
+		// condition types are still judged related, and not the deeply
+		// staged specializations.
+		if !synthkb.RelatedTypes(a.Type, b.Type) {
+			return false
+		}
+		if b.Severity > 1 {
+			return false
+		}
+	}
+	if ctx != nil {
+		switch {
+		case o.isIndicationContext(ctx):
+			if !o.Med.Treated[cand] {
+				return false
+			}
+		case o.isRiskContext(ctx):
+			if !o.Med.Caused[cand] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func (o *Oracle) isIndicationContext(ctx *ontology.Context) bool {
+	return ctx.Relationship == "hasFinding" &&
+		o.Med.Ontology.IsSubConceptOf(ctx.Domain, "Indication")
+}
+
+func (o *Oracle) isRiskContext(ctx *ontology.Context) bool {
+	return ctx.Relationship == "hasFinding" &&
+		o.Med.Ontology.IsSubConceptOf(ctx.Domain, "Risk")
+}
+
+// RelevantSet returns all flagged candidates (from the given universe,
+// typically the FEC set) relevant to query in ctx, excluding the query
+// itself — the recall denominator for Table 2.
+func (o *Oracle) RelevantSet(query eks.ConceptID, ctx *ontology.Context, universe map[eks.ConceptID]bool) []eks.ConceptID {
+	var out []eks.ConceptID
+	for cand := range universe {
+		if cand == query {
+			continue
+		}
+		if o.Relevant(query, cand, ctx) {
+			out = append(out, cand)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,260 @@
+// Package kb implements the instance store (ABox) of the medical knowledge
+// base: concept-typed instances, a normalized-name lexicon, and relationship
+// assertions between instances that query answering runs over.
+//
+// The store corresponds to the "Instances (data)" box of the paper's
+// Figure 3: instances such as "fever" or "renal impairment" typed by domain
+// ontology concepts such as "Finding", plus edges such as
+// (amoxicillin) -treat-> (bronchitis indication) -hasFinding-> (bronchitis).
+package kb
+
+import (
+	"fmt"
+	"sort"
+
+	"medrelax/internal/ontology"
+	"medrelax/internal/stringutil"
+)
+
+// InstanceID identifies an instance in the store.
+type InstanceID int64
+
+// Instance is a data value of the KB: a surface name typed by a domain
+// ontology concept.
+type Instance struct {
+	ID      InstanceID
+	Concept string
+	Name    string
+}
+
+// Assertion is a relationship edge between two instances, e.g.
+// (drug:amoxicillin) -treat-> (indication:I-17).
+type Assertion struct {
+	Subject      InstanceID
+	Relationship string
+	Object       InstanceID
+}
+
+// Store is a mutable instance store bound to a domain ontology. The zero
+// value is not usable; call NewStore.
+type Store struct {
+	onto      *ontology.Ontology
+	instances map[InstanceID]Instance
+	byConcept map[string][]InstanceID
+	lexicon   map[string][]InstanceID // normalized name -> ids
+	// assertion indexes
+	bySubject map[InstanceID][]Assertion
+	byObject  map[InstanceID][]Assertion
+	count     int
+}
+
+// NewStore returns an empty store validating instance types and assertion
+// relationships against onto.
+func NewStore(onto *ontology.Ontology) *Store {
+	return &Store{
+		onto:      onto,
+		instances: make(map[InstanceID]Instance),
+		byConcept: make(map[string][]InstanceID),
+		lexicon:   make(map[string][]InstanceID),
+		bySubject: make(map[InstanceID][]Assertion),
+		byObject:  make(map[InstanceID][]Assertion),
+	}
+}
+
+// Ontology returns the domain ontology this store is bound to.
+func (s *Store) Ontology() *ontology.Ontology { return s.onto }
+
+// AddInstance inserts an instance; its concept must exist in the ontology.
+func (s *Store) AddInstance(inst Instance) error {
+	if inst.Name == "" {
+		return fmt.Errorf("kb: instance %d has empty name", inst.ID)
+	}
+	if !s.onto.HasConcept(inst.Concept) {
+		return fmt.Errorf("kb: instance %d has unknown concept %q", inst.ID, inst.Concept)
+	}
+	if _, ok := s.instances[inst.ID]; ok {
+		return fmt.Errorf("kb: duplicate instance id %d", inst.ID)
+	}
+	s.instances[inst.ID] = inst
+	s.byConcept[inst.Concept] = append(s.byConcept[inst.Concept], inst.ID)
+	key := stringutil.Normalize(inst.Name)
+	if key != "" {
+		s.lexicon[key] = append(s.lexicon[key], inst.ID)
+	}
+	s.count++
+	return nil
+}
+
+// AddAssertion inserts a relationship edge. Both endpoints must exist, and
+// the relationship must be declared in the ontology with compatible
+// domain/range for the endpoint concepts.
+func (s *Store) AddAssertion(a Assertion) error {
+	sub, ok := s.instances[a.Subject]
+	if !ok {
+		return fmt.Errorf("kb: assertion subject %d not found", a.Subject)
+	}
+	obj, ok := s.instances[a.Object]
+	if !ok {
+		return fmt.Errorf("kb: assertion object %d not found", a.Object)
+	}
+	compatible := false
+	for _, r := range s.onto.Relationships() {
+		if r.Name != a.Relationship {
+			continue
+		}
+		if s.onto.IsSubConceptOf(sub.Concept, r.Domain) && s.onto.IsSubConceptOf(obj.Concept, r.Range) {
+			compatible = true
+			break
+		}
+	}
+	if !compatible {
+		return fmt.Errorf("kb: assertion %s(%s,%s) violates ontology domain/range",
+			a.Relationship, sub.Concept, obj.Concept)
+	}
+	s.bySubject[a.Subject] = append(s.bySubject[a.Subject], a)
+	s.byObject[a.Object] = append(s.byObject[a.Object], a)
+	return nil
+}
+
+// Instance returns the instance with the given ID.
+func (s *Store) Instance(id InstanceID) (Instance, bool) {
+	inst, ok := s.instances[id]
+	return inst, ok
+}
+
+// Len returns the number of instances.
+func (s *Store) Len() int { return s.count }
+
+// InstancesOf returns the IDs of all instances of the exact concept,
+// sorted.
+func (s *Store) InstancesOf(concept string) []InstanceID {
+	ids := s.byConcept[concept]
+	out := make([]InstanceID, len(ids))
+	copy(out, ids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AllInstances returns every instance, sorted by ID.
+func (s *Store) AllInstances() []Instance {
+	out := make([]Instance, 0, len(s.instances))
+	for _, inst := range s.instances {
+		out = append(out, inst)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// LookupName returns the instances whose name normalizes to the same form
+// as name, sorted by ID.
+func (s *Store) LookupName(name string) []InstanceID {
+	ids := s.lexicon[stringutil.Normalize(name)]
+	out := make([]InstanceID, len(ids))
+	copy(out, ids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LexiconKeys returns every normalized instance name. Order unspecified.
+func (s *Store) LexiconKeys() []string {
+	keys := make([]string, 0, len(s.lexicon))
+	for k := range s.lexicon {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// IDsForLexiconKey returns instance IDs indexed under an already-normalized
+// key.
+func (s *Store) IDsForLexiconKey(key string) []InstanceID {
+	ids := s.lexicon[key]
+	out := make([]InstanceID, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// AllAssertions returns every assertion, sorted by (subject, relationship,
+// object) for determinism.
+func (s *Store) AllAssertions() []Assertion {
+	var out []Assertion
+	for _, as := range s.bySubject {
+		out = append(out, as...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		if a.Relationship != b.Relationship {
+			return a.Relationship < b.Relationship
+		}
+		return a.Object < b.Object
+	})
+	return out
+}
+
+// Subjects returns the subjects of all assertions with the given
+// relationship whose object is obj, sorted. This answers queries such as
+// "which indications have finding F".
+func (s *Store) Subjects(relationship string, obj InstanceID) []InstanceID {
+	var out []InstanceID
+	for _, a := range s.byObject[obj] {
+		if a.Relationship == relationship {
+			out = append(out, a.Subject)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Objects returns the objects of all assertions with the given relationship
+// whose subject is sub, sorted.
+func (s *Store) Objects(relationship string, sub InstanceID) []InstanceID {
+	var out []InstanceID
+	for _, a := range s.bySubject[sub] {
+		if a.Relationship == relationship {
+			out = append(out, a.Object)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PathQuery walks a chain of relationships backwards from a terminal
+// instance: given relationships [r1, r2] and instance x, it returns all
+// subjects s such that s -r1-> m -r2-> x for some m. This implements the
+// Drug-treat-Indication-hasFinding-Finding style query shapes of the
+// paper's examples ("which drugs treat fever": walk hasFinding then treat
+// backwards from the finding instance).
+func (s *Store) PathQuery(relationships []string, terminal InstanceID) []InstanceID {
+	frontier := map[InstanceID]bool{terminal: true}
+	for i := len(relationships) - 1; i >= 0; i-- {
+		rel := relationships[i]
+		next := map[InstanceID]bool{}
+		for id := range frontier {
+			for _, sub := range s.Subjects(rel, id) {
+				next[sub] = true
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	out := make([]InstanceID, 0, len(frontier))
+	for id := range frontier {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AnswerContext answers a query in a given context for a terminal instance:
+// it finds the instances of the context's domain concept connected to the
+// terminal through the context relationship, then — when the context's
+// domain is itself the range of further relationships (e.g. Indication is
+// the range of Drug-treat-Indication) — the caller can walk further with
+// PathQuery. AnswerContext itself performs the single hop of the context.
+func (s *Store) AnswerContext(ctx ontology.Context, terminal InstanceID) []InstanceID {
+	return s.Subjects(ctx.Relationship, terminal)
+}

@@ -1,0 +1,177 @@
+package match
+
+import (
+	"sort"
+	"strings"
+
+	"medrelax/internal/eks"
+	"medrelax/internal/stringutil"
+)
+
+// LookupService is the "more sophisticated lookup service" the paper notes
+// several knowledge sources offer (Section 3: SNOMED CT's browser,
+// DrugBank, DBpedia Lookup): a ranked, typo- and word-order-tolerant name
+// search over the external knowledge source, usable both as a Mapper and
+// as an interactive search backend.
+//
+// The implementation is an inverted token index with a blended score:
+// exact-phrase and synonym hits dominate, then token-overlap (Jaccard)
+// with a prefix bonus for the kind of incremental lookups a browser makes,
+// and finally a small popularity prior (descendant count) as a tie-breaker
+// the way public lookup services rank head entities first.
+type LookupService struct {
+	graph *eks.Graph
+	// byToken maps a token to the normalized name keys containing it.
+	byToken map[string][]string
+	// keyIDs resolves a name key to its (sorted) concept IDs.
+	keyIDs map[string][]eks.ConceptID
+	// popularity is a per-concept prior in [0, 1].
+	popularity map[eks.ConceptID]float64
+	// MinScore is the acceptance threshold for Map. Default 0.5.
+	MinScore float64
+}
+
+// LookupHit is one ranked search result.
+type LookupHit struct {
+	Concept eks.ConceptID
+	Name    string // the matched surface form (preferred name or synonym)
+	Score   float64
+}
+
+// NewLookupService indexes the graph's full lexicon.
+func NewLookupService(g *eks.Graph) *LookupService {
+	s := &LookupService{
+		graph:      g,
+		byToken:    map[string][]string{},
+		keyIDs:     map[string][]eks.ConceptID{},
+		popularity: map[eks.ConceptID]float64{},
+		MinScore:   0.5,
+	}
+	keys := g.NameKeys()
+	sort.Strings(keys)
+	for _, key := range keys {
+		ids := g.IDsForNameKey(key)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		s.keyIDs[key] = ids
+		seen := map[string]bool{}
+		for _, tok := range stringutil.Tokenize(key) {
+			if !seen[tok] {
+				seen[tok] = true
+				s.byToken[tok] = append(s.byToken[tok], key)
+			}
+		}
+	}
+	// Popularity prior: log-ish scaling of descendant counts.
+	maxDesc := 1
+	descs := map[eks.ConceptID]int{}
+	for _, id := range g.ConceptIDs() {
+		d := g.DescendantCount(id)
+		descs[id] = d
+		if d > maxDesc {
+			maxDesc = d
+		}
+	}
+	for id, d := range descs {
+		s.popularity[id] = float64(d) / float64(maxDesc)
+	}
+	return s
+}
+
+// Search returns up to limit ranked hits for a free-text query. An empty
+// query returns nil.
+func (s *LookupService) Search(query string, limit int) []LookupHit {
+	norm := stringutil.Normalize(query)
+	if norm == "" || limit <= 0 {
+		return nil
+	}
+	qTokens := stringutil.Tokenize(norm)
+
+	// Candidate keys: any key sharing a token, or containing a token that
+	// starts with a query token (prefix search).
+	candidates := map[string]bool{}
+	for _, qt := range qTokens {
+		for _, key := range s.byToken[qt] {
+			candidates[key] = true
+		}
+		// Prefix expansion for the last token (incremental typing).
+		if qt == qTokens[len(qTokens)-1] && len(qt) >= 3 {
+			for tok, keys := range s.byToken {
+				if strings.HasPrefix(tok, qt) {
+					for _, key := range keys {
+						candidates[key] = true
+					}
+				}
+			}
+		}
+	}
+
+	var hits []LookupHit
+	for key := range candidates {
+		score := s.score(norm, qTokens, key)
+		if score <= 0 {
+			continue
+		}
+		for _, id := range s.keyIDs[key] {
+			hits = append(hits, LookupHit{Concept: id, Name: key, Score: score + 0.05*s.popularity[id]})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		if hits[i].Concept != hits[j].Concept {
+			return hits[i].Concept < hits[j].Concept
+		}
+		return hits[i].Name < hits[j].Name
+	})
+	// Deduplicate by concept, keeping the best-scoring surface form.
+	seen := map[eks.ConceptID]bool{}
+	out := make([]LookupHit, 0, limit)
+	for _, h := range hits {
+		if seen[h.Concept] {
+			continue
+		}
+		seen[h.Concept] = true
+		out = append(out, h)
+		if len(out) == limit {
+			break
+		}
+	}
+	return out
+}
+
+// score blends exactness, token overlap and prefix affinity into [0, ~1].
+func (s *LookupService) score(norm string, qTokens []string, key string) float64 {
+	if key == norm {
+		return 1
+	}
+	jac := stringutil.TokenJaccard(norm, key)
+	score := 0.8 * jac
+	// Prefix bonus: the key's last token extends the query's last token.
+	kTokens := stringutil.Tokenize(key)
+	if len(qTokens) > 0 && len(kTokens) > 0 {
+		lastQ := qTokens[len(qTokens)-1]
+		for _, kt := range kTokens {
+			if kt != lastQ && strings.HasPrefix(kt, lastQ) {
+				score += 0.15
+				break
+			}
+		}
+	}
+	if score > 0.99 {
+		score = 0.99 // only the exact phrase reaches 1
+	}
+	return score
+}
+
+// Name implements Mapper.
+func (s *LookupService) Name() string { return "LOOKUP" }
+
+// Map implements Mapper: the best hit wins when it clears MinScore.
+func (s *LookupService) Map(name string) (eks.ConceptID, bool) {
+	hits := s.Search(name, 1)
+	if len(hits) == 0 || hits[0].Score < s.MinScore {
+		return 0, false
+	}
+	return hits[0].Concept, true
+}

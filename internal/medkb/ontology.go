@@ -1,0 +1,177 @@
+// Package medkb generates a synthetic MED — the proprietary medical
+// knowledge base the paper evaluates on (medication, disease and toxicology
+// information; 43 ontology concepts, 58 relationships, curated from a drug
+// monograph corpus). See DESIGN.md for the substitution rationale.
+//
+// The package provides the domain ontology at the paper's stated scale, a
+// deterministic instance generator whose finding instances carry
+// surface-form variation classes (exact / typo / paraphrase / novel) with
+// known gold mappings into a synthkb world, and a monograph corpus whose
+// sections are labeled with query contexts.
+package medkb
+
+import (
+	"fmt"
+
+	"medrelax/internal/ontology"
+)
+
+// Core concept names referenced throughout the system.
+const (
+	ConceptDrug          = "Drug"
+	ConceptIndication    = "Indication"
+	ConceptRisk          = "Risk"
+	ConceptFinding       = "Finding"
+	ConceptAdverseEffect = "AdverseEffect"
+)
+
+// Context strings for the two finding contexts of Figure 1.
+const (
+	CtxIndicationFinding = "Indication-hasFinding-Finding"
+	CtxRiskFinding       = "Risk-hasFinding-Finding"
+)
+
+// conceptDefs lists MED's 43 ontology concepts. Parents must precede
+// children.
+var conceptDefs = []ontology.Concept{
+	{Name: "Drug"},
+	{Name: "DrugClass"},
+	{Name: "Brand"},
+	{Name: "Ingredient"},
+	{Name: "Dosage"},
+	{Name: "Route"},
+	{Name: "Form"},
+	{Name: "Strength"},
+	{Name: "Indication"},
+	{Name: "OffLabelUse"},
+	{Name: "Risk"},
+	{Name: "BlackBoxWarning", Parent: "Risk"},
+	{Name: "AdverseEffect", Parent: "Risk"},
+	{Name: "ContraIndication", Parent: "Risk"},
+	{Name: "Warning"},
+	{Name: "Precaution"},
+	{Name: "Finding"},
+	{Name: "Disease", Parent: "Finding"},
+	{Name: "Symptom", Parent: "Finding"},
+	{Name: "Interaction"},
+	{Name: "DrugInteraction", Parent: "Interaction"},
+	{Name: "FoodInteraction", Parent: "Interaction"},
+	{Name: "LabTest"},
+	{Name: "Monitoring"},
+	{Name: "Population"},
+	{Name: "PediatricUse", Parent: "Population"},
+	{Name: "GeriatricUse", Parent: "Population"},
+	{Name: "PregnancyUse", Parent: "Population"},
+	{Name: "Toxicology"},
+	{Name: "Overdose"},
+	{Name: "Antidote"},
+	{Name: "MechanismOfAction"},
+	{Name: "Pharmacokinetics"},
+	{Name: "HalfLife"},
+	{Name: "Metabolism"},
+	{Name: "Excretion"},
+	{Name: "Manufacturer"},
+	{Name: "ApprovalStatus"},
+	{Name: "Schedule"},
+	{Name: "Guideline"},
+	{Name: "Evidence"},
+	{Name: "Education"},
+	{Name: "Allergy"},
+}
+
+// relationshipDefs lists MED's 58 relationships, including the four of the
+// paper's Figure 1 (treat, cause, and the two hasFinding contexts).
+var relationshipDefs = []ontology.Relationship{
+	// Figure 1 core.
+	{Name: "treat", Domain: "Drug", Range: "Indication"},
+	{Name: "cause", Domain: "Drug", Range: "Risk"},
+	{Name: "hasFinding", Domain: "Indication", Range: "Finding"},
+	{Name: "hasFinding", Domain: "Risk", Range: "Finding"},
+	// Drug identity and composition.
+	{Name: "belongsTo", Domain: "Drug", Range: "DrugClass"},
+	{Name: "hasBrand", Domain: "Drug", Range: "Brand"},
+	{Name: "hasIngredient", Domain: "Drug", Range: "Ingredient"},
+	{Name: "manufacturedBy", Domain: "Drug", Range: "Manufacturer"},
+	{Name: "hasApprovalStatus", Domain: "Drug", Range: "ApprovalStatus"},
+	{Name: "hasSchedule", Domain: "Drug", Range: "Schedule"},
+	// Dosing.
+	{Name: "hasDosage", Domain: "Drug", Range: "Dosage"},
+	{Name: "hasRoute", Domain: "Dosage", Range: "Route"},
+	{Name: "hasForm", Domain: "Dosage", Range: "Form"},
+	{Name: "hasStrength", Domain: "Dosage", Range: "Strength"},
+	{Name: "dosageFor", Domain: "Dosage", Range: "Indication"},
+	{Name: "dosageForPopulation", Domain: "Dosage", Range: "Population"},
+	// Uses.
+	{Name: "hasOffLabelUse", Domain: "Drug", Range: "OffLabelUse"},
+	{Name: "hasFinding", Domain: "OffLabelUse", Range: "Finding"},
+	{Name: "treatedIn", Domain: "Indication", Range: "Population"},
+	{Name: "supportedBy", Domain: "Indication", Range: "Evidence"},
+	// Safety.
+	{Name: "hasWarning", Domain: "Drug", Range: "Warning"},
+	{Name: "hasPrecaution", Domain: "Drug", Range: "Precaution"},
+	{Name: "hasFinding", Domain: "Warning", Range: "Finding"},
+	{Name: "hasFinding", Domain: "Precaution", Range: "Finding"},
+	{Name: "appliesTo", Domain: "Warning", Range: "Population"},
+	{Name: "appliesTo", Domain: "Precaution", Range: "Population"},
+	{Name: "causesAllergy", Domain: "Drug", Range: "Allergy"},
+	{Name: "hasFinding", Domain: "Allergy", Range: "Finding"},
+	// Interactions.
+	{Name: "hasInteraction", Domain: "Drug", Range: "Interaction"},
+	{Name: "interactsWithDrug", Domain: "DrugInteraction", Range: "Drug"},
+	{Name: "raisesRisk", Domain: "Interaction", Range: "Risk"},
+	{Name: "documentedBy", Domain: "Interaction", Range: "Evidence"},
+	// Monitoring and labs.
+	{Name: "requiresMonitoring", Domain: "Drug", Range: "Monitoring"},
+	{Name: "monitors", Domain: "Monitoring", Range: "LabTest"},
+	{Name: "monitorsFinding", Domain: "Monitoring", Range: "Finding"},
+	{Name: "affectsLabTest", Domain: "Drug", Range: "LabTest"},
+	{Name: "indicatedBy", Domain: "Finding", Range: "LabTest"},
+	// Toxicology.
+	{Name: "hasToxicology", Domain: "Drug", Range: "Toxicology"},
+	{Name: "hasOverdose", Domain: "Toxicology", Range: "Overdose"},
+	{Name: "treatedBy", Domain: "Overdose", Range: "Antidote"},
+	{Name: "hasFinding", Domain: "Overdose", Range: "Finding"},
+	{Name: "antidoteDrug", Domain: "Antidote", Range: "Drug"},
+	// Pharmacology.
+	{Name: "hasMechanism", Domain: "Drug", Range: "MechanismOfAction"},
+	{Name: "hasPharmacokinetics", Domain: "Drug", Range: "Pharmacokinetics"},
+	{Name: "hasHalfLife", Domain: "Pharmacokinetics", Range: "HalfLife"},
+	{Name: "hasMetabolism", Domain: "Pharmacokinetics", Range: "Metabolism"},
+	{Name: "hasExcretion", Domain: "Pharmacokinetics", Range: "Excretion"},
+	{Name: "affectsMetabolismOf", Domain: "Drug", Range: "Drug"},
+	// Guidance and education.
+	{Name: "recommendedBy", Domain: "Drug", Range: "Guideline"},
+	{Name: "hasEvidence", Domain: "Guideline", Range: "Evidence"},
+	{Name: "hasEducation", Domain: "Drug", Range: "Education"},
+	{Name: "educatesAbout", Domain: "Education", Range: "Finding"},
+	{Name: "guidelineFor", Domain: "Guideline", Range: "Indication"},
+	// Findings structure.
+	{Name: "associatedWith", Domain: "Finding", Range: "Finding"},
+	{Name: "presentsAs", Domain: "Disease", Range: "Symptom"},
+	{Name: "contraindicatedWith", Domain: "ContraIndication", Range: "Drug"},
+	{Name: "classTreats", Domain: "DrugClass", Range: "Indication"},
+	{Name: "populationRisk", Domain: "Population", Range: "Risk"},
+}
+
+// BuildOntology assembles the MED domain ontology: exactly 43 concepts and
+// 58 relationships, matching the paper's Section 7.1.
+func BuildOntology() (*ontology.Ontology, error) {
+	o := ontology.New()
+	for _, c := range conceptDefs {
+		if err := o.AddConcept(c); err != nil {
+			return nil, fmt.Errorf("medkb: %w", err)
+		}
+	}
+	for _, r := range relationshipDefs {
+		if err := o.AddRelationship(r); err != nil {
+			return nil, fmt.Errorf("medkb: %w", err)
+		}
+	}
+	if got := o.ConceptCount(); got != 43 {
+		return nil, fmt.Errorf("medkb: ontology has %d concepts, want 43", got)
+	}
+	if got := o.RelationshipCount(); got != 58 {
+		return nil, fmt.Errorf("medkb: ontology has %d relationships, want 58", got)
+	}
+	return o, nil
+}

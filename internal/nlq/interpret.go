@@ -1,0 +1,277 @@
+package nlq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"medrelax/internal/kb"
+	"medrelax/internal/ontology"
+)
+
+// semEdge is an edge of the semantic graph: a relationship between two
+// ontology concepts, or a subconcept link (Relationship == "isA").
+type semEdge struct {
+	A, B         string
+	Relationship string
+}
+
+// SemanticGraph is the ontology viewed as an undirected graph for
+// interpretation generation.
+type SemanticGraph struct {
+	adj map[string][]semEdge
+}
+
+// NewSemanticGraph builds the graph from the ontology's relationships and
+// concept hierarchy.
+func NewSemanticGraph(o *ontology.Ontology) *SemanticGraph {
+	g := &SemanticGraph{adj: map[string][]semEdge{}}
+	add := func(e semEdge) {
+		g.adj[e.A] = append(g.adj[e.A], e)
+		g.adj[e.B] = append(g.adj[e.B], semEdge{A: e.B, B: e.A, Relationship: e.Relationship})
+	}
+	for _, r := range o.Relationships() {
+		add(semEdge{A: r.Domain, B: r.Range, Relationship: r.Name})
+	}
+	for _, name := range o.ConceptNames() {
+		c, _ := o.Concept(name)
+		if c.Parent != "" {
+			add(semEdge{A: name, B: c.Parent, Relationship: "isA"})
+		}
+	}
+	return g
+}
+
+// shortestPath returns the edges of a shortest path between two concepts,
+// or nil when disconnected. Deterministic via sorted neighbour expansion.
+func (g *SemanticGraph) shortestPath(from, to string) []semEdge {
+	if from == to {
+		return []semEdge{}
+	}
+	type prev struct {
+		edge semEdge
+		node string
+	}
+	visited := map[string]bool{from: true}
+	parent := map[string]prev{}
+	frontier := []string{from}
+	for len(frontier) > 0 {
+		var next []string
+		for _, cur := range frontier {
+			edges := append([]semEdge{}, g.adj[cur]...)
+			sort.Slice(edges, func(i, j int) bool {
+				if edges[i].B != edges[j].B {
+					return edges[i].B < edges[j].B
+				}
+				return edges[i].Relationship < edges[j].Relationship
+			})
+			for _, e := range edges {
+				if visited[e.B] {
+					continue
+				}
+				visited[e.B] = true
+				parent[e.B] = prev{edge: e, node: cur}
+				if e.B == to {
+					var path []semEdge
+					for n := to; n != from; n = parent[n].node {
+						path = append([]semEdge{parent[n].edge}, path...)
+					}
+					return path
+				}
+				next = append(next, e.B)
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// Interpretation is one grounded reading of the query: a selection of one
+// evidence per token, connected by a Steiner tree in the semantic graph.
+type Interpretation struct {
+	Selection []Evidence
+	// Tree is the edge set connecting the selection's concepts.
+	Tree []semEdge
+	// Compactness is the tree size (number of edges); smaller is better.
+	Compactness int
+	// RelaxScore is the summed evidence score; it breaks compactness ties,
+	// preferring interpretations grounded in more similar relaxed values.
+	RelaxScore float64
+}
+
+// String renders the interpretation tree in the paper's arrow notation.
+func (it Interpretation) String() string {
+	if len(it.Tree) == 0 {
+		if len(it.Selection) > 0 {
+			return it.Selection[0].Concept
+		}
+		return "(empty)"
+	}
+	parts := make([]string, 0, len(it.Tree))
+	for _, e := range it.Tree {
+		parts = append(parts, fmt.Sprintf("%s→%s→%s", e.A, e.Relationship, e.B))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Interpreter generates and ranks interpretations.
+type Interpreter struct {
+	graph *SemanticGraph
+	onto  *ontology.Ontology
+	store *kb.Store
+	// MaxSelections caps the evidence combinations explored.
+	MaxSelections int
+}
+
+// NewInterpreter builds an interpreter over the ontology and store.
+func NewInterpreter(o *ontology.Ontology, store *kb.Store) *Interpreter {
+	return &Interpreter{graph: NewSemanticGraph(o), onto: o, store: store, MaxSelections: 256}
+}
+
+// Interpret enumerates selection sets (one evidence per token), computes a
+// Steiner tree for each, and returns interpretations ranked by compactness
+// ascending, then relaxation score descending — the paper's ranking with
+// the relaxation-aware extension of Section 6.2.
+func (ip *Interpreter) Interpret(tokenEvidence []TokenEvidence) []Interpretation {
+	if len(tokenEvidence) == 0 {
+		return nil
+	}
+	selections := ip.enumerate(tokenEvidence)
+	var out []Interpretation
+	for _, sel := range selections {
+		tree, ok := ip.steiner(sel)
+		if !ok {
+			continue
+		}
+		score := 0.0
+		for _, ev := range sel {
+			score += ev.Score
+		}
+		out = append(out, Interpretation{
+			Selection:   sel,
+			Tree:        tree,
+			Compactness: len(tree),
+			RelaxScore:  score,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Compactness != out[j].Compactness {
+			return out[i].Compactness < out[j].Compactness
+		}
+		return out[i].RelaxScore > out[j].RelaxScore
+	})
+	return out
+}
+
+// enumerate builds the cartesian product of evidence sets, capped at
+// MaxSelections.
+func (ip *Interpreter) enumerate(tes []TokenEvidence) [][]Evidence {
+	out := [][]Evidence{{}}
+	for _, te := range tes {
+		var next [][]Evidence
+		for _, prefix := range out {
+			for _, ev := range te.Evidences {
+				sel := append(append([]Evidence{}, prefix...), ev)
+				next = append(next, sel)
+				if len(next) >= ip.MaxSelections {
+					break
+				}
+			}
+			if len(next) >= ip.MaxSelections {
+				break
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// steiner connects the selection's concepts with a small tree: starting
+// from the first terminal, it repeatedly merges the shortest path from the
+// connected component to the nearest unconnected terminal (the classic
+// 2-approximation on the metric closure, which the ATHENA-style systems
+// use). ok is false when some terminal is disconnected.
+func (ip *Interpreter) steiner(sel []Evidence) ([]semEdge, bool) {
+	terminals := map[string]bool{}
+	for _, ev := range sel {
+		if ev.Concept != "" {
+			terminals[ev.Concept] = true
+		}
+	}
+	if len(terminals) == 0 {
+		return nil, false
+	}
+	var terms []string
+	for t := range terminals {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+
+	connected := map[string]bool{}
+	var tree []semEdge
+	edgeKey := func(e semEdge) string {
+		a, b := e.A, e.B
+		if a > b {
+			a, b = b, a
+		}
+		return a + "|" + e.Relationship + "|" + b
+	}
+	inTree := map[string]bool{}
+
+	// Relationship evidence pins its edge into the tree: when the user said
+	// "caused by", the interpretation must use the cause edge, not whatever
+	// shortest path the graph happens to offer.
+	for _, ev := range sel {
+		if ev.Kind != Metadata || ev.Relationship == "" {
+			continue
+		}
+		for _, r := range ip.onto.Relationships() {
+			if r.Name != ev.Relationship || r.Domain != ev.Concept {
+				continue
+			}
+			e := semEdge{A: r.Domain, B: r.Range, Relationship: r.Name}
+			if k := edgeKey(e); !inTree[k] {
+				inTree[k] = true
+				tree = append(tree, e)
+			}
+			connected[r.Domain] = true
+			connected[r.Range] = true
+		}
+	}
+	if len(connected) == 0 {
+		connected[terms[0]] = true
+	}
+	for _, target := range terms {
+		if connected[target] {
+			continue
+		}
+		// Shortest path from any connected node to the target.
+		var best []semEdge
+		var nodes []string
+		for n := range connected {
+			nodes = append(nodes, n)
+		}
+		sort.Strings(nodes)
+		for _, n := range nodes {
+			p := ip.graph.shortestPath(n, target)
+			if p == nil {
+				continue
+			}
+			if best == nil || len(p) < len(best) {
+				best = p
+			}
+		}
+		if best == nil {
+			return nil, false
+		}
+		for _, e := range best {
+			connected[e.A] = true
+			connected[e.B] = true
+			if k := edgeKey(e); !inTree[k] {
+				inTree[k] = true
+				tree = append(tree, e)
+			}
+		}
+	}
+	return tree, true
+}

@@ -1,0 +1,233 @@
+package nlq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"medrelax/internal/core"
+	"medrelax/internal/kb"
+	"medrelax/internal/ontology"
+)
+
+// StructuredQuery is the executable form of an interpretation, together
+// with a SQL-like rendering for inspection — the paper's NLQ system
+// "interprets [the query] over the domain ontology to produce a structured
+// query such as SQL".
+type StructuredQuery struct {
+	// Focus is the concept whose instances the query returns.
+	Focus string
+	// Chain is the relationship path from the focus toward the bound data
+	// value.
+	Chain []string
+	// Terminal instances bind the end of the chain (e.g. the finding).
+	Terminal []kb.InstanceID
+	// DrugFilter optionally restricts answers to those connected to these
+	// drug instances.
+	DrugFilter []kb.InstanceID
+	// DrugRelationship is the relationship linking drugs to the focus
+	// concept when DrugFilter is set.
+	DrugRelationship string
+}
+
+// SQL renders the query as SQL over the (subject, relationship, object)
+// assertion table, for display.
+func (q StructuredQuery) SQL() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT i0.name FROM instances i0")
+	for i := range q.Chain {
+		fmt.Fprintf(&b, " JOIN assertions a%d ON a%d.subject = i%d.id AND a%d.relationship = '%s'", i, i, i, i, q.Chain[i])
+		if i < len(q.Chain)-1 {
+			fmt.Fprintf(&b, " JOIN instances i%d ON i%d.id = a%d.object", i+1, i+1, i)
+		}
+	}
+	terms := make([]string, 0, len(q.Terminal))
+	for _, t := range q.Terminal {
+		terms = append(terms, fmt.Sprintf("%d", t))
+	}
+	fmt.Fprintf(&b, " WHERE i0.concept = '%s'", q.Focus)
+	if len(q.Chain) > 0 {
+		fmt.Fprintf(&b, " AND a%d.object IN (%s)", len(q.Chain)-1, strings.Join(terms, ", "))
+	}
+	if len(q.DrugFilter) > 0 {
+		drugs := make([]string, 0, len(q.DrugFilter))
+		for _, d := range q.DrugFilter {
+			drugs = append(drugs, fmt.Sprintf("%d", d))
+		}
+		fmt.Fprintf(&b, " AND EXISTS (SELECT 1 FROM assertions ad WHERE ad.relationship = '%s' AND ad.object = i0.id AND ad.subject IN (%s))",
+			q.DrugRelationship, strings.Join(drugs, ", "))
+	}
+	return b.String()
+}
+
+// Execute runs the query against the store and returns the answer instance
+// IDs, sorted.
+func (q StructuredQuery) Execute(store *kb.Store) []kb.InstanceID {
+	// Answers: instances of Focus connected to a Terminal through Chain.
+	candidates := map[kb.InstanceID]bool{}
+	for _, t := range q.Terminal {
+		for _, id := range store.PathQuery(q.Chain, t) {
+			inst, ok := store.Instance(id)
+			if !ok {
+				continue
+			}
+			if !store.Ontology().IsSubConceptOf(inst.Concept, q.Focus) {
+				continue
+			}
+			candidates[id] = true
+		}
+	}
+	if len(q.DrugFilter) > 0 {
+		filtered := map[kb.InstanceID]bool{}
+		for id := range candidates {
+			for _, drug := range q.DrugFilter {
+				for _, obj := range store.Objects(q.DrugRelationship, drug) {
+					if obj == id {
+						filtered[id] = true
+					}
+				}
+			}
+		}
+		candidates = filtered
+	}
+	out := make([]kb.InstanceID, 0, len(candidates))
+	for id := range candidates {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Compile turns an interpretation into a structured query. It supports the
+// MED query family the paper's examples exercise: a focus concept (the
+// first metadata evidence) reached from a finding data value through a
+// hasFinding edge, optionally restricted by drug data values. ok is false
+// for interpretations outside that family.
+func Compile(it Interpretation, onto *ontology.Ontology) (StructuredQuery, bool) {
+	var q StructuredQuery
+	// Focus: first metadata evidence.
+	for _, ev := range it.Selection {
+		if ev.Kind == Metadata {
+			q.Focus = ev.Concept
+			break
+		}
+	}
+	if q.Focus == "" {
+		return q, false
+	}
+	// Terminal finding values and drug filters.
+	for _, ev := range it.Selection {
+		if ev.Kind != DataValue {
+			continue
+		}
+		switch {
+		case onto.IsSubConceptOf(ev.Concept, "Finding"):
+			q.Terminal = append(q.Terminal, ev.Instances...)
+		case ev.Concept == "Drug":
+			q.DrugFilter = append(q.DrugFilter, ev.Instances...)
+		}
+	}
+	if len(q.Terminal) == 0 {
+		return q, false
+	}
+	// Chain: the relationship path from focus to Finding along the tree.
+	if q.Focus == "Drug" {
+		// Find the intermediate concept (Risk/Indication family) in the
+		// tree between Drug and Finding.
+		for _, e := range it.Tree {
+			if e.A == "Drug" && e.Relationship != "isA" {
+				q.Chain = []string{e.Relationship, "hasFinding"}
+				break
+			}
+			if e.B == "Drug" && e.Relationship != "isA" {
+				q.Chain = []string{e.Relationship, "hasFinding"}
+				break
+			}
+		}
+		if len(q.Chain) == 0 {
+			return q, false
+		}
+		return q, true
+	}
+	// Focus is a mid concept (Risk, Indication, ...): one hasFinding hop.
+	q.Chain = []string{"hasFinding"}
+	// Drug filter uses the tree edge between Drug and the focus.
+	if len(q.DrugFilter) > 0 {
+		for _, e := range it.Tree {
+			if (e.A == "Drug" && sameFamily(onto, e.B, q.Focus)) ||
+				(e.B == "Drug" && sameFamily(onto, e.A, q.Focus)) {
+				q.DrugRelationship = e.Relationship
+				break
+			}
+		}
+		if q.DrugRelationship == "" {
+			// No usable drug edge: drop the filter rather than fail.
+			q.DrugFilter = nil
+		}
+	}
+	return q, true
+}
+
+func sameFamily(onto *ontology.Ontology, a, b string) bool {
+	return onto.IsSubConceptOf(a, b) || onto.IsSubConceptOf(b, a)
+}
+
+// System bundles the full NLQ pipeline.
+type System struct {
+	Evidence    *EvidenceGenerator
+	Interpreter *Interpreter
+	store       *kb.Store
+	onto        *ontology.Ontology
+}
+
+// NewSystem assembles the pipeline; relaxer/ing may be nil to disable
+// relaxation.
+func NewSystem(onto *ontology.Ontology, store *kb.Store, relaxer *core.Relaxer, ing *core.Ingestion) *System {
+	return &System{
+		Evidence:    NewEvidenceGenerator(onto, store, relaxer, ing),
+		Interpreter: NewInterpreter(onto, store),
+		store:       store,
+		onto:        onto,
+	}
+}
+
+// Answer is the result of answering one natural language query.
+type Answer struct {
+	Interpretation Interpretation
+	Query          StructuredQuery
+	SQL            string
+	// Results are the answer instances, resolved to names.
+	Results []string
+	// Alternatives are lower-ranked interpretations, for inspection.
+	Alternatives []Interpretation
+}
+
+// Answer interprets and executes a natural language query end to end. It
+// returns the best compilable interpretation's answer.
+func (s *System) Answer(query string) (Answer, error) {
+	tes := s.Evidence.Generate(query)
+	if len(tes) == 0 {
+		return Answer{}, fmt.Errorf("nlq: no evidence found in %q", query)
+	}
+	interpretations := s.Interpreter.Interpret(tes)
+	if len(interpretations) == 0 {
+		return Answer{}, fmt.Errorf("nlq: no interpretation for %q", query)
+	}
+	for i, it := range interpretations {
+		q, ok := Compile(it, s.onto)
+		if !ok {
+			continue
+		}
+		ans := Answer{Interpretation: it, Query: q, SQL: q.SQL()}
+		if i+1 < len(interpretations) {
+			ans.Alternatives = interpretations[i+1:]
+		}
+		for _, id := range q.Execute(s.store) {
+			if inst, ok := s.store.Instance(id); ok {
+				ans.Results = append(ans.Results, inst.Name)
+			}
+		}
+		return ans, nil
+	}
+	return Answer{}, fmt.Errorf("nlq: no executable interpretation for %q", query)
+}

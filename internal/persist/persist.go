@@ -1,0 +1,212 @@
+// Package persist serializes the output of the offline phase — the domain
+// ontology, the instance store, the customized external knowledge source,
+// the instance-to-concept mappings, and the per-context frequency table —
+// so that Algorithm 1, "an offline process that is executed only once"
+// (Section 5.1), really does run only once: production deployments save
+// the ingestion after building it and load it at startup.
+//
+// The format is versioned JSON: human-inspectable, stable across Go
+// versions, and strictly validated on load (a corrupted or truncated
+// bundle fails loudly rather than yielding a half-built system).
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"medrelax/internal/core"
+	"medrelax/internal/eks"
+	"medrelax/internal/kb"
+	"medrelax/internal/ontology"
+)
+
+// Version is the current bundle format version.
+const Version = 1
+
+// Bundle is the on-disk form of an ingestion.
+type Bundle struct {
+	Version int `json:"version"`
+
+	OntologyConcepts      []ontology.Concept      `json:"ontologyConcepts"`
+	OntologyRelationships []ontology.Relationship `json:"ontologyRelationships"`
+
+	Instances  []kb.Instance  `json:"instances"`
+	Assertions []kb.Assertion `json:"assertions"`
+
+	EKSConcepts []eks.Concept `json:"eksConcepts"`
+	EKSEdges    []edgeDump    `json:"eksEdges"`
+	EKSRoot     eks.ConceptID `json:"eksRoot"`
+
+	Mappings    []mappingDump          `json:"mappings"`
+	Frequencies core.FrequencySnapshot `json:"frequencies"`
+	Shortcuts   int                    `json:"shortcutsAdded"`
+}
+
+type edgeDump struct {
+	From     eks.ConceptID `json:"from"`
+	To       eks.ConceptID `json:"to"`
+	Dist     int           `json:"dist"`
+	Shortcut bool          `json:"shortcut,omitempty"`
+}
+
+type mappingDump struct {
+	Instance kb.InstanceID `json:"instance"`
+	Concept  eks.ConceptID `json:"concept"`
+}
+
+// Save writes the ingestion as a bundle.
+func Save(w io.Writer, ing *core.Ingestion) error {
+	b := Bundle{Version: Version, Shortcuts: ing.ShortcutsAdded}
+
+	for _, name := range ing.Ontology.ConceptNames() {
+		c, _ := ing.Ontology.Concept(name)
+		b.OntologyConcepts = append(b.OntologyConcepts, c)
+	}
+	b.OntologyRelationships = ing.Ontology.Relationships()
+
+	b.Instances = ing.Store.AllInstances()
+	b.Assertions = ing.Store.AllAssertions()
+
+	root, ok := ing.Graph.Root()
+	if !ok {
+		return fmt.Errorf("persist: graph has no root")
+	}
+	b.EKSRoot = root
+	for _, id := range ing.Graph.ConceptIDs() {
+		c, _ := ing.Graph.Concept(id)
+		b.EKSConcepts = append(b.EKSConcepts, c)
+		for _, e := range ing.Graph.UpEdges(id) {
+			b.EKSEdges = append(b.EKSEdges, edgeDump{From: e.From, To: e.To, Dist: e.Dist, Shortcut: e.Shortcut})
+		}
+	}
+
+	var iids []kb.InstanceID
+	for iid := range ing.Mappings {
+		iids = append(iids, iid)
+	}
+	sortInstanceIDs(iids)
+	for _, iid := range iids {
+		b.Mappings = append(b.Mappings, mappingDump{Instance: iid, Concept: ing.Mappings[iid]})
+	}
+
+	b.Frequencies = ing.Frequencies.Snapshot()
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(&b)
+}
+
+// Load reads a bundle and reconstructs the ingestion. The returned
+// ingestion is fully usable for the online phase: build a Similarity over
+// ing.Frequencies and a Relaxer over it.
+func Load(r io.Reader) (*core.Ingestion, error) {
+	var b Bundle
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("persist: decoding bundle: %w", err)
+	}
+	if b.Version != Version {
+		return nil, fmt.Errorf("persist: bundle version %d, want %d", b.Version, Version)
+	}
+
+	onto := ontology.New()
+	// Concepts must be added parents-first: iterate until fixpoint (the
+	// hierarchy is shallow, so two passes usually suffice).
+	pending := append([]ontology.Concept{}, b.OntologyConcepts...)
+	for len(pending) > 0 {
+		progressed := false
+		var next []ontology.Concept
+		for _, c := range pending {
+			if c.Parent == "" || onto.HasConcept(c.Parent) {
+				if err := onto.AddConcept(c); err != nil {
+					return nil, fmt.Errorf("persist: ontology concept %q: %w", c.Name, err)
+				}
+				progressed = true
+			} else {
+				next = append(next, c)
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("persist: ontology hierarchy has dangling parents (%d concepts unplaced)", len(next))
+		}
+		pending = next
+	}
+	for _, rel := range b.OntologyRelationships {
+		if err := onto.AddRelationship(rel); err != nil {
+			return nil, fmt.Errorf("persist: relationship %s: %w", rel.Name, err)
+		}
+	}
+
+	store := kb.NewStore(onto)
+	for _, inst := range b.Instances {
+		if err := store.AddInstance(inst); err != nil {
+			return nil, fmt.Errorf("persist: instance %d: %w", inst.ID, err)
+		}
+	}
+	for _, a := range b.Assertions {
+		if err := store.AddAssertion(a); err != nil {
+			return nil, fmt.Errorf("persist: assertion %v: %w", a, err)
+		}
+	}
+
+	g := eks.New()
+	for _, c := range b.EKSConcepts {
+		if err := g.AddConcept(c); err != nil {
+			return nil, fmt.Errorf("persist: eks concept %d: %w", c.ID, err)
+		}
+	}
+	for _, e := range b.EKSEdges {
+		var err error
+		if e.Shortcut {
+			err = g.AddShortcutEdge(e.From, e.To, e.Dist)
+		} else {
+			err = g.AddSubsumption(e.From, e.To)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("persist: eks edge %d->%d: %w", e.From, e.To, err)
+		}
+	}
+	if err := g.SetRoot(b.EKSRoot); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("persist: restored graph invalid: %w", err)
+	}
+
+	freqs, err := core.RestoreFrequencyTable(b.Frequencies)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+
+	ing := &core.Ingestion{
+		Contexts:       onto.Contexts(),
+		Mappings:       map[kb.InstanceID]eks.ConceptID{},
+		InstancesFor:   map[eks.ConceptID][]kb.InstanceID{},
+		Flagged:        map[eks.ConceptID]bool{},
+		Frequencies:    freqs,
+		Graph:          g,
+		Store:          store,
+		Ontology:       onto,
+		ShortcutsAdded: b.Shortcuts,
+	}
+	for _, m := range b.Mappings {
+		if _, ok := store.Instance(m.Instance); !ok {
+			return nil, fmt.Errorf("persist: mapping references unknown instance %d", m.Instance)
+		}
+		if _, ok := g.Concept(m.Concept); !ok {
+			return nil, fmt.Errorf("persist: mapping references unknown concept %d", m.Concept)
+		}
+		ing.Mappings[m.Instance] = m.Concept
+		ing.InstancesFor[m.Concept] = append(ing.InstancesFor[m.Concept], m.Instance)
+		ing.Flagged[m.Concept] = true
+	}
+	return ing, nil
+}
+
+func sortInstanceIDs(ids []kb.InstanceID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package persist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"medrelax/internal/core"
+	"medrelax/internal/corpus"
+	"medrelax/internal/eks"
+	"medrelax/internal/kb"
+	"medrelax/internal/medkb"
+	"medrelax/internal/ontology"
+	"medrelax/internal/synthkb"
+)
+
+// buildIngestion produces a realistic ingestion over a small synthetic
+// world.
+func buildIngestion(t *testing.T) *core.Ingestion {
+	t.Helper()
+	world, err := synthkb.Generate(synthkb.Config{Seed: 31, ConditionsPerPair: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := medkb.Generate(world, medkb.Config{Seed: 32, Drugs: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corp := medkb.BuildCorpus(world, med, medkb.CorpusConfig{Seed: 33})
+	ing, err := core.Ingest(med.Ontology, med.Store, world.Graph, corp, exactMapper{world.Graph}, core.IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ing
+}
+
+type exactMapper struct{ g *eks.Graph }
+
+func (m exactMapper) Name() string { return "EXACT" }
+func (m exactMapper) Map(name string) (eks.ConceptID, bool) {
+	ids := m.g.LookupName(name)
+	if len(ids) == 0 {
+		return 0, false
+	}
+	return ids[0], true
+}
+
+func TestRoundTrip(t *testing.T) {
+	ing := buildIngestion(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, ing); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural equality.
+	if restored.Graph.Len() != ing.Graph.Len() || restored.Graph.EdgeCount() != ing.Graph.EdgeCount() {
+		t.Errorf("graph: %d/%d vs %d/%d", restored.Graph.Len(), restored.Graph.EdgeCount(), ing.Graph.Len(), ing.Graph.EdgeCount())
+	}
+	if restored.Graph.ShortcutCount() != ing.Graph.ShortcutCount() {
+		t.Errorf("shortcuts: %d vs %d", restored.Graph.ShortcutCount(), ing.Graph.ShortcutCount())
+	}
+	if restored.Store.Len() != ing.Store.Len() {
+		t.Errorf("instances: %d vs %d", restored.Store.Len(), ing.Store.Len())
+	}
+	if len(restored.Mappings) != len(ing.Mappings) || len(restored.Flagged) != len(ing.Flagged) {
+		t.Errorf("mappings/flags differ")
+	}
+	if len(restored.Contexts) != len(ing.Contexts) {
+		t.Errorf("contexts: %d vs %d", len(restored.Contexts), len(ing.Contexts))
+	}
+	if restored.ShortcutsAdded != ing.ShortcutsAdded {
+		t.Errorf("shortcutsAdded: %d vs %d", restored.ShortcutsAdded, ing.ShortcutsAdded)
+	}
+
+	// Behavioural equality: identical relaxation results on both sides.
+	ctx := &ontology.Context{Domain: "Indication", Relationship: "hasFinding", Range: "Finding"}
+	simA := core.NewSimilarity(ing.Graph, ing.Frequencies, ing.Ontology)
+	simB := core.NewSimilarity(restored.Graph, restored.Frequencies, restored.Ontology)
+	relA := core.NewRelaxer(ing, simA, exactMapper{ing.Graph}, core.RelaxOptions{Radius: 3})
+	relB := core.NewRelaxer(restored, simB, exactMapper{restored.Graph}, core.RelaxOptions{Radius: 3})
+	checked := 0
+	for q := range ing.Flagged {
+		if checked == 25 {
+			break
+		}
+		checked++
+		a := relA.RelaxConcept(q, ctx, 0)
+		b := relB.RelaxConcept(q, ctx, 0)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Concept != b[i].Concept || a[i].Score != b[i].Score {
+				t.Fatalf("query %d rank %d: %+v vs %+v", q, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestRoundTripDeterministicBytes(t *testing.T) {
+	ing := buildIngestion(t)
+	var a, b bytes.Buffer
+	if err := Save(&a, ing); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(&b, ing); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("serialization is not byte-deterministic")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"not json":    "hello",
+		"wrong shape": `{"version": 1, "eksEdges": "nope"}`,
+	}
+	for name, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Load must fail", name)
+		}
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("wrong version must fail")
+	}
+}
+
+func TestLoadRejectsDanglingMapping(t *testing.T) {
+	ing := buildIngestion(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, ing); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one mapping's concept.
+	s := buf.String()
+	s = strings.Replace(s, `"concept":`, `"concept":9`, 1)
+	if _, err := Load(strings.NewReader(s)); err == nil {
+		t.Error("dangling mapping must fail")
+	}
+}
+
+func TestFrequencySnapshotRoundTrip(t *testing.T) {
+	ing := buildIngestion(t)
+	snap := ing.Frequencies.Snapshot()
+	restored, err := core.RestoreFrequencyTable(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ls := range snap.Labels {
+		for i, id := range ls.IDs {
+			if got := restored.Raw(id, ls.Label); got != ls.Values[i] {
+				t.Fatalf("raw(%d, %s) = %v, want %v", id, ls.Label, got, ls.Values[i])
+			}
+		}
+	}
+	// Aggregate is rebuilt.
+	for _, ls := range snap.Labels {
+		for _, id := range ls.IDs {
+			if restored.RawAggregate(id) != ing.Frequencies.RawAggregate(id) {
+				t.Fatalf("aggregate mismatch for %d", id)
+			}
+		}
+	}
+	// Malformed snapshot rejected.
+	bad := core.FrequencySnapshot{Labels: []core.FrequencyLabelSnapshot{{Label: "x", IDs: []eks.ConceptID{1}, Values: nil}}}
+	if _, err := core.RestoreFrequencyTable(bad); err == nil {
+		t.Error("mismatched snapshot must fail")
+	}
+	_ = kb.InstanceID(0)
+	_ = corpus.Document{}
+}

@@ -1,0 +1,239 @@
+// Package server implements the HTTP JSON API over the relaxation system:
+// the deployment shape the paper describes for its cloud-hosted relaxation
+// service interacting with the conversational frontend. cmd/kbserver wires
+// it to a listener.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"medrelax/internal/core"
+	"medrelax/internal/dialog"
+	"medrelax/internal/ontology"
+)
+
+// Backend is the slice of the relaxation system the server needs; the
+// medrelax.System satisfies it through a thin adapter in cmd/kbserver, and
+// tests satisfy it with small fixtures.
+type Backend interface {
+	// Relax answers a [term, context] pair with up to k ranked results.
+	Relax(term, ctx string, k int) ([]RelaxResult, error)
+	// NewConversation opens a fresh dialogue with relaxation enabled.
+	NewConversation() (*dialog.Conversation, error)
+	// Stats describes the loaded world.
+	Stats() map[string]any
+}
+
+// RelaxResult is one JSON-ready relaxed answer.
+type RelaxResult struct {
+	Concept   string   `json:"concept"`
+	Score     float64  `json:"score"`
+	Hops      int      `json:"hops"`
+	Instances []string `json:"instances"`
+}
+
+// Server handles the API endpoints.
+type Server struct {
+	backend Backend
+
+	mu       sync.Mutex
+	sessions map[string]*dialog.Conversation
+	// MaxSessions bounds the session table; the oldest insertion order is
+	// not tracked — when full, new sessions are rejected. Default 1024.
+	MaxSessions int
+}
+
+// New builds a server over a backend.
+func New(backend Backend) *Server {
+	return &Server{backend: backend, sessions: map[string]*dialog.Conversation{}, MaxSessions: 1024}
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /relax", s.handleRelax)
+	mux.HandleFunc("POST /chat", s.handleChat)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.backend.Stats())
+}
+
+func (s *Server) handleRelax(w http.ResponseWriter, r *http.Request) {
+	term := r.URL.Query().Get("term")
+	if term == "" {
+		writeError(w, http.StatusBadRequest, "missing term parameter")
+		return
+	}
+	ctx := r.URL.Query().Get("context")
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v < 1 || v > 1000 {
+			writeError(w, http.StatusBadRequest, "k must be an integer in [1, 1000]")
+			return
+		}
+		k = v
+	}
+	// The relaxer's similarity evaluator caches per-query state and is not
+	// safe for concurrent use; serialize backend calls.
+	s.mu.Lock()
+	results, err := s.backend.Relax(term, ctx, k)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"term": term, "context": ctx, "results": results})
+}
+
+// ChatRequest is the /chat request body.
+type ChatRequest struct {
+	Session string `json:"session"`
+	Text    string `json:"text"`
+	Reset   bool   `json:"reset,omitempty"`
+}
+
+// ChatResponse is the /chat response body.
+type ChatResponse struct {
+	Text        string   `json:"text"`
+	Answers     []string `json:"answers,omitempty"`
+	Suggestions []string `json:"suggestions,omitempty"`
+	Related     []string `json:"related,omitempty"`
+	Context     string   `json:"context"`
+	Understood  bool     `json:"understood"`
+	Relaxed     bool     `json:"relaxed"`
+}
+
+func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
+	var req ChatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if req.Session == "" || (req.Text == "" && !req.Reset) {
+		writeError(w, http.StatusBadRequest, "session and text are required")
+		return
+	}
+	conv, err := s.conversation(req.Session)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if req.Reset {
+		conv.Reset()
+		if req.Text == "" {
+			writeJSON(w, http.StatusOK, ChatResponse{Text: "session reset", Understood: true})
+			return
+		}
+	}
+	resp := conv.Ask(req.Text)
+	writeJSON(w, http.StatusOK, ChatResponse{
+		Text:        resp.Text,
+		Answers:     resp.Answers,
+		Suggestions: resp.Suggestions,
+		Related:     resp.Related,
+		Context:     resp.Context.String(),
+		Understood:  resp.Understood,
+		Relaxed:     resp.UsedRelaxation,
+	})
+}
+
+func (s *Server) conversation(session string) (*dialog.Conversation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if conv, ok := s.sessions[session]; ok {
+		return conv, nil
+	}
+	if len(s.sessions) >= s.MaxSessions {
+		return nil, fmt.Errorf("session table full (%d sessions)", len(s.sessions))
+	}
+	conv, err := s.backend.NewConversation()
+	if err != nil {
+		return nil, fmt.Errorf("creating conversation: %w", err)
+	}
+	s.sessions[session] = conv
+	return conv, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("server: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// RelaxerBackend is a ready-made Backend over the core types, for callers
+// that assembled the pipeline themselves (tests, custom worlds).
+type RelaxerBackend struct {
+	Relaxer      *core.Relaxer
+	Ing          *core.Ingestion
+	Conversation func() (*dialog.Conversation, error)
+}
+
+// Relax implements Backend.
+func (b *RelaxerBackend) Relax(term, ctx string, k int) ([]RelaxResult, error) {
+	var ctxPtr *ontology.Context
+	if ctx != "" {
+		parsed, err := ontology.ParseContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		ctxPtr = &parsed
+	}
+	results, err := b.Relaxer.RelaxTerm(term, ctxPtr, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RelaxResult, 0, len(results))
+	for _, r := range results {
+		concept, _ := b.Ing.Graph.Concept(r.Concept)
+		rr := RelaxResult{Concept: concept.Name, Score: r.Score, Hops: r.Hops}
+		for _, iid := range r.Instances {
+			if inst, ok := b.Ing.Store.Instance(iid); ok {
+				rr.Instances = append(rr.Instances, inst.Name)
+			}
+		}
+		out = append(out, rr)
+	}
+	return out, nil
+}
+
+// NewConversation implements Backend.
+func (b *RelaxerBackend) NewConversation() (*dialog.Conversation, error) {
+	if b.Conversation == nil {
+		return nil, fmt.Errorf("no conversation factory configured")
+	}
+	return b.Conversation()
+}
+
+// Stats implements Backend.
+func (b *RelaxerBackend) Stats() map[string]any {
+	return map[string]any{
+		"eksConcepts":     b.Ing.Graph.Len(),
+		"eksEdges":        b.Ing.Graph.EdgeCount(),
+		"shortcutsAdded":  b.Ing.ShortcutsAdded,
+		"kbInstances":     b.Ing.Store.Len(),
+		"flaggedConcepts": len(b.Ing.Flagged),
+		"contexts":        len(b.Ing.Contexts),
+	}
+}

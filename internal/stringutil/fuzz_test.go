@@ -1,0 +1,68 @@
+package stringutil
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func FuzzNormalize(f *testing.F) {
+	for _, seed := range []string{"", "Fever", "pain, in throat!", "béta-blocker", "a  b\tc", strings.Repeat("x", 300)} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n := Normalize(s)
+		// Idempotent.
+		if Normalize(n) != n {
+			t.Fatalf("Normalize not idempotent on %q -> %q", s, n)
+		}
+		// No leading/trailing/double spaces.
+		if strings.HasPrefix(n, " ") || strings.HasSuffix(n, " ") || strings.Contains(n, "  ") {
+			t.Fatalf("Normalize(%q) = %q has stray spaces", s, n)
+		}
+		// Valid UTF-8 out of valid or invalid input.
+		if !utf8.ValidString(n) {
+			t.Fatalf("Normalize(%q) produced invalid UTF-8", s)
+		}
+	})
+}
+
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{"", "type-2 diabetes", "x'", "--", "ΔFOSB overexpression"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			if strings.ContainsAny(tok, " \t\n") {
+				t.Fatalf("token %q contains whitespace", tok)
+			}
+			if strings.HasPrefix(tok, "-") || strings.HasSuffix(tok, "-") ||
+				strings.HasPrefix(tok, "'") || strings.HasSuffix(tok, "'") {
+				t.Fatalf("token %q has dangling connector", tok)
+			}
+		}
+	})
+}
+
+func FuzzLevenshteinWithin(f *testing.F) {
+	f.Add("kitten", "sitting", 2)
+	f.Add("", "abc", 3)
+	f.Add("same", "same", 0)
+	f.Fuzz(func(t *testing.T, a, b string, maxDist int) {
+		if len(a) > 64 || len(b) > 64 {
+			return
+		}
+		if maxDist < -2 || maxDist > 8 {
+			maxDist %= 8
+		}
+		got := LevenshteinWithin(a, b, maxDist)
+		want := maxDist >= 0 && Levenshtein(a, b) <= maxDist
+		if got != want {
+			t.Fatalf("LevenshteinWithin(%q,%q,%d) = %v, full distance %d", a, b, maxDist, got, Levenshtein(a, b))
+		}
+	})
+}

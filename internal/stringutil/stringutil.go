@@ -1,0 +1,194 @@
+// Package stringutil provides the low-level text primitives shared by the
+// rest of the system: normalization, tokenization, and approximate string
+// distance measures.
+//
+// All matching in medrelax — instance-to-concept mapping, entity mention
+// extraction, corpus counting — funnels through Normalize and Tokenize so
+// that every layer agrees on what "the same string" means.
+package stringutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Normalize canonicalizes a surface form for matching: it lowercases,
+// collapses runs of whitespace, strips surrounding punctuation from tokens,
+// and trims the result. Normalize is idempotent.
+func Normalize(s string) string {
+	tokens := Tokenize(s)
+	return strings.Join(tokens, " ")
+}
+
+// Tokenize splits s into lowercase word tokens. A token is a maximal run of
+// letters, digits, or intra-word hyphens/apostrophes. All other runes
+// separate tokens. Tokenize never returns empty tokens.
+func Tokenize(s string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tok := strings.Trim(b.String(), "-'")
+			if tok != "" {
+				tokens = append(tokens, tok)
+			}
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case r == '-' || r == '\'':
+			// Keep intra-word connectors; Trim above drops dangling ones.
+			if b.Len() > 0 {
+				b.WriteRune(r)
+			}
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Levenshtein returns the edit distance (insertions, deletions,
+// substitutions, each at cost 1) between a and b, computed over runes.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	// Single-row dynamic program.
+	prev := make([]int, len(rb)+1)
+	curr := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		curr[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			curr[j] = min3(prev[j]+1, curr[j-1]+1, prev[j-1]+cost)
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(rb)]
+}
+
+// LevenshteinWithin reports whether the edit distance between a and b is at
+// most maxDist, without computing the full distance when it is not. It runs
+// a banded dynamic program of width 2*maxDist+1, making it much cheaper than
+// Levenshtein for small thresholds over a large lexicon.
+func LevenshteinWithin(a, b string, maxDist int) bool {
+	if maxDist < 0 {
+		return false
+	}
+	ra, rb := []rune(a), []rune(b)
+	if abs(len(ra)-len(rb)) > maxDist {
+		return false
+	}
+	if len(ra) == 0 {
+		return len(rb) <= maxDist
+	}
+	if len(rb) == 0 {
+		return len(ra) <= maxDist
+	}
+	const inf = 1 << 30
+	prev := make([]int, len(rb)+1)
+	curr := make([]int, len(rb)+1)
+	for j := range prev {
+		if j <= maxDist {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= len(ra); i++ {
+		lo := max(1, i-maxDist)
+		hi := min(len(rb), i+maxDist)
+		if lo-1 >= 0 {
+			if i <= maxDist {
+				curr[0] = i
+			} else {
+				curr[0] = inf
+			}
+		}
+		if lo > 1 {
+			curr[lo-1] = inf
+		}
+		rowMin := inf
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			v := prev[j-1] + cost
+			if prev[j]+1 < v {
+				v = prev[j] + 1
+			}
+			if curr[j-1]+1 < v {
+				v = curr[j-1] + 1
+			}
+			curr[j] = v
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		if hi < len(rb) {
+			curr[hi+1] = inf
+		}
+		if rowMin > maxDist {
+			return false
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(rb)] <= maxDist
+}
+
+// TokenJaccard returns the Jaccard similarity of the token sets of a and b,
+// in [0,1]. Two empty strings have similarity 1.
+func TokenJaccard(a, b string) float64 {
+	ta, tb := Tokenize(a), Tokenize(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	set := make(map[string]uint8, len(ta)+len(tb))
+	for _, t := range ta {
+		set[t] |= 1
+	}
+	for _, t := range tb {
+		set[t] |= 2
+	}
+	inter, union := 0, 0
+	for _, m := range set {
+		union++
+		if m == 3 {
+			inter++
+		}
+	}
+	return float64(inter) / float64(union)
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,155 @@
+package synthkb
+
+import (
+	"medrelax/internal/eks"
+)
+
+// This file provides hand-coded fixtures reproducing the exact snippets the
+// paper draws in its figures, so the reproduction can be checked against
+// the paper's own numbers (see EXPERIMENTS.md, "Figures").
+
+// Figure 4 concept IDs: the SNOMED CT snippet with per-context frequencies.
+const (
+	Fig4Root             eks.ConceptID = 1 // clinical finding (stand-in root)
+	Fig4PainHeadNeck     eks.ConceptID = 2 // pain of head and neck region
+	Fig4CraniofacialPain eks.ConceptID = 3 // craniofacial pain
+	Fig4PainInThroat     eks.ConceptID = 4 // pain in throat
+	Fig4Headache         eks.ConceptID = 5 // headache
+	Fig4FrequentHeadache eks.ConceptID = 6 // frequent headache
+)
+
+// Figure-4 context labels.
+const (
+	Fig4CtxIndication = "Indication-hasFinding-Finding"
+	Fig4CtxRisk       = "Risk-hasFinding-Finding"
+)
+
+// Figure4Fixture returns the Figure 4 graph together with the direct
+// per-context mention counts that make the propagated frequencies match the
+// figure: "pain of head and neck region" totals 19164 (= 18878 + 283 + 3)
+// in the Indication context and 1656 in the Risk context, and "craniofacial
+// pain" is the frequency of itself together with that of "headache".
+func Figure4Fixture() (*eks.Graph, map[string]map[eks.ConceptID]float64) {
+	g := eks.New()
+	must := func(err error) {
+		if err != nil {
+			panic("synthkb: figure 4 fixture: " + err.Error())
+		}
+	}
+	concepts := []eks.Concept{
+		{ID: Fig4Root, Name: "clinical finding"},
+		{ID: Fig4PainHeadNeck, Name: "pain of head and neck region"},
+		{ID: Fig4CraniofacialPain, Name: "craniofacial pain"},
+		{ID: Fig4PainInThroat, Name: "pain in throat", Synonyms: []string{"sore throat"}},
+		{ID: Fig4Headache, Name: "headache"},
+		{ID: Fig4FrequentHeadache, Name: "frequent headache"},
+	}
+	for _, c := range concepts {
+		must(g.AddConcept(c))
+	}
+	must(g.AddSubsumption(Fig4PainHeadNeck, Fig4Root))
+	must(g.AddSubsumption(Fig4CraniofacialPain, Fig4PainHeadNeck))
+	must(g.AddSubsumption(Fig4PainInThroat, Fig4PainHeadNeck))
+	must(g.AddSubsumption(Fig4Headache, Fig4CraniofacialPain))
+	must(g.AddSubsumption(Fig4FrequentHeadache, Fig4Headache))
+	must(g.SetRoot(Fig4Root))
+
+	// Direct counts per the figure. Propagation gives:
+	//   headache            = 18000 + 878 (frequent headache)   = 18878
+	//   craniofacial pain   = 0 + 18878                         = 18878
+	//   pain of head & neck = 3 + 18878 + 283                   = 19164
+	// and in the Risk context:
+	//   headache = 1400 + 100 = 1500; craniofacial pain = 1500;
+	//   pain of head & neck = 6 + 1500 + 150 = 1656.
+	direct := map[string]map[eks.ConceptID]float64{
+		Fig4CtxIndication: {
+			Fig4Headache:         18000,
+			Fig4FrequentHeadache: 878,
+			Fig4PainInThroat:     283,
+			Fig4PainHeadNeck:     3,
+		},
+		Fig4CtxRisk: {
+			Fig4Headache:         1400,
+			Fig4FrequentHeadache: 100,
+			Fig4PainInThroat:     150,
+			Fig4PainHeadNeck:     6,
+		},
+	}
+	return g, direct
+}
+
+// Figure 5 concept IDs: the external knowledge source customization
+// example — "chronic kidney disease stage 1 due to hypertension" is 3 hops
+// from "kidney disease", which has a corresponding KB instance; ingestion
+// adds a dashed shortcut edge carrying the original distance.
+const (
+	Fig5Root        eks.ConceptID = 1 // clinical finding
+	Fig5Kidney      eks.ConceptID = 2 // kidney disease        [in KB]
+	Fig5CKD         eks.ConceptID = 3 // chronic kidney disease
+	Fig5CKDStage1   eks.ConceptID = 4 // chronic kidney disease stage 1
+	Fig5CKDStage1HT eks.ConceptID = 5 // ... stage 1 due to hypertension
+)
+
+// Figure5Fixture returns the Figure 5 chain.
+func Figure5Fixture() *eks.Graph {
+	g := eks.New()
+	must := func(err error) {
+		if err != nil {
+			panic("synthkb: figure 5 fixture: " + err.Error())
+		}
+	}
+	concepts := []eks.Concept{
+		{ID: Fig5Root, Name: "clinical finding"},
+		{ID: Fig5Kidney, Name: "kidney disease", Synonyms: []string{"nephropathy"}},
+		{ID: Fig5CKD, Name: "chronic kidney disease"},
+		{ID: Fig5CKDStage1, Name: "chronic kidney disease stage 1"},
+		{ID: Fig5CKDStage1HT, Name: "chronic kidney disease stage 1 due to hypertension"},
+	}
+	for _, c := range concepts {
+		must(g.AddConcept(c))
+	}
+	must(g.AddSubsumption(Fig5Kidney, Fig5Root))
+	must(g.AddSubsumption(Fig5CKD, Fig5Kidney))
+	must(g.AddSubsumption(Fig5CKDStage1, Fig5CKD))
+	must(g.AddSubsumption(Fig5CKDStage1HT, Fig5CKDStage1))
+	must(g.SetRoot(Fig5Root))
+	return g
+}
+
+// Figure 6 concept IDs: the directional path penalty example — pneumonia
+// and lower respiratory tract infection are 4 hops apart; starting from
+// pneumonia the first 3 hops are generalizations, starting from LRTI only
+// the first hop is.
+const (
+	Fig6Root        eks.ConceptID = 1 // disorder of lower respiratory tract
+	Fig6LowerInfl   eks.ConceptID = 2 // inflammation of lower respiratory tract
+	Fig6Pneumonitis eks.ConceptID = 3 // pneumonitis
+	Fig6Pneumonia   eks.ConceptID = 4 // pneumonia
+	Fig6LRTI        eks.ConceptID = 5 // lower respiratory tract infection
+)
+
+// Figure6Fixture returns the Figure 6 snippet.
+func Figure6Fixture() *eks.Graph {
+	g := eks.New()
+	must := func(err error) {
+		if err != nil {
+			panic("synthkb: figure 6 fixture: " + err.Error())
+		}
+	}
+	concepts := []eks.Concept{
+		{ID: Fig6Root, Name: "disorder of lower respiratory tract"},
+		{ID: Fig6LowerInfl, Name: "inflammation of lower respiratory tract"},
+		{ID: Fig6Pneumonitis, Name: "pneumonitis"},
+		{ID: Fig6Pneumonia, Name: "pneumonia"},
+		{ID: Fig6LRTI, Name: "lower respiratory tract infection"},
+	}
+	for _, c := range concepts {
+		must(g.AddConcept(c))
+	}
+	must(g.AddSubsumption(Fig6LowerInfl, Fig6Root))
+	must(g.AddSubsumption(Fig6Pneumonitis, Fig6LowerInfl))
+	must(g.AddSubsumption(Fig6Pneumonia, Fig6Pneumonitis))
+	must(g.AddSubsumption(Fig6LRTI, Fig6Root))
+	must(g.SetRoot(Fig6Root))
+	return g
+}

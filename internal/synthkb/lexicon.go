@@ -1,0 +1,239 @@
+// Package synthkb generates a synthetic, SNOMED-CT-like external knowledge
+// source, standing in for the licensed SNOMED CT the paper uses (see
+// DESIGN.md, substitution table).
+//
+// The generator is deterministic for a fixed seed and produces the
+// structural properties the relaxation algorithms depend on: a rooted
+// multi-parent DAG with deep clinical-finding hierarchies, synonym
+// variation, latent (unregistered) surface variants for the embedding
+// matcher to discover, and planted sibling-antonym pairs such as
+// hyperthermia/hypothermia — the paper's "psychogenic fever" example,
+// where a near neighbour in the taxonomy is clinically opposite.
+//
+// Alongside the graph, the generator exposes per-concept ground-truth
+// attributes (body system, condition type, severity depth, polarity) from
+// which the evaluation oracle derives relevance judgments.
+package synthkb
+
+// bodySystem describes one organ system with the organ nouns and
+// adjective/noun synonym pairs used to assemble condition names.
+type bodySystem struct {
+	Name string
+	// Organs are the site nouns conditions attach to.
+	Organs []string
+	// Adjective is the system-level adjective ("respiratory").
+	Adjective string
+	// SynonymPairs maps a token to an interchangeable token
+	// ("renal" -> "kidney"); used both for registered synonyms and for
+	// latent variants.
+	SynonymPairs map[string]string
+}
+
+var bodySystems = []bodySystem{
+	{
+		Name: "respiratory", Adjective: "respiratory",
+		Organs:       []string{"lung", "bronchus", "trachea", "pleura", "larynx", "sinus", "airway"},
+		SynonymPairs: map[string]string{"lung": "pulmonary", "bronchus": "bronchial"},
+	},
+	{
+		Name: "cardiovascular", Adjective: "cardiovascular",
+		Organs:       []string{"heart", "aorta", "artery", "vein", "myocardium", "pericardium", "valve"},
+		SynonymPairs: map[string]string{"heart": "cardiac", "myocardium": "myocardial"},
+	},
+	{
+		Name: "renal", Adjective: "renal",
+		Organs:       []string{"kidney", "ureter", "bladder", "urethra", "glomerulus", "nephron"},
+		SynonymPairs: map[string]string{"kidney": "renal", "bladder": "vesical"},
+	},
+	{
+		Name: "neurological", Adjective: "neurological",
+		Organs:       []string{"brain", "spinal cord", "nerve", "meninges", "cerebellum", "cortex"},
+		SynonymPairs: map[string]string{"brain": "cerebral", "nerve": "neural"},
+	},
+	{
+		Name: "gastrointestinal", Adjective: "gastrointestinal",
+		Organs:       []string{"stomach", "liver", "pancreas", "colon", "esophagus", "intestine", "gallbladder"},
+		SynonymPairs: map[string]string{"stomach": "gastric", "liver": "hepatic", "colon": "colonic"},
+	},
+	{
+		Name: "dermatological", Adjective: "dermatological",
+		Organs:       []string{"skin", "dermis", "epidermis", "hair follicle", "nail", "sweat gland"},
+		SynonymPairs: map[string]string{"skin": "cutaneous", "dermis": "dermal"},
+	},
+	{
+		Name: "musculoskeletal", Adjective: "musculoskeletal",
+		Organs:       []string{"bone", "joint", "muscle", "tendon", "ligament", "cartilage", "vertebra"},
+		SynonymPairs: map[string]string{"bone": "osseous", "joint": "articular", "muscle": "muscular"},
+	},
+	{
+		Name: "endocrine", Adjective: "endocrine",
+		Organs:       []string{"thyroid", "adrenal gland", "pituitary", "pancreatic islet", "parathyroid"},
+		SynonymPairs: map[string]string{"thyroid": "thyroidal"},
+	},
+	{
+		Name: "hematologic", Adjective: "hematologic",
+		Organs:       []string{"blood", "bone marrow", "platelet", "erythrocyte", "leukocyte", "plasma"},
+		SynonymPairs: map[string]string{"blood": "hematic", "erythrocyte": "red cell"},
+	},
+	{
+		Name: "ophthalmic", Adjective: "ophthalmic",
+		Organs:       []string{"eye", "retina", "cornea", "lens", "optic nerve", "conjunctiva"},
+		SynonymPairs: map[string]string{"eye": "ocular", "retina": "retinal"},
+	},
+	{
+		Name: "otolaryngologic", Adjective: "otolaryngologic",
+		Organs:       []string{"ear", "middle ear", "eardrum", "cochlea", "tonsil", "vocal cord"},
+		SynonymPairs: map[string]string{"ear": "auricular", "eardrum": "tympanic membrane"},
+	},
+	{
+		Name: "immunologic", Adjective: "immunologic",
+		Organs:       []string{"lymph node", "spleen", "thymus", "antibody", "immune system"},
+		SynonymPairs: map[string]string{"lymph node": "lymphatic gland", "spleen": "splenic tissue"},
+	},
+}
+
+// conditionType is a pathological process with the noun used in assembled
+// names and a relatedness ring: types listed in Related are clinically
+// adjacent (an infection relates to inflammation, not to a neoplasm).
+type conditionType struct {
+	Name    string
+	Noun    string
+	Related []string
+}
+
+var conditionTypes = []conditionType{
+	{Name: "infection", Noun: "infection", Related: []string{"inflammation", "abscess"}},
+	{Name: "inflammation", Noun: "inflammation", Related: []string{"infection", "pain"}},
+	{Name: "neoplasm", Noun: "neoplasm", Related: []string{"cyst"}},
+	{Name: "pain", Noun: "pain", Related: []string{"inflammation", "injury"}},
+	{Name: "injury", Noun: "injury", Related: []string{"pain", "hemorrhage"}},
+	{Name: "obstruction", Noun: "obstruction", Related: []string{"stenosis"}},
+	{Name: "insufficiency", Noun: "insufficiency", Related: []string{"degeneration"}},
+	{Name: "degeneration", Noun: "degeneration", Related: []string{"insufficiency"}},
+	{Name: "hemorrhage", Noun: "hemorrhage", Related: []string{"injury"}},
+	{Name: "stenosis", Noun: "stenosis", Related: []string{"obstruction"}},
+	{Name: "abscess", Noun: "abscess", Related: []string{"infection"}},
+	{Name: "cyst", Noun: "cyst", Related: []string{"neoplasm"}},
+}
+
+// RelatedTypes reports whether two condition types are clinically adjacent
+// in the generator's ground truth: identical types are always related, and
+// otherwise the relation follows the Related ring of the type lexicon
+// (symmetrically). The evaluation oracle uses this to judge relevance.
+func RelatedTypes(a, b string) bool {
+	if a == b {
+		return true
+	}
+	for _, ct := range conditionTypes {
+		if ct.Name == a {
+			for _, r := range ct.Related {
+				if r == b {
+					return true
+				}
+			}
+		}
+		if ct.Name == b {
+			for _, r := range ct.Related {
+				if r == a {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// severityModifiers produce modified children of a base condition.
+var severityModifiers = []string{"acute", "chronic", "severe", "mild", "recurrent"}
+
+// stageModifiers produce a second modification level for chronic conditions.
+var stageModifiers = []string{"stage 1", "stage 2", "stage 3"}
+
+// antonymStem plants a hyper/hypo sibling pair under a system's disorder
+// node. The two concepts are near neighbours in the taxonomy but
+// clinically opposite; the oracle treats cross-polarity pairs as
+// irrelevant, reproducing the paper's hyperpyrexia/hypothermia example.
+type antonymStem struct {
+	Stem    string
+	System  string
+	Synonym map[int]string // optional synonyms per polarity: +1 / -1
+}
+
+var antonymStems = []antonymStem{
+	{Stem: "thermia", System: "neurological", Synonym: map[int]string{+1: "hyperpyrexia", -1: "low body temperature"}},
+	{Stem: "tension", System: "cardiovascular", Synonym: map[int]string{+1: "high blood pressure", -1: "low blood pressure"}},
+	{Stem: "glycemia", System: "endocrine", Synonym: map[int]string{+1: "high blood sugar", -1: "low blood sugar"}},
+	{Stem: "kalemia", System: "renal"},
+	{Stem: "natremia", System: "renal"},
+	{Stem: "thyroidism", System: "endocrine"},
+	{Stem: "calcemia", System: "endocrine"},
+	{Stem: "volemia", System: "hematologic"},
+}
+
+// curatedFindings are hand-picked real condition names that anchor the
+// synthetic hierarchy to the paper's running examples; they are attached
+// under the matching (system, type) node.
+type curatedFinding struct {
+	Name     string
+	System   string
+	Type     string
+	Synonyms []string
+	// Latent variants: surface forms NOT registered as synonyms; the
+	// embedding matcher has to discover them from corpus context.
+	Latent []string
+}
+
+var curatedFindings = []curatedFinding{
+	{Name: "pneumonia", System: "respiratory", Type: "infection", Synonyms: []string{"lung infection"}},
+	{Name: "bronchitis", System: "respiratory", Type: "inflammation"},
+	{Name: "pertussis", System: "respiratory", Type: "infection", Synonyms: []string{"whooping cough"}},
+	{Name: "asthma", System: "respiratory", Type: "obstruction", Latent: []string{"reactive airway disease"}},
+	{Name: "headache", System: "neurological", Type: "pain", Synonyms: []string{"cephalalgia"}, Latent: []string{"head pain"}},
+	{Name: "migraine", System: "neurological", Type: "pain"},
+	{Name: "fever", System: "neurological", Type: "inflammation", Synonyms: []string{"pyrexia"}, Latent: []string{"elevated temperature"}},
+	{Name: "kidney disease", System: "renal", Type: "degeneration", Synonyms: []string{"nephropathy"}, Latent: []string{"renal disease"}},
+	{Name: "renal impairment", System: "renal", Type: "insufficiency", Latent: []string{"kidney impairment"}},
+	{Name: "pyelectasia", System: "renal", Type: "obstruction"},
+	{Name: "hepatitis", System: "gastrointestinal", Type: "inflammation", Synonyms: []string{"liver inflammation"}},
+	{Name: "gastritis", System: "gastrointestinal", Type: "inflammation", Latent: []string{"stomach inflammation"}},
+	{Name: "myocardial infarction", System: "cardiovascular", Type: "injury", Synonyms: []string{"heart attack"}},
+	{Name: "arrhythmia", System: "cardiovascular", Type: "degeneration", Latent: []string{"irregular heartbeat"}},
+	{Name: "anemia", System: "hematologic", Type: "insufficiency", Latent: []string{"low red cell count"}},
+	{Name: "thrombocytopenia", System: "hematologic", Type: "insufficiency", Synonyms: []string{"low platelet count"}},
+	{Name: "dermatitis", System: "dermatological", Type: "inflammation", Synonyms: []string{"skin inflammation"}},
+	{Name: "urticaria", System: "dermatological", Type: "inflammation", Synonyms: []string{"hives"}},
+	{Name: "arthritis", System: "musculoskeletal", Type: "inflammation", Latent: []string{"joint inflammation"}},
+	{Name: "osteoporosis", System: "musculoskeletal", Type: "degeneration"},
+	{Name: "conjunctivitis", System: "ophthalmic", Type: "inflammation", Synonyms: []string{"pink eye"}},
+	{Name: "glaucoma", System: "ophthalmic", Type: "degeneration"},
+	{Name: "diabetes", System: "endocrine", Type: "insufficiency", Latent: []string{"diabetes mellitus"}},
+	{Name: "pancreatitis", System: "gastrointestinal", Type: "inflammation"},
+	{Name: "otitis media", System: "otolaryngologic", Type: "infection", Synonyms: []string{"middle ear infection"}, Latent: []string{"ear infection"}},
+	{Name: "tonsillitis", System: "otolaryngologic", Type: "inflammation"},
+	{Name: "tinnitus", System: "otolaryngologic", Type: "degeneration", Latent: []string{"ringing in the ears"}},
+	{Name: "lymphadenopathy", System: "immunologic", Type: "inflammation", Synonyms: []string{"swollen lymph nodes"}},
+	{Name: "anaphylaxis", System: "immunologic", Type: "injury", Latent: []string{"severe allergic reaction"}},
+	{Name: "stroke", System: "neurological", Type: "injury", Synonyms: []string{"cerebrovascular accident"}, Latent: []string{"brain attack"}},
+	{Name: "epilepsy", System: "neurological", Type: "degeneration", Synonyms: []string{"seizure disorder"}},
+	{Name: "cystitis", System: "renal", Type: "infection", Synonyms: []string{"bladder infection"}, Latent: []string{"urinary tract infection"}},
+	{Name: "eczema", System: "dermatological", Type: "inflammation", Synonyms: []string{"atopic dermatitis"}},
+	{Name: "psoriasis", System: "dermatological", Type: "degeneration"},
+	{Name: "gout", System: "musculoskeletal", Type: "inflammation", Latent: []string{"uric acid arthritis"}},
+	{Name: "leukemia", System: "hematologic", Type: "neoplasm", Latent: []string{"blood cancer"}},
+	{Name: "angina", System: "cardiovascular", Type: "pain", Synonyms: []string{"chest pain"}},
+	{Name: "atherosclerosis", System: "cardiovascular", Type: "obstruction", Latent: []string{"hardening of the arteries"}},
+}
+
+// drugClasses seed a small pharmaceutical hierarchy so that drug terms can
+// be mapped into the EKS as well.
+var drugClasses = []struct {
+	Name    string
+	Members []string
+}{
+	{Name: "antibiotic agent", Members: []string{"amoxicillin", "azithromycin", "ciprofloxacin", "doxycycline", "cephalexin"}},
+	{Name: "analgesic agent", Members: []string{"ibuprofen", "acetaminophen", "naproxen", "aspirin", "celecoxib"}},
+	{Name: "antihypertensive agent", Members: []string{"lisinopril", "amlodipine", "losartan", "metoprolol", "hydrochlorothiazide"}},
+	{Name: "antidiabetic agent", Members: []string{"metformin", "glipizide", "insulin glargine", "sitagliptin"}},
+	{Name: "anticoagulant agent", Members: []string{"warfarin", "heparin", "apixaban", "rivaroxaban"}},
+	{Name: "corticosteroid agent", Members: []string{"prednisone", "dexamethasone", "hydrocortisone", "budesonide"}},
+}
