@@ -1,0 +1,195 @@
+// Command relaxbench measures the online-phase serving performance — the
+// workloads of BenchmarkRelaxLatency / BenchmarkRelaxParallel /
+// BenchmarkSubsumerDistances — and records the numbers as JSON, so
+// optimization work has a checked-in before/after record.
+//
+// Besides the lock-free parallel run it also measures the same workload
+// serialized behind one global mutex: that is the serving model the server
+// used before the relaxation pipeline became safe for concurrent use, so
+// the serialized/parallel ratio isolates the concurrency win from
+// single-thread kernel wins. On a single-core machine the two coincide.
+//
+//	go run ./cmd/relaxbench -out BENCH_relax.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"medrelax"
+	"medrelax/internal/eks"
+	"medrelax/internal/eval"
+	"medrelax/internal/synthkb"
+)
+
+// Measurement is one benchmark row.
+type Measurement struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"nsPerOp"`
+	AllocsOp int64   `json:"allocsPerOp"`
+	BytesOp  int64   `json:"bytesPerOp"`
+	Ops      int     `json:"ops"`
+}
+
+// Report is the BENCH_relax.json document.
+type Report struct {
+	Date         string        `json:"date"`
+	GOOS         string        `json:"goos"`
+	GOARCH       string        `json:"goarch"`
+	CPUs         int           `json:"cpus"`
+	GoVersion    string        `json:"goVersion"`
+	Measurements []Measurement `json:"measurements"`
+	// ParallelSpeedup is serialized ns/op over lock-free parallel ns/op:
+	// the throughput multiple the lock-free /relax path gains over the old
+	// global-mutex serving model on this machine. Bounded by core count.
+	ParallelSpeedup float64 `json:"parallelSpeedup"`
+}
+
+func row(name string, r testing.BenchmarkResult) Measurement {
+	return Measurement{
+		Name:     name,
+		NsPerOp:  float64(r.NsPerOp()),
+		AllocsOp: r.AllocsPerOp(),
+		BytesOp:  r.AllocedBytesPerOp(),
+		Ops:      r.N,
+	}
+}
+
+func growGraph(w *synthkb.World, target int) error {
+	g := w.Graph
+	next := eks.ConceptID(1)
+	for _, id := range g.ConceptIDs() {
+		if id >= next {
+			next = id + 1
+		}
+	}
+	for i := 0; g.Len() < target; i++ {
+		parent := w.Findings[i%len(w.Findings)]
+		if err := g.AddConcept(eks.Concept{ID: next, Name: fmt.Sprintf("variant %d of %d", i, parent)}); err != nil {
+			return err
+		}
+		if err := g.AddSubsumption(next, parent); err != nil {
+			return err
+		}
+		next++
+	}
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_relax.json", "output JSON path")
+	large := flag.Bool("large", true, "include the 10^5-concept kernel benchmark")
+	flag.Parse()
+
+	log.Printf("building system (seed %d)...", medrelax.DefaultConfig().Seed)
+	sys, err := medrelax.Build(medrelax.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := eval.SelectQueries(sys.Med, sys.Oracle, 32)
+	if len(queries) == 0 {
+		log.Fatal("no queries selected")
+	}
+
+	rep := Report{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+
+	log.Print("measuring serial latency...")
+	serial := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			sys.Relaxer.RelaxConcept(q.Concept, q.Ctx, 10)
+		}
+	})
+	rep.Measurements = append(rep.Measurements, row("relax_latency", serial))
+
+	log.Print("measuring serialized (global-mutex) parallel throughput...")
+	var mu sync.Mutex
+	serialized := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				q := queries[i%len(queries)]
+				mu.Lock()
+				sys.Relaxer.RelaxConcept(q.Concept, q.Ctx, 10)
+				mu.Unlock()
+				i++
+			}
+		})
+	})
+	rep.Measurements = append(rep.Measurements, row("relax_parallel_serialized_baseline", serialized))
+
+	log.Print("measuring lock-free parallel throughput...")
+	parallel := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				q := queries[i%len(queries)]
+				sys.Relaxer.RelaxConcept(q.Concept, q.Ctx, 10)
+				i++
+			}
+		})
+	})
+	rep.Measurements = append(rep.Measurements, row("relax_parallel_lockfree", parallel))
+	if p := parallel.NsPerOp(); p > 0 {
+		rep.ParallelSpeedup = float64(serialized.NsPerOp()) / float64(p)
+	}
+
+	sizes := []int{1_000, 10_000}
+	if *large {
+		sizes = append(sizes, 100_000)
+	}
+	for _, n := range sizes {
+		cpp := 1
+		if n > 2000 {
+			cpp = 20
+		}
+		w, err := synthkb.Generate(synthkb.Config{Seed: 42, ConditionsPerPair: cpp})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := growGraph(w, n); err != nil {
+			log.Fatal(err)
+		}
+		g := w.Graph
+		g.Freeze()
+		ids := g.ConceptIDs()
+		log.Printf("measuring dense kernel at %d concepts...", g.Len())
+		kernel := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.SubsumerDistances(ids[(i*37)%len(ids)])
+			}
+		})
+		rep.Measurements = append(rep.Measurements, row(fmt.Sprintf("subsumer_distances_n%d", n), kernel))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+	for _, m := range rep.Measurements {
+		fmt.Printf("%-36s %12.0f ns/op %8d B/op %6d allocs/op\n", m.Name, m.NsPerOp, m.BytesOp, m.AllocsOp)
+	}
+	fmt.Printf("parallel speedup over serialized baseline: %.2fx (on %d CPUs)\n", rep.ParallelSpeedup, rep.CPUs)
+}

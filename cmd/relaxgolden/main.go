@@ -1,0 +1,49 @@
+// Command relaxgolden pins the ranked relaxation output of the default
+// system for a deterministic query set: each query's full ranked candidate
+// list (and its k=10 prefix) is canonically serialized and SHA-256 hashed.
+// The summaries are committed as testdata/relax_golden.json and asserted by
+// TestRelaxMatchesGolden, so any change to concept order, score bits, hop
+// counts or instance lists across performance refactors fails the test.
+//
+// Usage:
+//
+//	go run ./cmd/relaxgolden -out testdata/relax_golden.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"medrelax"
+	"medrelax/internal/eval"
+)
+
+func main() {
+	out := flag.String("out", "testdata/relax_golden.json", "output path")
+	n := flag.Int("n", 40, "number of queries")
+	flag.Parse()
+
+	sys, err := medrelax.Build(medrelax.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "relaxgolden:", err)
+		os.Exit(1)
+	}
+	entries := medrelax.GoldenEntries(sys, eval.SelectQueries(sys.Med, sys.Oracle, *n))
+	summaries, err := medrelax.Summarize(entries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "relaxgolden:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(summaries, "", " ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "relaxgolden:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "relaxgolden:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("relaxgolden: wrote %d summaries to %s\n", len(summaries), *out)
+}

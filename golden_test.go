@@ -1,0 +1,53 @@
+package medrelax
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"medrelax/internal/eval"
+)
+
+// TestRelaxMatchesGolden asserts that the online phase's ranked output —
+// concept order, score bits, hop counts, instance lists — is identical to
+// the pinned output in testdata/relax_golden.json, which was generated with
+// the original map-based graph kernel and serialized similarity evaluator.
+// Any optimization that changes results fails here. Regenerate (only after
+// an intentional semantic change) with:
+//
+//	go run ./cmd/relaxgolden -out testdata/relax_golden.json
+func TestRelaxMatchesGolden(t *testing.T) {
+	data, err := os.ReadFile("testdata/relax_golden.json")
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	var want []GoldenSummary
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parsing golden file: %v", err)
+	}
+
+	sys := sharedSystem(t)
+	entries := GoldenEntries(sys, eval.SelectQueries(sys.Med, sys.Oracle, len(want)))
+	got, err := Summarize(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d summaries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Term != w.Term || g.Concept != w.Concept || g.Context != w.Context {
+			t.Errorf("query %d: identity mismatch: got (%q, %d, %q), want (%q, %d, %q)",
+				i, g.Term, g.Concept, g.Context, w.Term, w.Concept, w.Context)
+			continue
+		}
+		if g.RankedLen != w.RankedLen || g.TopKLen != w.TopKLen {
+			t.Errorf("query %d (%q): result counts changed: ranked %d->%d, topk %d->%d",
+				i, w.Term, w.RankedLen, g.RankedLen, w.TopKLen, g.TopKLen)
+		}
+		if g.Hash != w.Hash {
+			t.Errorf("query %d (%q): ranked output diverged from the pinned seed implementation", i, w.Term)
+		}
+	}
+}

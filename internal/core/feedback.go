@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"slices"
 	"sync"
 
 	"medrelax/internal/eks"
@@ -124,12 +125,15 @@ func (f *FeedbackStore) Rerank(query eks.ConceptID, ctx *ontology.Context, resul
 }
 
 func sortResults(results []Result) {
-	// Insertion sort keeps this dependency-free and is fine at top-k sizes.
-	for i := 1; i < len(results); i++ {
-		for j := i; j > 0 && less(results[j], results[j-1]); j-- {
-			results[j], results[j-1] = results[j-1], results[j]
+	slices.SortFunc(results, func(a, b Result) int {
+		if less(a, b) {
+			return -1
 		}
-	}
+		if less(b, a) {
+			return 1
+		}
+		return 0
+	})
 }
 
 func less(a, b Result) bool {

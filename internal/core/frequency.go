@@ -18,6 +18,7 @@ package core
 
 import (
 	"math"
+	"slices"
 
 	"medrelax/internal/corpus"
 	"medrelax/internal/eks"
@@ -306,11 +307,7 @@ func RestoreFrequencyTable(snap FrequencySnapshot) (*FrequencyTable, error) {
 }
 
 func sortStrings(xs []string) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
+	slices.Sort(xs)
 }
 
 // IC returns the information content of the concept under the query

@@ -142,6 +142,9 @@ func Ingest(o *ontology.Ontology, store *kb.Store, g *eks.Graph, corp *corpus.Co
 			ing.ShortcutsAdded++
 		}
 	}
+	// The graph's structure is final: freeze the dense traversal index now
+	// so the first online query does not pay the build.
+	g.Freeze()
 	return ing, nil
 }
 

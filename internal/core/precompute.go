@@ -1,7 +1,9 @@
 package core
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"medrelax/internal/eks"
 	"medrelax/internal/ontology"
@@ -32,6 +34,11 @@ type PrecomputeOptions struct {
 	// Contexts are the query contexts to precompute for; a nil-context
 	// (context-free) entry is always included.
 	Contexts []ontology.Context
+	// Workers is the number of goroutines ranking query concepts in
+	// parallel; 0 means GOMAXPROCS. The build is deterministic regardless:
+	// each worker owns disjoint query concepts and the shared similarity
+	// evaluator is safe for concurrent use.
+	Workers int
 }
 
 func (o PrecomputeOptions) withDefaults() PrecomputeOptions {
@@ -73,16 +80,46 @@ func Precompute(ing *Ingestion, sim *Similarity, opts PrecomputeOptions) *Precom
 		ctxs = append(ctxs, &opts.Contexts[i])
 	}
 
-	for _, q := range queries {
-		byCtx := make(map[string][]Result, len(ctxs))
-		for _, ctx := range ctxs {
-			ranked := relaxer.RankedCandidates(q, ctx)
-			if len(ranked) > opts.MaxPerQuery {
-				ranked = ranked[:opts.MaxPerQuery]
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Each slot is written by exactly one worker; entries are assembled
+	// after the barrier so the map itself is never shared while hot.
+	built := make([]map[string][]Result, len(queries))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				q := queries[i]
+				byCtx := make(map[string][]Result, len(ctxs))
+				for _, ctx := range ctxs {
+					ranked := relaxer.RankedCandidates(q, ctx)
+					if len(ranked) > opts.MaxPerQuery {
+						ranked = ranked[:opts.MaxPerQuery]
+					}
+					byCtx[ctxKey(ctx)] = ranked
+				}
+				built[i] = byCtx
 			}
-			byCtx[ctxKey(ctx)] = ranked
-		}
-		p.entries[q] = byCtx
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, q := range queries {
+		p.entries[q] = built[i]
 	}
 	return p
 }
@@ -142,14 +179,5 @@ func (r *CachedRelaxer) RelaxConcept(q eks.ConceptID, ctx *ontology.Context, k i
 	if k <= 0 {
 		return ranked
 	}
-	var out []Result
-	instances := 0
-	for _, res := range ranked {
-		if instances >= k {
-			break
-		}
-		out = append(out, res)
-		instances += len(res.Instances)
-	}
-	return out
+	return takeForKInstances(ranked, k)
 }

@@ -91,14 +91,25 @@ func (r *Relaxer) RelaxConcept(q eks.ConceptID, ctx *ontology.Context, k int) []
 	if k <= 0 {
 		return ranked
 	}
+	return takeForKInstances(ranked, k)
+}
+
+// takeForKInstances keeps consuming ranked candidates until at least k
+// distinct KB instances are collected (or candidates run out). Instances
+// are deduplicated across candidates with the same semantics as
+// TopKInstances, so an instance reachable through several candidate
+// concepts is counted once.
+func takeForKInstances(ranked []Result, k int) []Result {
 	var out []Result
-	instances := 0
+	seen := make(map[kb.InstanceID]bool, k)
 	for _, res := range ranked {
-		if instances >= k {
+		if len(seen) >= k {
 			break
 		}
 		out = append(out, res)
-		instances += len(res.Instances)
+		for _, id := range res.Instances {
+			seen[id] = true
+		}
 	}
 	return out
 }
@@ -141,12 +152,18 @@ func (r *Relaxer) rankedCandidatesTarget(q eks.ConceptID, ctx *ontology.Context,
 	return out
 }
 
+// instanceCount counts the distinct KB instances reachable through the
+// candidate set. Deduplication matches TopKInstances: an instance mapped to
+// several candidate concepts contributes once, so dynamic-radius growth
+// stops exactly when k distinct results are reachable.
 func (r *Relaxer) instanceCount(cands []eks.Neighbor) int {
-	n := 0
+	seen := make(map[kb.InstanceID]bool)
 	for _, nb := range cands {
-		n += len(r.ing.InstancesFor[nb.ID])
+		for _, id := range r.ing.InstancesFor[nb.ID] {
+			seen[id] = true
+		}
 	}
-	return n
+	return len(seen)
 }
 
 // defaultCandidateTarget is the dynamic-radius growth target when the

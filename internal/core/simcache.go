@@ -1,0 +1,135 @@
+package core
+
+import (
+	"sync"
+
+	"medrelax/internal/eks"
+)
+
+// subsumerCache is a bounded, sharded LRU of subsumer-distance vectors
+// keyed by concept. It replaces the Similarity type's old single-entry
+// last-query cache: shards keep lock contention low under concurrent
+// relaxation, and the LRU bound keeps memory flat no matter how many
+// distinct query and candidate concepts a serving process sees.
+//
+// The zero value is ready to use; vectors are immutable so hits are shared
+// between goroutines without copying.
+type subsumerCache struct {
+	shards [subsumerCacheShards]vecShard
+}
+
+const (
+	// subsumerCacheShards spreads concepts over independently locked
+	// shards; must be a power of two.
+	subsumerCacheShards = 16
+	// subsumerShardCap bounds each shard's entry count, ~4k vectors in
+	// total — enough to hold every flagged concept of the paper-scale
+	// worlds while staying bounded on larger ones.
+	subsumerShardCap = 256
+)
+
+func (c *subsumerCache) shard(id eks.ConceptID) *vecShard {
+	return &c.shards[uint64(id)&(subsumerCacheShards-1)]
+}
+
+// get returns the cached vector for id, marking it most recently used.
+func (c *subsumerCache) get(id eks.ConceptID) (eks.SubsumerVec, bool) {
+	return c.shard(id).get(id)
+}
+
+// put inserts the vector for id, evicting the shard's least recently used
+// entry when full.
+func (c *subsumerCache) put(id eks.ConceptID, v eks.SubsumerVec) {
+	c.shard(id).put(id, v)
+}
+
+// vecShard is one lock's worth of the cache: a map for lookup plus an
+// intrusive doubly-linked list in recency order (head = most recent).
+type vecShard struct {
+	mu         sync.Mutex
+	m          map[eks.ConceptID]*vecEntry
+	head, tail *vecEntry
+}
+
+type vecEntry struct {
+	key        eks.ConceptID
+	vec        eks.SubsumerVec
+	prev, next *vecEntry
+}
+
+func (s *vecShard) get(id eks.ConceptID) (eks.SubsumerVec, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[id]
+	if !ok {
+		return eks.SubsumerVec{}, false
+	}
+	s.moveToFront(e)
+	return e.vec, true
+}
+
+func (s *vecShard) put(id eks.ConceptID, v eks.SubsumerVec) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[id]; ok {
+		e.vec = v
+		s.moveToFront(e)
+		return
+	}
+	if s.m == nil {
+		s.m = make(map[eks.ConceptID]*vecEntry, subsumerShardCap)
+	}
+	e := &vecEntry{key: id, vec: v}
+	s.m[id] = e
+	s.pushFront(e)
+	if len(s.m) > subsumerShardCap {
+		evict := s.tail
+		s.unlink(evict)
+		delete(s.m, evict.key)
+	}
+}
+
+func (s *vecShard) pushFront(e *vecEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *vecShard) unlink(e *vecEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *vecShard) moveToFront(e *vecEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// len reports the total number of cached vectors (for tests).
+func (c *subsumerCache) len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}

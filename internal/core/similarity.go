@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"math"
+	"slices"
+	"sync"
 
 	"medrelax/internal/eks"
 	"medrelax/internal/ontology"
@@ -71,8 +73,11 @@ type ICSource interface {
 // reused across every candidate, which keeps online relaxation at
 // Θ(N log N) per query as the paper's complexity analysis assumes.
 //
-// Similarity is not safe for concurrent use: it caches the subsumer
-// distances of the most recent query concept.
+// Similarity is safe for concurrent use once the graph has stopped
+// mutating: subsumer-distance vectors are kept in a bounded, sharded LRU
+// shared by all goroutines, and per-query scratch state comes from a
+// sync.Pool. (Mutating the exported fields while queries run is not safe,
+// as usual.)
 type Similarity struct {
 	Graph    *eks.Graph
 	IC       ICSource
@@ -82,9 +87,10 @@ type Similarity struct {
 	// the plain IC similarity — the paper's IC baseline.
 	UsePathWeight bool
 
-	// Per-query cache: subsumer distances of the last query concept.
-	cachedQuery eks.ConceptID
-	cachedUp    map[eks.ConceptID]int
+	// vecs caches subsumer-distance vectors of recently seen concepts —
+	// query concepts and candidates alike, since Equation 5 needs both
+	// endpoints' subsumer sets.
+	vecs subsumerCache
 }
 
 // NewSimilarity returns the full measure (path weight enabled, default
@@ -93,36 +99,45 @@ func NewSimilarity(g *eks.Graph, ic ICSource, o *ontology.Ontology) *Similarity 
 	return &Similarity{Graph: g, IC: ic, Ontology: o, Weights: DefaultPathWeights(), UsePathWeight: true}
 }
 
-// subsumers returns SubsumerDistances(a), caching the most recent query.
-func (s *Similarity) subsumers(a eks.ConceptID) map[eks.ConceptID]int {
-	if s.cachedUp != nil && s.cachedQuery == a {
-		return s.cachedUp
+// subsumerVec returns the subsumer-distance vector of a through the shared
+// LRU. ok is false for an unknown concept.
+func (s *Similarity) subsumerVec(a eks.ConceptID) (eks.SubsumerVec, bool) {
+	if v, ok := s.vecs.get(a); ok {
+		return v, true
 	}
-	s.cachedQuery = a
-	s.cachedUp = s.Graph.SubsumerDistances(a)
-	return s.cachedUp
+	v, ok := s.Graph.SubsumerVec(a)
+	if !ok {
+		return eks.SubsumerVec{}, false
+	}
+	s.vecs.put(a, v)
+	return v, true
 }
 
+// meetScratch is the per-query scratch of canonicalMeet, pooled so the hot
+// path does not allocate a tied-LCS slice per candidate.
+type meetScratch struct {
+	ids []eks.ConceptID
+}
+
+var meetPool = sync.Pool{New: func() any { return &meetScratch{} }}
+
 // canonicalMeet finds the common subsumers of a and b minimizing the
-// combined distance, returning the tied set (sorted), the generalization
-// hop count dist(a, c) and specialization hop count dist(b, c) of the
-// canonical path through the deterministic representative (minimal up-hops,
-// then minimal ID). ok is false when a and b share no subsumer.
-func (s *Similarity) canonicalMeet(a, b eks.ConceptID) (lcs []eks.ConceptID, gen, spec int, ok bool) {
-	ua := s.subsumers(a)
-	ub := s.Graph.SubsumerDistances(b)
-	if ua == nil || ub == nil {
+// combined distance, filling scratch.ids with the tied set (ascending), and
+// returning the generalization hop count dist(a, c) and specialization hop
+// count dist(b, c) of the canonical path through the deterministic
+// representative (minimal up-hops, then minimal ID). ok is false when a and
+// b share no subsumer.
+func (s *Similarity) canonicalMeet(a, b eks.ConceptID, scratch *meetScratch) (lcs []eks.ConceptID, gen, spec int, ok bool) {
+	va, oka := s.subsumerVec(a)
+	vb, okb := s.subsumerVec(b)
+	if !oka || !okb {
 		return nil, 0, 0, false
 	}
 	best := -1
-	var ids []eks.ConceptID
+	ids := scratch.ids[:0]
 	repGen, repSpec := 0, 0
 	var rep eks.ConceptID
-	for c, da := range ua {
-		db, shared := ub[c]
-		if !shared {
-			continue
-		}
+	eks.CommonSubsumers(va, vb, func(c eks.ConceptID, da, db int) {
 		sum := da + db
 		switch {
 		case best == -1 || sum < best:
@@ -136,11 +151,13 @@ func (s *Similarity) canonicalMeet(a, b eks.ConceptID) (lcs []eks.ConceptID, gen
 				rep, repGen, repSpec = c, da, db
 			}
 		}
-	}
+	})
+	scratch.ids = ids
 	if best == -1 {
 		return nil, 0, 0, false
 	}
-	sortConceptIDs(ids)
+	// The merge join visits concepts in ascending ID order, so the tied set
+	// is already sorted.
 	return ids, repGen, repSpec, true
 }
 
@@ -156,7 +173,9 @@ func (s *Similarity) SimIC(a, b eks.ConceptID, ctx *ontology.Context) float64 {
 	if a == b {
 		return 1
 	}
-	lcs, _, _, ok := s.canonicalMeet(a, b)
+	scratch := meetPool.Get().(*meetScratch)
+	defer meetPool.Put(scratch)
+	lcs, _, _, ok := s.canonicalMeet(a, b, scratch)
 	if !ok {
 		return 0
 	}
@@ -191,7 +210,9 @@ func (s *Similarity) Sim(a, b eks.ConceptID, ctx *ontology.Context) float64 {
 	if a == b {
 		return 1
 	}
-	lcs, gen, spec, ok := s.canonicalMeet(a, b)
+	scratch := meetPool.Get().(*meetScratch)
+	defer meetPool.Put(scratch)
+	lcs, gen, spec, ok := s.canonicalMeet(a, b, scratch)
 	if !ok {
 		return 0
 	}
@@ -199,28 +220,28 @@ func (s *Similarity) Sim(a, b eks.ConceptID, ctx *ontology.Context) float64 {
 	if !s.UsePathWeight {
 		return ic
 	}
-	return s.Weights.PathWeight(canonicalPath(gen, spec)) * ic
+	return canonicalPathWeight(s.Weights, gen, spec) * ic
 }
 
-// canonicalPath materializes the up-then-down hop sequence of a canonical
-// taxonomy path.
-func canonicalPath(gen, spec int) eks.Path {
-	steps := make([]eks.Step, 0, gen+spec)
+// canonicalPathWeight computes PathWeight over the canonical up-then-down
+// hop sequence (gen generalizations followed by spec specializations)
+// without materializing the path. The multiplication order matches
+// PathWeight exactly, so results are bit-identical to the materialized
+// form.
+func canonicalPathWeight(w PathWeights, gen, spec int) float64 {
+	d := gen + spec
+	weight := 1.0
 	for i := 0; i < gen; i++ {
-		steps = append(steps, eks.Step{Generalization: true})
+		weight *= math.Pow(w.Generalization, float64(d-(i+1)))
 	}
-	for i := 0; i < spec; i++ {
-		steps = append(steps, eks.Step{Generalization: false})
+	for i := gen; i < d; i++ {
+		weight *= math.Pow(w.Specialization, float64(d-(i+1)))
 	}
-	return eks.Path{Steps: steps}
+	return weight
 }
 
 func sortConceptIDs(ids []eks.ConceptID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	slices.Sort(ids)
 }
 
 // IntrinsicIC is the corpus-free information content of Seco, Veale & Hayes

@@ -18,6 +18,8 @@ package eks
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"medrelax/internal/stringutil"
 )
@@ -54,6 +56,11 @@ type Graph struct {
 	root     ConceptID
 	hasRoot  bool
 	nameIdx  map[string][]ConceptID
+
+	// dense is the frozen CSR traversal index, built lazily on first use
+	// and dropped by structural mutations. denseMu serializes the build.
+	denseMu sync.Mutex
+	dense   atomic.Pointer[denseIndex]
 }
 
 // New returns an empty graph.
@@ -77,6 +84,7 @@ func (g *Graph) AddConcept(c Concept) error {
 	}
 	cc := c
 	g.concepts[c.ID] = &cc
+	g.invalidateDense()
 	g.indexName(c.Name, c.ID)
 	for _, s := range c.Synonyms {
 		g.indexName(s, c.ID)
@@ -154,6 +162,7 @@ func (g *Graph) addEdge(e Edge) error {
 	}
 	g.up[e.From] = append(g.up[e.From], e)
 	g.down[e.To] = append(g.down[e.To], e)
+	g.invalidateDense()
 	return nil
 }
 
@@ -315,8 +324,19 @@ func (g *Graph) Descendants(id ConceptID) map[ConceptID]bool {
 }
 
 // DescendantCount returns |Descendants(id)|. Used by the intrinsic
-// (corpus-free) information-content measure.
-func (g *Graph) DescendantCount(id ConceptID) int { return len(g.Descendants(id)) }
+// (corpus-free) information-content measure. It runs on the dense traversal
+// index, so counting does not materialize the descendant set.
+func (g *Graph) DescendantCount(id ConceptID) int {
+	d := g.denseIdx()
+	src, ok := d.idx[id]
+	if !ok {
+		return 0
+	}
+	s := d.getScratch()
+	n := d.countDescendants(src, s)
+	d.putScratch(s)
+	return n
+}
 
 // TopologicalOrder returns every concept with children before parents
 // (Algorithm 1, line 12), considering native edges only. It returns an

@@ -1,0 +1,16 @@
+package eks
+
+// Hooks exposing the retained legacy (map-based) traversals to the external
+// eks_test package, which cross-checks them against the dense kernel on
+// synthkb worlds (synthkb imports eks, so those tests cannot live in this
+// package).
+
+// LegacyNeighborsWithinHops runs the original map-based BFS.
+func (g *Graph) LegacyNeighborsWithinHops(from ConceptID, radius int) []Neighbor {
+	return g.legacyNeighborsWithinHops(from, radius)
+}
+
+// LegacyUpDistances runs the original map-and-heap Dijkstra.
+func (g *Graph) LegacyUpDistances(id ConceptID) map[ConceptID]int {
+	return g.legacyUpDistances(id)
+}

@@ -16,8 +16,36 @@ type Neighbor struct {
 // hop distance from `from` is at most radius, treating every edge — native
 // or shortcut, in either direction — as one hop. This is the candidate
 // gathering step of Algorithm 2 (line 2). Results are ordered by increasing
-// hop count, then by ID.
+// hop count, then by ID. The traversal runs on the dense index: the only
+// allocation is the result slice.
 func (g *Graph) NeighborsWithinHops(from ConceptID, radius int) []Neighbor {
+	if radius < 0 {
+		return nil
+	}
+	d := g.denseIdx()
+	src, ok := d.idx[from]
+	if !ok {
+		return nil
+	}
+	s := d.getScratch()
+	d.bfsWithin(src, radius, s)
+	out := make([]Neighbor, len(s.touched))
+	for i, node := range s.touched {
+		out[i] = Neighbor{ID: d.ids[node], Hops: int(s.dist[node])}
+	}
+	d.putScratch(s)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hops != out[j].Hops {
+			return out[i].Hops < out[j].Hops
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// legacyNeighborsWithinHops is the original map-based BFS, retained as the
+// reference implementation for the dense-kernel equivalence tests.
+func (g *Graph) legacyNeighborsWithinHops(from ConceptID, radius int) []Neighbor {
 	if _, ok := g.concepts[from]; !ok || radius < 0 {
 		return nil
 	}
@@ -231,8 +259,27 @@ func (g *Graph) LCS(a, b ConceptID) (LCSResult, bool) {
 
 // upDistances returns the minimal upward semantic distance from id to every
 // subsumer of id (including id itself at distance 0), following native and
-// shortcut edges upward only.
+// shortcut edges upward only. The Dijkstra runs on the dense index; only
+// the result map is allocated.
 func (g *Graph) upDistances(id ConceptID) map[ConceptID]int {
+	d := g.denseIdx()
+	src, ok := d.idx[id]
+	if !ok {
+		return nil
+	}
+	s := d.getScratch()
+	d.dijkstraUp(src, s)
+	dist := make(map[ConceptID]int, len(s.touched))
+	for _, node := range s.touched {
+		dist[d.ids[node]] = int(s.dist[node])
+	}
+	d.putScratch(s)
+	return dist
+}
+
+// legacyUpDistances is the original map-and-heap Dijkstra, retained as the
+// reference implementation for the dense-kernel equivalence tests.
+func (g *Graph) legacyUpDistances(id ConceptID) map[ConceptID]int {
 	if _, ok := g.concepts[id]; !ok {
 		return nil
 	}

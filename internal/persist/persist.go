@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"slices"
 
 	"medrelax/internal/core"
 	"medrelax/internal/eks"
@@ -204,9 +205,5 @@ func Load(r io.Reader) (*core.Ingestion, error) {
 }
 
 func sortInstanceIDs(ids []kb.InstanceID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	slices.Sort(ids)
 }

@@ -38,19 +38,33 @@ type RelaxResult struct {
 }
 
 // Server handles the API endpoints.
+//
+// Concurrency model: the /relax path takes no lock at all — the backend's
+// relaxation pipeline (dense graph kernel, sharded similarity cache) is
+// safe for concurrent use, so requests run truly in parallel. Only the
+// /chat path locks: mu scopes to the session-table map itself, and each
+// session carries its own mutex because a dialog.Conversation is stateful.
+// Different sessions chat in parallel; two requests for one session are
+// serialized.
 type Server struct {
 	backend Backend
 
-	mu       sync.Mutex
-	sessions map[string]*dialog.Conversation
+	mu       sync.Mutex // guards sessions (the map only, never held during backend calls)
+	sessions map[string]*session
 	// MaxSessions bounds the session table; the oldest insertion order is
 	// not tracked — when full, new sessions are rejected. Default 1024.
 	MaxSessions int
 }
 
+// session is one conversation plus the mutex serializing its turns.
+type session struct {
+	mu   sync.Mutex
+	conv *dialog.Conversation
+}
+
 // New builds a server over a backend.
 func New(backend Backend) *Server {
-	return &Server{backend: backend, sessions: map[string]*dialog.Conversation{}, MaxSessions: 1024}
+	return &Server{backend: backend, sessions: map[string]*session{}, MaxSessions: 1024}
 }
 
 // Handler returns the routed HTTP handler.
@@ -87,11 +101,9 @@ func (s *Server) handleRelax(w http.ResponseWriter, r *http.Request) {
 		}
 		k = v
 	}
-	// The relaxer's similarity evaluator caches per-query state and is not
-	// safe for concurrent use; serialize backend calls.
-	s.mu.Lock()
+	// No lock: the relaxation pipeline is safe for concurrent use, so the
+	// hot path serves requests fully in parallel.
 	results, err := s.backend.Relax(term, ctx, k)
-	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
@@ -127,21 +139,27 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "session and text are required")
 		return
 	}
-	conv, err := s.conversation(req.Session)
+	sess, err := s.conversation(req.Session)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// Serialize turns within this session only; other sessions proceed.
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.conv == nil {
+		// A concurrent creator failed after this request found the slot.
+		writeError(w, http.StatusServiceUnavailable, "session initialization failed, retry")
+		return
+	}
 	if req.Reset {
-		conv.Reset()
+		sess.conv.Reset()
 		if req.Text == "" {
 			writeJSON(w, http.StatusOK, ChatResponse{Text: "session reset", Understood: true})
 			return
 		}
 	}
-	resp := conv.Ask(req.Text)
+	resp := sess.conv.Ask(req.Text)
 	writeJSON(w, http.StatusOK, ChatResponse{
 		Text:        resp.Text,
 		Answers:     resp.Answers,
@@ -153,21 +171,34 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) conversation(session string) (*dialog.Conversation, error) {
+func (s *Server) conversation(name string) (*session, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if conv, ok := s.sessions[session]; ok {
-		return conv, nil
+	if sess, ok := s.sessions[name]; ok {
+		s.mu.Unlock()
+		return sess, nil
 	}
 	if len(s.sessions) >= s.MaxSessions {
-		return nil, fmt.Errorf("session table full (%d sessions)", len(s.sessions))
+		n := len(s.sessions)
+		s.mu.Unlock()
+		return nil, fmt.Errorf("session table full (%d sessions)", n)
 	}
+	// Reserve the slot before building the conversation so the (possibly
+	// slow) construction happens outside the table lock; concurrent
+	// requests for the same new session serialize on the session mutex.
+	sess := &session{}
+	sess.mu.Lock()
+	s.sessions[name] = sess
+	s.mu.Unlock()
+	defer sess.mu.Unlock()
 	conv, err := s.backend.NewConversation()
 	if err != nil {
+		s.mu.Lock()
+		delete(s.sessions, name)
+		s.mu.Unlock()
 		return nil, fmt.Errorf("creating conversation: %w", err)
 	}
-	s.sessions[session] = conv
-	return conv, nil
+	sess.conv = conv
+	return sess, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
