@@ -1,0 +1,116 @@
+package medrelax
+
+// Offline-phase performance benchmarks: Algorithm 1 ingestion serial vs
+// parallel across world sizes, and bundle loading in the JSON v1 vs binary
+// v2 persistence formats. cmd/ingestbench runs the same workloads and
+// records the numbers in BENCH_ingest.json; `go test -bench=BenchmarkIngest`
+// reproduces them.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"medrelax/internal/core"
+	"medrelax/internal/corpus"
+	"medrelax/internal/eks"
+	"medrelax/internal/match"
+	"medrelax/internal/medkb"
+	"medrelax/internal/persist"
+	"medrelax/internal/synthkb"
+)
+
+// benchWorld regenerates a deterministic synthkb+medkb world grown to the
+// target EKS size. Ingestion mutates the graph (shortcut edges, freeze), so
+// every measured iteration needs a fresh world.
+func benchWorld(tb testing.TB, target int) (*medkb.MED, *eks.Graph, *corpus.Corpus) {
+	tb.Helper()
+	cpp := 1
+	if target > 2000 {
+		cpp = 20
+	}
+	w, err := synthkb.Generate(synthkb.Config{Seed: 42, ConditionsPerPair: cpp})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	med, err := medkb.Generate(w, medkb.Config{Seed: 43, Drugs: 40})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	corp := medkb.BuildCorpus(w, med, medkb.CorpusConfig{Seed: 44})
+	g := w.Graph
+	next := eks.ConceptID(1)
+	for _, id := range g.ConceptIDs() {
+		if id >= next {
+			next = id + 1
+		}
+	}
+	for i := 0; g.Len() < target; i++ {
+		parent := w.Findings[i%len(w.Findings)]
+		if err := g.AddConcept(eks.Concept{ID: next, Name: fmt.Sprintf("variant %d of %d", i, parent)}); err != nil {
+			tb.Fatal(err)
+		}
+		if err := g.AddSubsumption(next, parent); err != nil {
+			tb.Fatal(err)
+		}
+		next++
+	}
+	return med, g, corp
+}
+
+// BenchmarkIngest measures the full offline phase (Algorithm 1: mapping,
+// frequency table, shortcut customization, dense-index freeze) serial vs
+// parallel. World regeneration runs with the timer stopped.
+func BenchmarkIngest(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"parallel", 0}} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					med, g, corp := benchWorld(b, n)
+					mapper := match.NewExact(g)
+					b.StartTimer()
+					if _, err := core.Ingest(med.Ontology, med.Store, g, corp, mapper, core.IngestOptions{Parallelism: mode.workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBundleLoad measures persist.Load on the same ingestion encoded
+// as JSON v1 and binary v2 — decode plus full restore (ontology fixpoint,
+// graph rebuild, frequency table).
+func BenchmarkBundleLoad(b *testing.B) {
+	med, g, corp := benchWorld(b, 10_000)
+	ing, err := core.Ingest(med.Ontology, med.Store, g, corp, match.NewExact(g), core.IngestOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var v1, v2 bytes.Buffer
+	if err := persist.Save(&v1, ing); err != nil {
+		b.Fatal(err)
+	}
+	if err := persist.SaveBinary(&v2, ing); err != nil {
+		b.Fatal(err)
+	}
+	for _, enc := range []struct {
+		name string
+		data []byte
+	}{{"v1-json", v1.Bytes()}, {"v2-binary", v2.Bytes()}} {
+		b.Run(enc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(enc.data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := persist.Load(bytes.NewReader(enc.data)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,250 @@
+// Command ingestbench measures the offline-phase performance — Algorithm 1
+// ingestion serial vs parallel across world sizes, and bundle loading in
+// the JSON v1 vs binary v2 persistence formats — and records the numbers
+// as JSON, so optimization work has a checked-in before/after record.
+//
+// The parallel ingest numbers are bounded by core count: on a single-core
+// machine serial and parallel coincide (modulo goroutine overhead), and the
+// v2 load and size wins are the only machine-independent results.
+//
+//	go run ./cmd/ingestbench -out BENCH_ingest.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"medrelax/internal/core"
+	"medrelax/internal/corpus"
+	"medrelax/internal/eks"
+	"medrelax/internal/match"
+	"medrelax/internal/medkb"
+	"medrelax/internal/persist"
+	"medrelax/internal/synthkb"
+)
+
+// Measurement is one benchmark row.
+type Measurement struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"nsPerOp"`
+	AllocsOp int64   `json:"allocsPerOp"`
+	BytesOp  int64   `json:"bytesPerOp"`
+	Ops      int     `json:"ops"`
+}
+
+// Report is the BENCH_ingest.json document.
+type Report struct {
+	Date         string        `json:"date"`
+	GOOS         string        `json:"goos"`
+	GOARCH       string        `json:"goarch"`
+	CPUs         int           `json:"cpus"`
+	GoVersion    string        `json:"goVersion"`
+	Measurements []Measurement `json:"measurements"`
+	// IngestSpeedup maps world size to serial ns/op over parallel ns/op.
+	// Bounded by core count; ~1.0 on a single-core machine.
+	IngestSpeedup map[string]float64 `json:"ingestSpeedup"`
+	// LoadSpeedupV2 is v1 load ns/op over v2 load ns/op at the largest
+	// measured world: how much faster the binary format restores.
+	LoadSpeedupV2 float64 `json:"loadSpeedupV2"`
+	// SizeRatioV1V2 is v1 bytes over v2 bytes for the same ingestion.
+	SizeRatioV1V2 float64 `json:"sizeRatioV1V2"`
+	// BundleBytesV1 and BundleBytesV2 are the encoded sizes themselves.
+	BundleBytesV1 int `json:"bundleBytesV1"`
+	BundleBytesV2 int `json:"bundleBytesV2"`
+}
+
+func row(name string, r testing.BenchmarkResult) Measurement {
+	return Measurement{
+		Name:     name,
+		NsPerOp:  float64(r.NsPerOp()),
+		AllocsOp: r.AllocsPerOp(),
+		BytesOp:  r.AllocedBytesPerOp(),
+		Ops:      r.N,
+	}
+}
+
+// buildWorld regenerates a deterministic synthkb+medkb world grown to the
+// target EKS size. Ingestion mutates the graph, so every measured run needs
+// a fresh world.
+func buildWorld(target int) (*medkb.MED, *eks.Graph, *corpus.Corpus, error) {
+	cpp := 1
+	if target > 2000 {
+		cpp = 20
+	}
+	w, err := synthkb.Generate(synthkb.Config{Seed: 42, ConditionsPerPair: cpp})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	med, err := medkb.Generate(w, medkb.Config{Seed: 43, Drugs: 40})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	corp := medkb.BuildCorpus(w, med, medkb.CorpusConfig{Seed: 44})
+	g := w.Graph
+	next := eks.ConceptID(1)
+	for _, id := range g.ConceptIDs() {
+		if id >= next {
+			next = id + 1
+		}
+	}
+	for i := 0; g.Len() < target; i++ {
+		parent := w.Findings[i%len(w.Findings)]
+		if err := g.AddConcept(eks.Concept{ID: next, Name: fmt.Sprintf("variant %d of %d", i, parent)}); err != nil {
+			return nil, nil, nil, err
+		}
+		if err := g.AddSubsumption(next, parent); err != nil {
+			return nil, nil, nil, err
+		}
+		next++
+	}
+	return med, g, corp, nil
+}
+
+func benchIngest(n, workers int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			med, g, corp, err := buildWorld(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mapper := match.NewExact(g)
+			b.StartTimer()
+			if _, err := core.Ingest(med.Ontology, med.Store, g, corp, mapper, core.IngestOptions{Parallelism: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func main() {
+	out := flag.String("out", "BENCH_ingest.json", "output JSON path")
+	table := flag.String("table", "", "also write a markdown summary table to this path")
+	large := flag.Bool("large", true, "include the 10^5-concept world")
+	flag.Parse()
+
+	rep := Report{
+		Date:          time.Now().UTC().Format("2006-01-02"),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		GoVersion:     runtime.Version(),
+		IngestSpeedup: map[string]float64{},
+	}
+
+	sizes := []int{1_000, 10_000}
+	if *large {
+		sizes = append(sizes, 100_000)
+	}
+	for _, n := range sizes {
+		log.Printf("measuring serial ingest at %d concepts...", n)
+		serial := benchIngest(n, 1)
+		rep.Measurements = append(rep.Measurements, row(fmt.Sprintf("ingest_serial_n%d", n), serial))
+		log.Printf("measuring parallel ingest at %d concepts...", n)
+		parallel := benchIngest(n, 0)
+		rep.Measurements = append(rep.Measurements, row(fmt.Sprintf("ingest_parallel_n%d", n), parallel))
+		if p := parallel.NsPerOp(); p > 0 {
+			rep.IngestSpeedup[fmt.Sprintf("n%d", n)] = float64(serial.NsPerOp()) / float64(p)
+		}
+	}
+
+	loadN := sizes[len(sizes)-1]
+	log.Printf("building the %d-concept ingestion for the load benchmark...", loadN)
+	med, g, corp, err := buildWorld(loadN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ing, err := core.Ingest(med.Ontology, med.Store, g, corp, match.NewExact(g), core.IngestOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var v1, v2 bytes.Buffer
+	if err := persist.Save(&v1, ing); err != nil {
+		log.Fatal(err)
+	}
+	if err := persist.SaveBinary(&v2, ing); err != nil {
+		log.Fatal(err)
+	}
+	rep.BundleBytesV1 = v1.Len()
+	rep.BundleBytesV2 = v2.Len()
+	if v2.Len() > 0 {
+		rep.SizeRatioV1V2 = float64(v1.Len()) / float64(v2.Len())
+	}
+
+	var loadNs [2]float64
+	for i, enc := range []struct {
+		name string
+		data []byte
+	}{{"v1_json", v1.Bytes()}, {"v2_binary", v2.Bytes()}} {
+		log.Printf("measuring bundle load (%s, %d bytes)...", enc.name, len(enc.data))
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for j := 0; j < b.N; j++ {
+				if _, err := persist.Load(bytes.NewReader(enc.data)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Measurements = append(rep.Measurements, row(fmt.Sprintf("bundle_load_%s_n%d", enc.name, loadN), r))
+		loadNs[i] = float64(r.NsPerOp())
+	}
+	if loadNs[1] > 0 {
+		rep.LoadSpeedupV2 = loadNs[0] / loadNs[1]
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+
+	if *table != "" {
+		if err := os.WriteFile(*table, []byte(markdownTable(rep)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *table)
+	}
+
+	for _, m := range rep.Measurements {
+		fmt.Printf("%-32s %14.0f ns/op %12d B/op %8d allocs/op\n", m.Name, m.NsPerOp, m.BytesOp, m.AllocsOp)
+	}
+	for _, n := range sizes {
+		fmt.Printf("ingest parallel speedup n=%d: %.2fx (on %d CPUs)\n", n, rep.IngestSpeedup[fmt.Sprintf("n%d", n)], rep.CPUs)
+	}
+	fmt.Printf("bundle v2 load speedup: %.2fx; size: %d -> %d bytes (%.2fx smaller)\n",
+		rep.LoadSpeedupV2, rep.BundleBytesV1, rep.BundleBytesV2, rep.SizeRatioV1V2)
+}
+
+func markdownTable(rep Report) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# Offline-phase benchmarks (%s, %s/%s, %d CPUs, %s)\n\n",
+		rep.Date, rep.GOOS, rep.GOARCH, rep.CPUs, rep.GoVersion)
+	fmt.Fprintf(&b, "| benchmark | ns/op | B/op | allocs/op |\n|---|---:|---:|---:|\n")
+	for _, m := range rep.Measurements {
+		fmt.Fprintf(&b, "| %s | %.0f | %d | %d |\n", m.Name, m.NsPerOp, m.BytesOp, m.AllocsOp)
+	}
+	fmt.Fprintf(&b, "\n| derived | value |\n|---|---:|\n")
+	for _, k := range []string{"n1000", "n10000", "n100000"} {
+		if v, ok := rep.IngestSpeedup[k]; ok {
+			fmt.Fprintf(&b, "| ingest parallel speedup %s | %.2fx |\n", k, v)
+		}
+	}
+	fmt.Fprintf(&b, "| bundle load speedup v2 over v1 | %.2fx |\n", rep.LoadSpeedupV2)
+	fmt.Fprintf(&b, "| bundle size v1 | %d bytes |\n", rep.BundleBytesV1)
+	fmt.Fprintf(&b, "| bundle size v2 | %d bytes |\n", rep.BundleBytesV2)
+	fmt.Fprintf(&b, "| size ratio v1/v2 | %.2fx |\n", rep.SizeRatioV1V2)
+	fmt.Fprintf(&b, "\nIngest parallel speedup is bounded by core count — on a\nsingle-core machine serial and parallel coincide. The v2 load speedup\nand size ratio are machine independent.\n")
+	return b.String()
+}

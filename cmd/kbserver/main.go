@@ -18,9 +18,14 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"time"
 
 	"medrelax"
+	"medrelax/internal/core"
 	"medrelax/internal/dialog"
+	"medrelax/internal/match"
+	"medrelax/internal/persist"
 	"medrelax/internal/server"
 )
 
@@ -63,21 +68,66 @@ func (b *systemBackend) Stats() map[string]any {
 	}
 }
 
+// loadBackend serves relaxation from a saved ingestion bundle: no world
+// regeneration, no embedding training — the cold-start path the bundle
+// format exists for. /chat is unavailable because conversations need the
+// full synthetic world, which the bundle deliberately omits.
+func loadBackend(path string) (server.Backend, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	loadStart := time.Now()
+	ing, err := persist.Load(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	loadDur := time.Since(loadStart)
+	freezeStart := time.Now()
+	ing.Graph.Freeze()
+	log.Printf("bundle loaded: %d EKS concepts, %d instances (decode+restore %s, freeze %s)",
+		ing.Graph.Len(), ing.Store.Len(),
+		loadDur.Round(time.Millisecond), time.Since(freezeStart).Round(time.Millisecond))
+	mapper := match.NewCombined(match.NewExact(ing.Graph), match.NewEdit(ing.Graph, 0), match.NewLookupService(ing.Graph))
+	sim := core.NewSimilarity(ing.Graph, ing.Frequencies, ing.Ontology)
+	relaxer := core.NewRelaxer(ing, sim, mapper, core.RelaxOptions{Radius: 3, DynamicRadius: true})
+	return &server.RelaxerBackend{Relaxer: relaxer, Ing: ing}, nil
+}
+
 func main() {
 	var (
 		addr = flag.String("addr", ":8080", "listen address")
 		seed = flag.Int64("seed", 42, "generation seed")
+		load = flag.String("load", "", "serve from a saved ingestion bundle instead of rebuilding the world (disables /chat)")
 	)
 	flag.Parse()
 
-	cfg := medrelax.DefaultConfig()
-	cfg.Seed = *seed
-	log.Print("building synthetic world and running ingestion ...")
-	sys, err := medrelax.Build(cfg)
-	if err != nil {
-		log.Fatalf("kbserver: %v", err)
+	var backend server.Backend
+	if *load != "" {
+		b, err := loadBackend(*load)
+		if err != nil {
+			log.Fatalf("kbserver: loading bundle: %v", err)
+		}
+		backend = b
+	} else {
+		cfg := medrelax.DefaultConfig()
+		cfg.Seed = *seed
+		log.Print("building synthetic world and running ingestion ...")
+		buildStart := time.Now()
+		sys, err := medrelax.Build(cfg)
+		if err != nil {
+			log.Fatalf("kbserver: %v", err)
+		}
+		tm := sys.Timings
+		log.Printf("world ready in %s (worldgen %s, embeddings %s, ingest %s)",
+			time.Since(buildStart).Round(time.Millisecond), tm.WorldGen.Round(time.Millisecond),
+			tm.Embeddings.Round(time.Millisecond), tm.Ingest.Round(time.Millisecond))
+		backend = &systemBackend{sys: sys}
 	}
-	srv := server.New(&systemBackend{sys: sys})
+	srv := server.New(backend)
 	log.Printf("kbserver listening on %s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

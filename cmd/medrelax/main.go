@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"medrelax"
 	"medrelax/internal/core"
@@ -31,6 +32,7 @@ func main() {
 		mapper  = flag.String("mapper", "EMBEDDING", "term mapping method: EXACT, EDIT or EMBEDDING")
 		quiet   = flag.Bool("quiet", false, "suppress build progress output")
 		save    = flag.String("save", "", "after building, save the ingestion bundle to this file")
+		format  = flag.String("format", "binary", "bundle format for -save: binary (v2, compact) or json (v1, inspectable)")
 		load    = flag.String("load", "", "serve from a saved ingestion bundle instead of rebuilding the world")
 		dot     = flag.String("dot", "", "write a Graphviz DOT neighbourhood of -term to this file and exit")
 		dotHops = flag.Int("dot-radius", 2, "hop radius of the -dot neighbourhood")
@@ -60,14 +62,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "EKS: %d concepts, %d edges (%d shortcuts added); MED: %d instances; flagged concepts: %d\n",
 			sys.World.Graph.Len(), sys.World.Graph.EdgeCount(), sys.Ingestion.ShortcutsAdded,
 			sys.Med.Store.Len(), len(sys.Ingestion.Flagged))
+		tm := sys.Timings
+		fmt.Fprintf(os.Stderr, "build timing: worldgen %s, embeddings %s, ingest %s (total %s)\n",
+			tm.WorldGen.Round(time.Millisecond), tm.Embeddings.Round(time.Millisecond),
+			tm.Ingest.Round(time.Millisecond), tm.Total.Round(time.Millisecond))
 	}
 	if *save != "" {
+		saveFn := persist.SaveBinary
+		switch *format {
+		case "binary":
+		case "json":
+			saveFn = persist.Save
+		default:
+			fmt.Fprintf(os.Stderr, "medrelax: unknown -format %q (want binary or json)\n", *format)
+			os.Exit(1)
+		}
 		f, err := os.Create(*save)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "medrelax:", err)
 			os.Exit(1)
 		}
-		err = persist.Save(f, sys.Ingestion)
+		saveStart := time.Now()
+		err = saveFn(f, sys.Ingestion)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -76,7 +92,12 @@ func main() {
 			os.Exit(1)
 		}
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "ingestion bundle saved to %s\n", *save)
+			size := int64(0)
+			if st, err := os.Stat(*save); err == nil {
+				size = st.Size()
+			}
+			fmt.Fprintf(os.Stderr, "ingestion bundle saved to %s (%s, %d bytes, %s)\n",
+				*save, *format, size, time.Since(saveStart).Round(time.Millisecond))
 		}
 	}
 
@@ -138,6 +159,7 @@ func serveFromBundle(path, term, context string, k int, quiet bool) error {
 	if err != nil {
 		return err
 	}
+	loadStart := time.Now()
 	ing, err := persist.Load(f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
@@ -145,9 +167,15 @@ func serveFromBundle(path, term, context string, k int, quiet bool) error {
 	if err != nil {
 		return err
 	}
+	loadDur := time.Since(loadStart)
+	freezeStart := time.Now()
+	ing.Graph.Freeze()
+	freezeDur := time.Since(freezeStart)
 	if !quiet {
 		fmt.Fprintf(os.Stderr, "loaded bundle: %d EKS concepts, %d instances, %d flagged, %d contexts\n",
 			ing.Graph.Len(), ing.Store.Len(), len(ing.Flagged), len(ing.Contexts))
+		fmt.Fprintf(os.Stderr, "load timing: decode+restore %s, dense-index freeze %s\n",
+			loadDur.Round(time.Millisecond), freezeDur.Round(time.Millisecond))
 	}
 	mapper := match.NewCombined(match.NewExact(ing.Graph), match.NewEdit(ing.Graph, 0), match.NewLookupService(ing.Graph))
 	sim := core.NewSimilarity(ing.Graph, ing.Frequencies, ing.Ontology)

@@ -40,6 +40,13 @@ type FrequencyOptions struct {
 	// damning, which is what lets the contextual IC demote findings the KB
 	// holds no data about in that context.
 	Smoothing float64
+	// Parallelism is the worker count for the corpus scan (sharded per
+	// document) and the per-label bottom-up propagation. 0 follows
+	// GOMAXPROCS, 1 forces the serial path; Ingest fills it from its own
+	// Parallelism option. The table is identical for every value: shard
+	// merges are integer sums and each label propagates independently in
+	// topological order.
+	Parallelism int
 }
 
 func (o FrequencyOptions) withDefaults() FrequencyOptions {
@@ -92,7 +99,7 @@ func BuildFrequencyTable(g *eks.Graph, c *corpus.Corpus, opts FrequencyOptions) 
 		phrases = append(phrases, concept.Name)
 		phrases = append(phrases, concept.Synonyms...)
 	}
-	stats := c.CountPhrases(phrases)
+	stats := c.CountPhrasesN(phrases, resolveParallelism(opts.Parallelism))
 	n := c.DocCount()
 
 	// direct[label][id]: tf (or tf-idf) of the concept under each label.
@@ -145,7 +152,9 @@ func BuildFrequencyTableFromDirectCounts(g *eks.Graph, direct map[string]map[eks
 }
 
 // buildFromDirect propagates direct counts bottom-up per label (Equation 2)
-// and assembles the table.
+// and assembles the table. Labels are independent — each propagation walks
+// the same topological order over its own map — so they distribute across
+// workers, with results landing in a slice indexed by label position.
 func buildFromDirect(g *eks.Graph, order []eks.ConceptID, root eks.ConceptID, direct map[string]map[eks.ConceptID]float64, opts FrequencyOptions) *FrequencyTable {
 	t := &FrequencyTable{
 		raw:       map[string]map[eks.ConceptID]float64{},
@@ -153,19 +162,33 @@ func buildFromDirect(g *eks.Graph, order []eks.ConceptID, root eks.ConceptID, di
 		rootID:    root,
 		smoothing: opts.Smoothing,
 	}
-	for label, dm := range direct {
-		freqs := make(map[eks.ConceptID]float64, g.Len())
-		for _, id := range order { // children before parents
-			f := dm[id]
-			for _, child := range g.Children(id) {
-				f += freqs[child]
-			}
-			freqs[id] = f
-		}
-		t.raw[label] = freqs
+	labels := make([]string, 0, len(direct))
+	for label := range direct {
+		labels = append(labels, label)
 	}
-	for _, freqs := range t.raw {
-		for id, f := range freqs {
+	slices.Sort(labels)
+	propagated := make([]map[eks.ConceptID]float64, len(labels))
+	parallelChunks(len(labels), resolveParallelism(opts.Parallelism), func(lo, hi int) {
+		for li := lo; li < hi; li++ {
+			dm := direct[labels[li]]
+			freqs := make(map[eks.ConceptID]float64, g.Len())
+			for _, id := range order { // children before parents
+				f := dm[id]
+				for _, child := range g.Children(id) {
+					f += freqs[child]
+				}
+				freqs[id] = f
+			}
+			propagated[li] = freqs
+		}
+	})
+	for li, label := range labels {
+		t.raw[label] = propagated[li]
+	}
+	// Aggregate in sorted label order so the float sums are reproducible
+	// run to run (map iteration order is not).
+	for _, label := range labels {
+		for id, f := range t.raw[label] {
 			t.aggregate[id] += f
 		}
 	}

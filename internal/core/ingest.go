@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"medrelax/internal/corpus"
 	"medrelax/internal/eks"
@@ -22,6 +23,12 @@ type IngestOptions struct {
 	// DisableShortcuts skips the external-knowledge-source customization
 	// entirely (ablation: BenchmarkAblationShortcutEdges).
 	DisableShortcuts bool
+	// Parallelism is the worker count for the three parallelizable stages
+	// of Algorithm 1 (instance mapping, shortcut planning, corpus
+	// counting). 0 follows GOMAXPROCS; 1 forces the serial path. The output
+	// is identical for every value — workers only reorder independent
+	// computations whose merges are deterministic.
+	Parallelism int
 }
 
 // Ingestion is the output of the offline phase (Algorithm 1): the set of
@@ -58,6 +65,14 @@ type Ingestion struct {
 // over the domain ontology o, the instance store, the external knowledge
 // source g (mutated in place by customization), the document corpus corp,
 // and the chosen instance-to-concept mapper.
+//
+// The three dominant stages run on opts.Parallelism workers: instance
+// mapping fans out over the instances (the mapper must be safe for
+// concurrent use — every match.Mapper is, see the Mapper contract),
+// shortcut planning computes per-concept subsumer distances across workers
+// on the read-only graph, and corpus counting shards the documents. Every
+// merge is order-independent, so the result is byte-identical to the
+// serial run.
 func Ingest(o *ontology.Ontology, store *kb.Store, g *eks.Graph, corp *corpus.Corpus, mapper match.Mapper, opts IngestOptions) (*Ingestion, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid external knowledge source: %w", err)
@@ -65,6 +80,7 @@ func Ingest(o *ontology.Ontology, store *kb.Store, g *eks.Graph, corp *corpus.Co
 	if err := o.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid domain ontology: %w", err)
 	}
+	workers := resolveParallelism(opts.Parallelism)
 
 	ing := &Ingestion{
 		Contexts:     o.Contexts(), // Algorithm 1, lines 1–4
@@ -77,21 +93,37 @@ func Ingest(o *ontology.Ontology, store *kb.Store, g *eks.Graph, corp *corpus.Co
 	}
 
 	// Mappings (lines 5–11): map every instance, flag mapped concepts.
-	for _, inst := range store.AllInstances() {
-		id, ok := mapper.Map(inst.Name)
-		if !ok {
+	// Each Map call is independent and O(vocab) for the approximate
+	// matchers, so this is the dominant stage; workers fill a results slice
+	// indexed by instance position and the maps are assembled in instance
+	// order, which is ascending ID order (AllInstances sorts).
+	instances := store.AllInstances()
+	mapped := make([]eks.ConceptID, len(instances))
+	ok := make([]bool, len(instances))
+	parallelChunks(len(instances), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mapped[i], ok[i] = mapper.Map(instances[i].Name)
+		}
+	})
+	for i, inst := range instances {
+		if !ok[i] {
 			continue
 		}
+		id := mapped[i]
 		ing.Mappings[inst.ID] = id
 		ing.InstancesFor[id] = append(ing.InstancesFor[id], inst.ID)
 		ing.Flagged[id] = true
 	}
 	for _, ids := range ing.InstancesFor {
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		slices.Sort(ids)
 	}
 
 	// Concept frequency (lines 12–18).
-	ft, err := BuildFrequencyTable(g, corp, opts.Frequency)
+	freqOpts := opts.Frequency
+	if freqOpts.Parallelism == 0 {
+		freqOpts.Parallelism = workers
+	}
+	ft, err := BuildFrequencyTable(g, corp, freqOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -99,42 +131,17 @@ func Ingest(o *ontology.Ontology, store *kb.Store, g *eks.Graph, corp *corpus.Co
 
 	// External knowledge source customization (lines 19–23): for each
 	// concept A and each non-parent ancestor B, when A or B is flagged, add
-	// an application-specific edge carrying the original distance.
+	// an application-specific edge carrying the original distance. Planning
+	// only reads the pre-customization graph and the flag set, so concepts
+	// are planned across workers; the per-worker plans are concatenated and
+	// sorted by (from, to) — a total order over the planned set — before
+	// the serial insertion, making the edge list independent of scheduling.
 	if !opts.DisableShortcuts {
 		order, err := g.TopologicalOrder()
 		if err != nil {
 			return nil, err
 		}
-		type plannedEdge struct {
-			from, to eks.ConceptID
-			dist     int
-		}
-		var planned []plannedEdge
-		for _, a := range order {
-			aFlagged := ing.Flagged[a]
-			for b, dist := range g.UpDistances(a) {
-				if dist < 2 {
-					continue // direct parents stay as they are
-				}
-				if opts.ShortcutMaxDist > 0 && dist > opts.ShortcutMaxDist {
-					continue
-				}
-				if !aFlagged && !ing.Flagged[b] {
-					continue
-				}
-				if g.HasEdge(a, b) {
-					continue
-				}
-				planned = append(planned, plannedEdge{from: a, to: b, dist: dist})
-			}
-		}
-		// Deterministic insertion order.
-		sort.Slice(planned, func(i, j int) bool {
-			if planned[i].from != planned[j].from {
-				return planned[i].from < planned[j].from
-			}
-			return planned[i].to < planned[j].to
-		})
+		planned := planShortcuts(g, order, ing.Flagged, opts.ShortcutMaxDist, workers)
 		for _, e := range planned {
 			if err := g.AddShortcutEdge(e.from, e.to, e.dist); err != nil {
 				return nil, fmt.Errorf("core: customization: %w", err)
@@ -146,6 +153,56 @@ func Ingest(o *ontology.Ontology, store *kb.Store, g *eks.Graph, corp *corpus.Co
 	// so the first online query does not pay the build.
 	g.Freeze()
 	return ing, nil
+}
+
+// plannedEdge is one shortcut edge scheduled for insertion.
+type plannedEdge struct {
+	from, to eks.ConceptID
+	dist     int
+}
+
+// planShortcuts computes the shortcut edges of Algorithm 1 lines 19–23
+// without mutating the graph: per concept, every non-parent ancestor within
+// the distance cap with a flagged endpoint and no existing edge. The
+// per-concept computation (a semantic-metric Dijkstra on the dense index)
+// runs across workers; results merge into (from, to) order.
+func planShortcuts(g *eks.Graph, order []eks.ConceptID, flagged map[eks.ConceptID]bool, maxDist, workers int) []plannedEdge {
+	plans := make([][]plannedEdge, len(order))
+	parallelChunks(len(order), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a := order[i]
+			aFlagged := flagged[a]
+			var out []plannedEdge
+			for b, dist := range g.UpDistances(a) {
+				if dist < 2 {
+					continue // direct parents stay as they are
+				}
+				if maxDist > 0 && dist > maxDist {
+					continue
+				}
+				if !aFlagged && !flagged[b] {
+					continue
+				}
+				if g.HasEdge(a, b) {
+					continue
+				}
+				out = append(out, plannedEdge{from: a, to: b, dist: dist})
+			}
+			plans[i] = out
+		}
+	})
+	var planned []plannedEdge
+	for _, p := range plans {
+		planned = append(planned, p...)
+	}
+	// Deterministic insertion order.
+	slices.SortFunc(planned, func(a, b plannedEdge) int {
+		if a.from != b.from {
+			return cmp.Compare(a.from, b.from)
+		}
+		return cmp.Compare(a.to, b.to)
+	})
+	return planned
 }
 
 // ConceptForTerm maps a query term to an external concept with the given

@@ -12,6 +12,7 @@ package corpus
 import (
 	"math"
 	"strings"
+	"sync"
 
 	"medrelax/internal/stringutil"
 )
@@ -125,6 +126,18 @@ func newPhraseSet(phrases []string) *phraseSet {
 // longer matched phrase are not counted, mirroring how an annotator counts
 // concept mentions.
 func (c *Corpus) CountPhrases(phrases []string) map[string]TermStats {
+	return c.CountPhrasesN(phrases, 1)
+}
+
+// CountPhrasesN is CountPhrases sharded over workers goroutines: the
+// documents are partitioned into contiguous ranges, each range is scanned
+// independently against the shared (read-only) phrase index, and the
+// per-shard statistics are merged. All statistics are integer sums over
+// disjoint document sets — TF and TotalTF sum occurrences, DF counts
+// distinct documents, each of which lives in exactly one shard — so the
+// result is identical to the serial scan for any worker count. workers <= 1
+// runs the serial scan.
+func (c *Corpus) CountPhrasesN(phrases []string, workers int) map[string]TermStats {
 	ps := newPhraseSet(phrases)
 	out := make(map[string]TermStats, len(ps.phrases))
 	for p := range ps.phrases {
@@ -133,7 +146,47 @@ func (c *Corpus) CountPhrases(phrases []string) map[string]TermStats {
 	if ps.maxLen == 0 {
 		return out
 	}
-	for di, doc := range c.tokenized {
+	if workers > len(c.docs) {
+		workers = len(c.docs)
+	}
+	if workers <= 1 {
+		c.countRange(ps, 0, len(c.docs), out)
+		return out
+	}
+	shards := make([]map[string]TermStats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(c.docs) / workers
+		hi := (w + 1) * len(c.docs) / workers
+		shard := make(map[string]TermStats)
+		shards[w] = shard
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.countRange(ps, lo, hi, shard)
+		}()
+	}
+	wg.Wait()
+	for _, shard := range shards {
+		for p, st := range shard {
+			agg := out[p]
+			agg.TotalTF += st.TotalTF
+			agg.DF += st.DF
+			for label, tf := range st.TF {
+				agg.TF[label] += tf
+			}
+			out[p] = agg
+		}
+	}
+	return out
+}
+
+// countRange scans documents [lo, hi) and accumulates statistics into out.
+// Shard maps start empty, so the zero TermStats gets its TF map on first
+// touch.
+func (c *Corpus) countRange(ps *phraseSet, lo, hi int, out map[string]TermStats) {
+	for di := lo; di < hi; di++ {
+		doc := c.tokenized[di]
 		seenInDoc := map[string]bool{}
 		for si, toks := range doc {
 			label := c.docs[di].Sections[si].Label
@@ -144,6 +197,9 @@ func (c *Corpus) CountPhrases(phrases []string) map[string]TermStats {
 					continue
 				}
 				st := out[match]
+				if st.TF == nil {
+					st.TF = make(map[string]int)
+				}
 				st.TF[label]++
 				st.TotalTF++
 				if !seenInDoc[match] {
@@ -155,7 +211,6 @@ func (c *Corpus) CountPhrases(phrases []string) map[string]TermStats {
 			}
 		}
 	}
-	return out
 }
 
 // longestMatchAt returns the longest phrase starting at toks[i], and its

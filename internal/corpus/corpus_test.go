@@ -1,7 +1,9 @@
 package corpus
 
 import (
+	"fmt"
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -156,5 +158,31 @@ func TestLabelsAndStreams(t *testing.T) {
 	}
 	if c.DocCount() != 2 || len(c.Documents()) != 2 {
 		t.Error("document counts wrong")
+	}
+}
+
+func TestCountPhrasesNShardEquivalence(t *testing.T) {
+	// A corpus with many documents, repeated phrases and cross-label
+	// mentions: the sharded scan must agree with the serial scan exactly,
+	// for any worker count including more workers than documents.
+	var docs []Document
+	for i := 0; i < 23; i++ {
+		docs = append(docs, Document{
+			ID: fmt.Sprintf("d%d", i),
+			Sections: []Section{
+				{Label: "A", Text: "fever and severe headache with fever again"},
+				{Label: "B", Text: "headache headache sore throat"},
+				{Label: "", Text: "sore throat fever"},
+			},
+		})
+	}
+	c := New(docs)
+	phrases := []string{"fever", "headache", "sore throat", "severe headache", "absent phrase"}
+	want := c.CountPhrases(phrases)
+	for _, workers := range []int{2, 3, 7, 16, 64} {
+		got := c.CountPhrasesN(phrases, workers)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("workers=%d: sharded stats differ from serial", workers)
+		}
 	}
 }

@@ -65,11 +65,18 @@ type Graph struct {
 
 // New returns an empty graph.
 func New() *Graph {
+	return NewSized(0)
+}
+
+// NewSized returns an empty graph with capacity hints for n concepts, so
+// bulk loads (persist restore, generators) avoid rehashing while they
+// insert.
+func NewSized(n int) *Graph {
 	return &Graph{
-		concepts: make(map[ConceptID]*Concept),
-		up:       make(map[ConceptID][]Edge),
-		down:     make(map[ConceptID][]Edge),
-		nameIdx:  make(map[string][]ConceptID),
+		concepts: make(map[ConceptID]*Concept, n),
+		up:       make(map[ConceptID][]Edge, n),
+		down:     make(map[ConceptID][]Edge, n),
+		nameIdx:  make(map[string][]ConceptID, n),
 	}
 }
 
@@ -343,8 +350,12 @@ func (g *Graph) DescendantCount(id ConceptID) int {
 // error if the native subsumption graph has a cycle.
 func (g *Graph) TopologicalOrder() ([]ConceptID, error) {
 	// Kahn's algorithm over the child→parent direction: indegree counts
-	// native down-edges (children not yet emitted).
+	// native down-edges (children not yet emitted). Always popping the
+	// smallest ready ID keeps the order deterministic; a binary min-heap
+	// makes each pop O(log V) where the previous sorted-queue merge was
+	// O(V) per step.
 	indeg := make(map[ConceptID]int, len(g.concepts))
+	heap := make(idHeap, 0, len(g.concepts))
 	for id := range g.concepts {
 		n := 0
 		for _, e := range g.down[id] {
@@ -353,33 +364,24 @@ func (g *Graph) TopologicalOrder() ([]ConceptID, error) {
 			}
 		}
 		indeg[id] = n
-	}
-	// Deterministic order: seed the queue sorted by ID.
-	var queue []ConceptID
-	for id, d := range indeg {
-		if d == 0 {
-			queue = append(queue, id)
+		if n == 0 {
+			heap = append(heap, id)
 		}
 	}
-	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+	heap.init()
 	order := make([]ConceptID, 0, len(g.concepts))
-	for len(queue) > 0 {
-		// Pop the smallest ID for determinism.
-		id := queue[0]
-		queue = queue[1:]
+	for len(heap) > 0 {
+		id := heap.pop()
 		order = append(order, id)
-		next := make([]ConceptID, 0)
 		for _, e := range g.up[id] {
 			if e.Shortcut {
 				continue
 			}
 			indeg[e.To]--
 			if indeg[e.To] == 0 {
-				next = append(next, e.To)
+				heap.push(e.To)
 			}
 		}
-		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
-		queue = mergeSorted(queue, next)
 	}
 	if len(order) != len(g.concepts) {
 		return nil, fmt.Errorf("eks: subsumption graph has a cycle (%d of %d concepts ordered)", len(order), len(g.concepts))
@@ -387,27 +389,56 @@ func (g *Graph) TopologicalOrder() ([]ConceptID, error) {
 	return order, nil
 }
 
-func mergeSorted(a, b []ConceptID) []ConceptID {
-	if len(b) == 0 {
-		return a
+// idHeap is a binary min-heap of concept IDs, inlined to avoid the
+// interface indirection of container/heap on this hot path.
+type idHeap []ConceptID
+
+func (h idHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
 	}
-	if len(a) == 0 {
-		return b
-	}
-	out := make([]ConceptID, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if a[i] <= b[j] {
-			out = append(out, a[i])
-			i++
-		} else {
-			out = append(out, b[j])
-			j++
+}
+
+func (h *idHeap) push(v ConceptID) {
+	*h = append(*h, v)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent] <= (*h)[i] {
+			break
 		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
 	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+}
+
+func (h *idHeap) pop() ConceptID {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	(*h).down(0)
+	return top
+}
+
+func (h idHeap) down(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h[right] < h[left] {
+			smallest = right
+		}
+		if h[i] <= h[smallest] {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
 }
 
 // Validate checks structural invariants: the graph is a DAG over native
@@ -420,14 +451,35 @@ func (g *Graph) Validate() error {
 	if _, err := g.TopologicalOrder(); err != nil {
 		return err
 	}
-	for id := range g.concepts {
-		if id == g.root {
-			continue
+	// Upward reachability of the root is equivalent to downward
+	// reachability from it: one BFS over native down-edges replaces the
+	// per-concept ancestor walk.
+	reached := make(map[ConceptID]bool, len(g.concepts))
+	reached[g.root] = true
+	stack := []ConceptID{g.root}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.down[cur] {
+			if e.Shortcut {
+				continue
+			}
+			if !reached[e.From] {
+				reached[e.From] = true
+				stack = append(stack, e.From)
+			}
 		}
-		if !g.Ancestors(id)[g.root] {
-			c := g.concepts[id]
-			return fmt.Errorf("eks: concept %d (%q) does not reach root", id, c.Name)
+	}
+	if len(reached) != len(g.concepts) {
+		// Report the smallest unreached ID so the error is deterministic.
+		var worst ConceptID
+		for id := range g.concepts {
+			if !reached[id] && (worst == 0 || id < worst) {
+				worst = id
+			}
 		}
+		c := g.concepts[worst]
+		return fmt.Errorf("eks: concept %d (%q) does not reach root", worst, c.Name)
 	}
 	return nil
 }

@@ -51,13 +51,19 @@ type Store struct {
 // NewStore returns an empty store validating instance types and assertion
 // relationships against onto.
 func NewStore(onto *ontology.Ontology) *Store {
+	return NewStoreSized(onto, 0)
+}
+
+// NewStoreSized returns an empty store with capacity hints for n
+// instances, so bulk loads avoid rehashing while they insert.
+func NewStoreSized(onto *ontology.Ontology, n int) *Store {
 	return &Store{
 		onto:      onto,
-		instances: make(map[InstanceID]Instance),
+		instances: make(map[InstanceID]Instance, n),
 		byConcept: make(map[string][]InstanceID),
-		lexicon:   make(map[string][]InstanceID),
-		bySubject: make(map[InstanceID][]Assertion),
-		byObject:  make(map[InstanceID][]Assertion),
+		lexicon:   make(map[string][]InstanceID, n),
+		bySubject: make(map[InstanceID][]Assertion, n),
+		byObject:  make(map[InstanceID][]Assertion, n),
 	}
 }
 
@@ -98,10 +104,7 @@ func (s *Store) AddAssertion(a Assertion) error {
 		return fmt.Errorf("kb: assertion object %d not found", a.Object)
 	}
 	compatible := false
-	for _, r := range s.onto.Relationships() {
-		if r.Name != a.Relationship {
-			continue
-		}
+	for _, r := range s.onto.RelationshipsNamed(a.Relationship) {
 		if s.onto.IsSubConceptOf(sub.Concept, r.Domain) && s.onto.IsSubConceptOf(obj.Concept, r.Range) {
 			compatible = true
 			break

@@ -18,9 +18,19 @@ import (
 )
 
 // Mapper maps a surface form to an external concept of a fixed graph.
+//
+// Concurrency contract: Map must be safe for concurrent use once the
+// mapper is constructed, as long as the underlying graph is not mutated —
+// the parallel offline phase (core.Ingest) hammers one shared Mapper from
+// many goroutines, and the server resolves query terms concurrently. All
+// mappers in this package satisfy the contract by being strictly read-only
+// after construction: they hold no per-call caches or scratch state, every
+// Map call allocates its own temporaries. Custom implementations must
+// follow the same rule (or lock internally).
 type Mapper interface {
 	// Map returns the external concept the surface form corresponds to.
-	// ok is false when no sufficiently similar concept exists.
+	// ok is false when no sufficiently similar concept exists. Map must be
+	// deterministic: the same name always yields the same concept.
 	Map(name string) (eks.ConceptID, bool)
 	// Name identifies the method, e.g. "EXACT".
 	Name() string

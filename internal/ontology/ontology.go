@@ -59,18 +59,20 @@ func ParseContext(s string) (Context, error) {
 // Ontology is a mutable domain ontology. The zero value is not usable;
 // call New.
 type Ontology struct {
-	concepts map[string]Concept
-	rels     []Relationship
-	relKey   map[string]bool // dedupe key domain|name|range
-	children map[string][]string
+	concepts   map[string]Concept
+	rels       []Relationship
+	relKey     map[string]bool // dedupe key domain|name|range
+	relsByName map[string][]Relationship
+	children   map[string][]string
 }
 
 // New returns an empty ontology.
 func New() *Ontology {
 	return &Ontology{
-		concepts: make(map[string]Concept),
-		relKey:   make(map[string]bool),
-		children: make(map[string][]string),
+		concepts:   make(map[string]Concept),
+		relKey:     make(map[string]bool),
+		relsByName: make(map[string][]Relationship),
+		children:   make(map[string][]string),
 	}
 }
 
@@ -113,6 +115,7 @@ func (o *Ontology) AddRelationship(r Relationship) error {
 	}
 	o.relKey[key] = true
 	o.rels = append(o.rels, r)
+	o.relsByName[r.Name] = append(o.relsByName[r.Name], r)
 	return nil
 }
 
@@ -143,6 +146,14 @@ func (o *Ontology) ConceptCount() int { return len(o.concepts) }
 
 // RelationshipCount returns the number of relationships.
 func (o *Ontology) RelationshipCount() int { return len(o.rels) }
+
+// RelationshipsNamed returns the relationships with the given role name,
+// in insertion order. The returned slice is shared — callers must not
+// modify it. Validation paths that run once per assertion use this to
+// avoid the copy Relationships makes.
+func (o *Ontology) RelationshipsNamed(name string) []Relationship {
+	return o.relsByName[name]
+}
 
 // Relationships returns a copy of all relationships, in insertion order.
 func (o *Ontology) Relationships() []Relationship {

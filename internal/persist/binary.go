@@ -1,0 +1,383 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"medrelax/internal/core"
+	"medrelax/internal/eks"
+	"medrelax/internal/kb"
+	"medrelax/internal/ontology"
+)
+
+// Binary bundle (v2) layout. Everything after the fixed header is a single
+// length-prefixed payload protected by a CRC-32 checksum:
+//
+//	magic   "MRXB"                      4 bytes
+//	version 2                           1 byte
+//	crc32   IEEE(payload)               4 bytes, little-endian
+//	length  uvarint(len(payload))
+//	payload
+//
+// The payload opens with a deduplicated string table (uvarint count, then
+// per string uvarint length + raw bytes); every string elsewhere is a
+// uvarint index into it. Sections follow in fixed order — ontology
+// concepts, ontology relationships, KB instances, KB assertions, EKS
+// concepts, EKS edges, EKS root, mappings, frequency table, shortcut count
+// — each a uvarint element count followed by its elements. Identifier
+// sequences sorted ascending (instance IDs, concept IDs, edge sources,
+// frequency IDs) are delta-encoded as uvarints with two's-complement
+// wraparound, so they stay one or two bytes each regardless of the
+// SCTID-style magnitude of the raw IDs; isolated IDs use signed varints.
+// Floats are IEEE-754 bits, little-endian. Decoding validates the
+// checksum, the declared length, every string reference, and that the
+// payload is consumed exactly — a truncated, corrupted or trailing-garbage
+// bundle fails loudly.
+
+// binaryMagic marks a v2 bundle. Load sniffs it to pick the decoder.
+const binaryMagic = "MRXB"
+
+// SaveBinary writes the ingestion as a binary (v2) bundle.
+func SaveBinary(w io.Writer, ing *core.Ingestion) error {
+	b, err := buildBundle(ing)
+	if err != nil {
+		return err
+	}
+	payload := encodeBinary(b)
+	head := make([]byte, 0, len(binaryMagic)+1+4+binary.MaxVarintLen64)
+	head = append(head, binaryMagic...)
+	head = append(head, VersionBinary)
+	head = binary.LittleEndian.AppendUint32(head, crc32.ChecksumIEEE(payload))
+	head = binary.AppendUvarint(head, uint64(len(payload)))
+	if _, err := w.Write(head); err != nil {
+		return fmt.Errorf("persist: writing binary header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("persist: writing binary payload: %w", err)
+	}
+	return nil
+}
+
+// binWriter accumulates the payload and interns strings.
+type binWriter struct {
+	body    []byte
+	strings []string
+	index   map[string]uint64
+}
+
+func (w *binWriter) ref(s string) uint64 {
+	if i, ok := w.index[s]; ok {
+		return i
+	}
+	i := uint64(len(w.strings))
+	w.strings = append(w.strings, s)
+	w.index[s] = i
+	return i
+}
+
+func (w *binWriter) uvarint(v uint64)  { w.body = binary.AppendUvarint(w.body, v) }
+func (w *binWriter) varint(v int64)    { w.body = binary.AppendVarint(w.body, v) }
+func (w *binWriter) str(s string)      { w.uvarint(w.ref(s)) }
+func (w *binWriter) float64(v float64) { w.body = binary.LittleEndian.AppendUint64(w.body, math.Float64bits(v)) }
+
+// delta emits cur relative to *prev as a wraparound uvarint and advances
+// *prev. Ascending sequences cost one or two bytes per element.
+func (w *binWriter) delta(cur int64, prev *int64) {
+	w.uvarint(uint64(cur - *prev))
+	*prev = cur
+}
+
+func encodeBinary(b *Bundle) []byte {
+	w := &binWriter{index: map[string]uint64{}}
+
+	w.uvarint(uint64(len(b.OntologyConcepts)))
+	for _, c := range b.OntologyConcepts {
+		w.str(c.Name)
+		w.str(c.Parent)
+	}
+	w.uvarint(uint64(len(b.OntologyRelationships)))
+	for _, r := range b.OntologyRelationships {
+		w.str(r.Name)
+		w.str(r.Domain)
+		w.str(r.Range)
+	}
+	w.uvarint(uint64(len(b.Instances)))
+	prev := int64(0)
+	for _, inst := range b.Instances {
+		w.delta(int64(inst.ID), &prev)
+		w.str(inst.Concept)
+		w.str(inst.Name)
+	}
+	w.uvarint(uint64(len(b.Assertions)))
+	prev = 0
+	for _, a := range b.Assertions {
+		w.delta(int64(a.Subject), &prev)
+		w.str(a.Relationship)
+		w.varint(int64(a.Object))
+	}
+	w.uvarint(uint64(len(b.EKSConcepts)))
+	prev = 0
+	for _, c := range b.EKSConcepts {
+		w.delta(int64(c.ID), &prev)
+		w.str(c.Name)
+		w.uvarint(uint64(len(c.Synonyms)))
+		for _, s := range c.Synonyms {
+			w.str(s)
+		}
+	}
+	w.uvarint(uint64(len(b.EKSEdges)))
+	prev = 0
+	for _, e := range b.EKSEdges {
+		w.delta(int64(e.From), &prev)
+		w.varint(int64(e.To))
+		bit := uint64(0)
+		if e.Shortcut {
+			bit = 1
+		}
+		w.uvarint(uint64(e.Dist)<<1 | bit)
+	}
+	w.varint(int64(b.EKSRoot))
+	w.uvarint(uint64(len(b.Mappings)))
+	prev = 0
+	for _, m := range b.Mappings {
+		w.delta(int64(m.Instance), &prev)
+		w.varint(int64(m.Concept))
+	}
+	w.uvarint(uint64(len(b.Frequencies.Labels)))
+	for _, ls := range b.Frequencies.Labels {
+		w.str(ls.Label)
+		w.uvarint(uint64(len(ls.IDs)))
+		prev = 0
+		for _, id := range ls.IDs {
+			w.delta(int64(id), &prev)
+		}
+		for _, v := range ls.Values {
+			w.float64(v)
+		}
+	}
+	w.varint(int64(b.Frequencies.Root))
+	w.float64(b.Frequencies.Smooth)
+	w.uvarint(uint64(b.Shortcuts))
+
+	// The string table heads the payload so the decoder resolves references
+	// in one pass.
+	table := binary.AppendUvarint(nil, uint64(len(w.strings)))
+	for _, s := range w.strings {
+		table = binary.AppendUvarint(table, uint64(len(s)))
+		table = append(table, s...)
+	}
+	return append(table, w.body...)
+}
+
+// binReader walks the payload with strict bounds checks; the first error
+// sticks and poisons every later read, so decode logic stays linear.
+type binReader struct {
+	buf     []byte
+	off     int
+	strings []string
+	err     error
+}
+
+func (r *binReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("persist: binary bundle: "+format, args...)
+	}
+}
+
+func (r *binReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("truncated varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *binReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("truncated varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads an element count and sanity-bounds it against the smallest
+// possible per-element footprint, so a corrupted length cannot drive a
+// huge allocation.
+func (r *binReader) count(minBytesPer int) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if minBytesPer < 1 {
+		minBytesPer = 1
+	}
+	if v > uint64(len(r.buf)-r.off)/uint64(minBytesPer)+1 {
+		r.fail("implausible element count %d at offset %d", v, r.off)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *binReader) str() string {
+	i := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if i >= uint64(len(r.strings)) {
+		r.fail("string reference %d out of range (table has %d)", i, len(r.strings))
+		return ""
+	}
+	return r.strings[i]
+}
+
+func (r *binReader) float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.fail("truncated float at offset %d", r.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *binReader) delta(prev *int64) int64 {
+	*prev += int64(r.uvarint())
+	return *prev
+}
+
+// decodeBinary reads a v2 stream (positioned at the magic) into a Bundle.
+func decodeBinary(rd io.Reader) (*Bundle, error) {
+	br := bufio.NewReader(rd)
+	head := make([]byte, len(binaryMagic)+1+4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("persist: binary bundle: reading header: %w", err)
+	}
+	if string(head[:len(binaryMagic)]) != binaryMagic {
+		return nil, fmt.Errorf("persist: binary bundle: bad magic")
+	}
+	if v := head[len(binaryMagic)]; v != VersionBinary {
+		return nil, fmt.Errorf("persist: binary bundle version %d, want %d", v, VersionBinary)
+	}
+	wantCRC := binary.LittleEndian.Uint32(head[len(binaryMagic)+1:])
+	length, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("persist: binary bundle: reading payload length: %w", err)
+	}
+	const maxPayload = 1 << 32 // 4 GiB: far above any real bundle, stops absurd allocations
+	if length > maxPayload {
+		return nil, fmt.Errorf("persist: binary bundle: implausible payload length %d", length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("persist: binary bundle: truncated payload (want %d bytes): %w", length, err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, fmt.Errorf("persist: binary bundle: checksum mismatch (corrupted bundle)")
+	}
+
+	r := &binReader{buf: payload}
+	nStr := r.count(1)
+	r.strings = make([]string, 0, nStr)
+	for i := 0; i < nStr && r.err == nil; i++ {
+		n := r.uvarint()
+		if r.err != nil {
+			break
+		}
+		if uint64(len(r.buf)-r.off) < n {
+			r.fail("truncated string %d (want %d bytes)", i, n)
+			break
+		}
+		r.strings = append(r.strings, string(r.buf[r.off:r.off+int(n)]))
+		r.off += int(n)
+	}
+
+	b := &Bundle{Version: Version}
+	n := r.count(2)
+	for i := 0; i < n && r.err == nil; i++ {
+		b.OntologyConcepts = append(b.OntologyConcepts, ontology.Concept{Name: r.str(), Parent: r.str()})
+	}
+	n = r.count(3)
+	for i := 0; i < n && r.err == nil; i++ {
+		b.OntologyRelationships = append(b.OntologyRelationships, ontology.Relationship{Name: r.str(), Domain: r.str(), Range: r.str()})
+	}
+	n = r.count(3)
+	prev := int64(0)
+	for i := 0; i < n && r.err == nil; i++ {
+		id := kb.InstanceID(r.delta(&prev))
+		b.Instances = append(b.Instances, kb.Instance{ID: id, Concept: r.str(), Name: r.str()})
+	}
+	n = r.count(3)
+	prev = 0
+	for i := 0; i < n && r.err == nil; i++ {
+		sub := kb.InstanceID(r.delta(&prev))
+		rel := r.str()
+		obj := kb.InstanceID(r.varint())
+		b.Assertions = append(b.Assertions, kb.Assertion{Subject: sub, Relationship: rel, Object: obj})
+	}
+	n = r.count(3)
+	prev = 0
+	for i := 0; i < n && r.err == nil; i++ {
+		c := eks.Concept{ID: eks.ConceptID(r.delta(&prev)), Name: r.str()}
+		syn := r.count(1)
+		for j := 0; j < syn && r.err == nil; j++ {
+			c.Synonyms = append(c.Synonyms, r.str())
+		}
+		b.EKSConcepts = append(b.EKSConcepts, c)
+	}
+	n = r.count(3)
+	prev = 0
+	for i := 0; i < n && r.err == nil; i++ {
+		from := eks.ConceptID(r.delta(&prev))
+		to := eks.ConceptID(r.varint())
+		packed := r.uvarint()
+		b.EKSEdges = append(b.EKSEdges, edgeDump{From: from, To: to, Dist: int(packed >> 1), Shortcut: packed&1 == 1})
+	}
+	b.EKSRoot = eks.ConceptID(r.varint())
+	n = r.count(2)
+	prev = 0
+	for i := 0; i < n && r.err == nil; i++ {
+		inst := kb.InstanceID(r.delta(&prev))
+		b.Mappings = append(b.Mappings, mappingDump{Instance: inst, Concept: eks.ConceptID(r.varint())})
+	}
+	n = r.count(2)
+	for i := 0; i < n && r.err == nil; i++ {
+		ls := core.FrequencyLabelSnapshot{Label: r.str()}
+		m := r.count(9) // one delta byte + 8 float bytes per entry, minimum
+		prev = 0
+		for j := 0; j < m && r.err == nil; j++ {
+			ls.IDs = append(ls.IDs, eks.ConceptID(r.delta(&prev)))
+		}
+		for j := 0; j < m && r.err == nil; j++ {
+			ls.Values = append(ls.Values, r.float64())
+		}
+		b.Frequencies.Labels = append(b.Frequencies.Labels, ls)
+	}
+	b.Frequencies.Root = eks.ConceptID(r.varint())
+	b.Frequencies.Smooth = r.float64()
+	b.Shortcuts = int(r.uvarint())
+
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.buf) {
+		return nil, fmt.Errorf("persist: binary bundle: %d trailing bytes after sections", len(r.buf)-r.off)
+	}
+	return b, nil
+}

@@ -5,12 +5,23 @@
 // (Section 5.1), really does run only once: production deployments save
 // the ingestion after building it and load it at startup.
 //
-// The format is versioned JSON: human-inspectable, stable across Go
-// versions, and strictly validated on load (a corrupted or truncated
-// bundle fails loudly rather than yielding a half-built system).
+// Two formats coexist:
+//
+//   - v1 is versioned JSON — human-inspectable, diff-friendly, stable
+//     across Go versions; written by Save.
+//   - v2 is a compact binary encoding (magic/version header, CRC-32
+//     checksum, length-prefixed sections, deduplicated string table,
+//     varint ids) — several times smaller and faster to load; written by
+//     SaveBinary. See binary.go for the layout.
+//
+// Load auto-detects the format from the first bytes of the stream. Both
+// formats are strictly validated on load (a corrupted or truncated bundle
+// fails loudly rather than yielding a half-built system).
 package persist
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -22,8 +33,11 @@ import (
 	"medrelax/internal/ontology"
 )
 
-// Version is the current bundle format version.
+// Version is the JSON bundle format version.
 const Version = 1
+
+// VersionBinary is the binary bundle format version.
+const VersionBinary = 2
 
 // Bundle is the on-disk form of an ingestion.
 type Bundle struct {
@@ -56,9 +70,10 @@ type mappingDump struct {
 	Concept  eks.ConceptID `json:"concept"`
 }
 
-// Save writes the ingestion as a bundle.
-func Save(w io.Writer, ing *core.Ingestion) error {
-	b := Bundle{Version: Version, Shortcuts: ing.ShortcutsAdded}
+// buildBundle assembles the serializable form of an ingestion, shared by
+// both formats.
+func buildBundle(ing *core.Ingestion) (*Bundle, error) {
+	b := &Bundle{Version: Version, Shortcuts: ing.ShortcutsAdded}
 
 	for _, name := range ing.Ontology.ConceptNames() {
 		c, _ := ing.Ontology.Concept(name)
@@ -71,7 +86,7 @@ func Save(w io.Writer, ing *core.Ingestion) error {
 
 	root, ok := ing.Graph.Root()
 	if !ok {
-		return fmt.Errorf("persist: graph has no root")
+		return nil, fmt.Errorf("persist: graph has no root")
 	}
 	b.EKSRoot = root
 	for _, id := range ing.Graph.ConceptIDs() {
@@ -86,30 +101,55 @@ func Save(w io.Writer, ing *core.Ingestion) error {
 	for iid := range ing.Mappings {
 		iids = append(iids, iid)
 	}
-	sortInstanceIDs(iids)
+	slices.Sort(iids)
 	for _, iid := range iids {
 		b.Mappings = append(b.Mappings, mappingDump{Instance: iid, Concept: ing.Mappings[iid]})
 	}
 
 	b.Frequencies = ing.Frequencies.Snapshot()
-
-	enc := json.NewEncoder(w)
-	return enc.Encode(&b)
+	return b, nil
 }
 
-// Load reads a bundle and reconstructs the ingestion. The returned
+// Save writes the ingestion as a JSON (v1) bundle.
+func Save(w io.Writer, ing *core.Ingestion) error {
+	b, err := buildBundle(ing)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(b)
+}
+
+// Load reads a bundle — JSON v1 or binary v2, auto-detected from the
+// stream's first bytes — and reconstructs the ingestion. The returned
 // ingestion is fully usable for the online phase: build a Similarity over
 // ing.Frequencies and a Relaxer over it.
 func Load(r io.Reader) (*core.Ingestion, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(binaryMagic))
+	if err != nil && len(head) == 0 {
+		return nil, fmt.Errorf("persist: reading bundle: %w", err)
+	}
+	if bytes.Equal(head, []byte(binaryMagic)) {
+		b, err := decodeBinary(br)
+		if err != nil {
+			return nil, err
+		}
+		return restore(b)
+	}
 	var b Bundle
-	dec := json.NewDecoder(r)
+	dec := json.NewDecoder(br)
 	if err := dec.Decode(&b); err != nil {
 		return nil, fmt.Errorf("persist: decoding bundle: %w", err)
 	}
 	if b.Version != Version {
 		return nil, fmt.Errorf("persist: bundle version %d, want %d", b.Version, Version)
 	}
+	return restore(&b)
+}
 
+// restore reconstructs and validates an ingestion from a decoded bundle.
+func restore(b *Bundle) (*core.Ingestion, error) {
 	onto := ontology.New()
 	// Concepts must be added parents-first: iterate until fixpoint (the
 	// hierarchy is shallow, so two passes usually suffice).
@@ -138,7 +178,7 @@ func Load(r io.Reader) (*core.Ingestion, error) {
 		}
 	}
 
-	store := kb.NewStore(onto)
+	store := kb.NewStoreSized(onto, len(b.Instances))
 	for _, inst := range b.Instances {
 		if err := store.AddInstance(inst); err != nil {
 			return nil, fmt.Errorf("persist: instance %d: %w", inst.ID, err)
@@ -150,7 +190,7 @@ func Load(r io.Reader) (*core.Ingestion, error) {
 		}
 	}
 
-	g := eks.New()
+	g := eks.NewSized(len(b.EKSConcepts))
 	for _, c := range b.EKSConcepts {
 		if err := g.AddConcept(c); err != nil {
 			return nil, fmt.Errorf("persist: eks concept %d: %w", c.ID, err)
@@ -202,8 +242,4 @@ func Load(r io.Reader) (*core.Ingestion, error) {
 		ing.Flagged[m.Concept] = true
 	}
 	return ing, nil
-}
-
-func sortInstanceIDs(ids []kb.InstanceID) {
-	slices.Sort(ids)
 }

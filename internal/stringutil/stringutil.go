@@ -10,20 +10,85 @@ package stringutil
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Normalize canonicalizes a surface form for matching: it lowercases,
 // collapses runs of whitespace, strips surrounding punctuation from tokens,
-// and trims the result. Normalize is idempotent.
+// and trims the result. Normalize is idempotent; already-normal input is
+// returned as-is without allocating, which makes re-normalization on the
+// ingestion and restore hot paths near-free.
 func Normalize(s string) string {
+	if isNormalized(s) {
+		return s
+	}
 	tokens := Tokenize(s)
 	return strings.Join(tokens, " ")
+}
+
+// isNormalized reports whether s is already in Normalize's output form:
+// lowercase ASCII tokens of letters/digits (with interior -/' connectors)
+// separated by single spaces, no leading/trailing blanks or dangling
+// connectors.
+func isNormalized(s string) bool {
+	prev := byte(' ') // sentinel: start of string behaves like after-space
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+		case c == '-' || c == '\'':
+			// Connectors survive Normalize only in token interiors.
+			if prev == ' ' || i+1 >= len(s) || s[i+1] == ' ' {
+				return false
+			}
+		case c == ' ':
+			if prev == ' ' || i == len(s)-1 {
+				return false
+			}
+		default:
+			return false
+		}
+		prev = c
+	}
+	return true
 }
 
 // Tokenize splits s into lowercase word tokens. A token is a maximal run of
 // letters, digits, or intra-word hyphens/apostrophes. All other runes
 // separate tokens. Tokenize never returns empty tokens.
 func Tokenize(s string) []string {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return tokenizeRunes(s)
+		}
+	}
+	// ASCII fast path: lowercase once, then slice tokens out of the shared
+	// backing string instead of building each one rune by rune.
+	lower := strings.ToLower(s)
+	var tokens []string
+	for i := 0; i < len(lower); {
+		for i < len(lower) && !isTokenByte(lower[i]) {
+			i++
+		}
+		start := i
+		for i < len(lower) && isTokenByte(lower[i]) {
+			i++
+		}
+		if start < i {
+			if tok := strings.Trim(lower[start:i], "-'"); tok != "" {
+				tokens = append(tokens, tok)
+			}
+		}
+	}
+	return tokens
+}
+
+func isTokenByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-' || c == '\''
+}
+
+// tokenizeRunes is the general Unicode path of Tokenize.
+func tokenizeRunes(s string) []string {
 	var tokens []string
 	var b strings.Builder
 	flush := func() {

@@ -19,6 +19,7 @@ package medrelax
 
 import (
 	"fmt"
+	"time"
 
 	"medrelax/internal/core"
 	"medrelax/internal/corpus"
@@ -73,6 +74,21 @@ func DefaultConfig() Config {
 	}
 }
 
+// BuildTimings breaks down where Build spent its wall-clock time, so the
+// CLI and server can report the offline-phase cost (and the speedup of
+// loading a persisted bundle instead).
+type BuildTimings struct {
+	// WorldGen covers synthetic EKS + MED + corpus generation.
+	WorldGen time.Duration
+	// Embeddings covers training both embedding models and the encoders.
+	Embeddings time.Duration
+	// Ingest covers Algorithm 1 (mapping, frequencies, customization),
+	// including the dense-index freeze.
+	Ingest time.Duration
+	// Total is the whole Build call.
+	Total time.Duration
+}
+
 // System is a fully built reproduction environment.
 type System struct {
 	Config        Config
@@ -90,6 +106,7 @@ type System struct {
 	Relaxer       *core.Relaxer
 	Methods       []core.Method
 	Oracle        *eval.Oracle
+	Timings       BuildTimings
 }
 
 // Build generates the synthetic world and runs the offline phase.
@@ -113,6 +130,8 @@ func Build(cfg Config) (*System, error) {
 		cfg.Embedding.Seed = cfg.Seed + 3
 	}
 
+	var timings BuildTimings
+	start := time.Now()
 	world, err := synthkb.Generate(cfg.EKS)
 	if err != nil {
 		return nil, fmt.Errorf("medrelax: generating external knowledge source: %w", err)
@@ -123,7 +142,9 @@ func Build(cfg Config) (*System, error) {
 	}
 	corp := medkb.BuildCorpus(world, med, cfg.Corpus)
 	general := medkb.BuildPretrainCorpus(world, cfg.Seed+4, 0)
+	timings.WorldGen = time.Since(start)
 
+	embedStart := time.Now()
 	medModel, err := embedding.Train(corp.TokenStreams(), cfg.Embedding)
 	if err != nil {
 		return nil, fmt.Errorf("medrelax: training corpus embeddings: %w", err)
@@ -152,11 +173,15 @@ func Build(cfg Config) (*System, error) {
 	if !ok {
 		return nil, fmt.Errorf("medrelax: unknown mapper %q (want EXACT, EDIT or EMBEDDING)", cfg.MapperName)
 	}
+	timings.Embeddings = time.Since(embedStart)
 
+	ingestStart := time.Now()
 	ing, err := core.Ingest(med.Ontology, med.Store, world.Graph, corp, mapper, cfg.Ingest)
 	if err != nil {
 		return nil, fmt.Errorf("medrelax: ingestion: %w", err)
 	}
+	timings.Ingest = time.Since(ingestStart)
+	timings.Total = time.Since(start)
 
 	sim := core.NewSimilarity(ing.Graph, ing.Frequencies, ing.Ontology)
 	relaxer := core.NewRelaxer(ing, sim, mapper, cfg.Relax)
@@ -186,6 +211,7 @@ func Build(cfg Config) (*System, error) {
 		Relaxer:       relaxer,
 		Methods:       methods,
 		Oracle:        eval.NewOracle(world, med),
+		Timings:       timings,
 	}, nil
 }
 
