@@ -1,32 +1,48 @@
 // Command kbserver exposes the query relaxation system over HTTP with a
 // small JSON API, the way the paper's method was deployed as a cloud
-// service interacting with the conversational frontend.
+// service interacting with the conversational frontend. The serving layer
+// (internal/serving) adds a result cache, admission control, hot bundle
+// reload, and Prometheus-format metrics.
 //
 // Endpoints:
 //
 //	GET  /healthz                           liveness probe
-//	GET  /stats                             world and ingestion statistics
-//	GET  /relax?term=X&context=C&k=N        ranked relaxed results
+//	GET  /stats                             world, ingestion, and serving statistics
+//	GET  /relax?term=X&context=C&k=N        ranked relaxed results (cached)
+//	GET  /terms?n=N                         sample of relaxable query terms
 //	POST /chat {"session":"s1","text":"…"}  stateful conversation turn
+//	GET  /metrics                           Prometheus text exposition
+//	POST /admin/reload                      reload the -load bundle and swap atomically
+//
+// SIGHUP also triggers a bundle reload; SIGINT/SIGTERM drain in-flight
+// requests and exit.
 //
 // Usage:
 //
 //	kbserver -addr :8080 -seed 42
+//	kbserver -addr :8080 -load bundle.bin
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"slices"
+	"syscall"
 	"time"
 
 	"medrelax"
 	"medrelax/internal/core"
 	"medrelax/internal/dialog"
+	"medrelax/internal/eks"
 	"medrelax/internal/match"
 	"medrelax/internal/persist"
 	"medrelax/internal/server"
+	"medrelax/internal/serving"
 )
 
 // systemBackend adapts the medrelax facade to the server's Backend.
@@ -34,8 +50,8 @@ type systemBackend struct {
 	sys *medrelax.System
 }
 
-func (b *systemBackend) Relax(term, ctx string, k int) ([]server.RelaxResult, error) {
-	results, err := b.sys.Relax(term, ctx, k)
+func (b *systemBackend) Relax(ctx context.Context, term, qctx string, k int) ([]server.RelaxResult, error) {
+	results, err := b.sys.RelaxContext(ctx, term, qctx, k)
 	if err != nil {
 		return nil, err
 	}
@@ -52,6 +68,26 @@ func (b *systemBackend) Relax(term, ctx string, k int) ([]server.RelaxResult, er
 
 func (b *systemBackend) NewConversation() (*dialog.Conversation, error) {
 	return b.sys.NewConversation(true)
+}
+
+// Terms implements server.TermSampler over the flagged concepts.
+func (b *systemBackend) Terms(n int) []string {
+	ids := make([]eks.ConceptID, 0, len(b.sys.Ingestion.Flagged))
+	for id := range b.sys.Ingestion.Flagged {
+		ids = append(ids, id)
+	}
+	// Deterministic order so repeated loadgen runs see the same mix.
+	slices.Sort(ids)
+	if n < len(ids) {
+		ids = ids[:n]
+	}
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if c, ok := b.sys.World.Graph.Concept(id); ok {
+			out = append(out, c.Name)
+		}
+	}
+	return out
 }
 
 func (b *systemBackend) Stats() map[string]any {
@@ -71,18 +107,16 @@ func (b *systemBackend) Stats() map[string]any {
 // loadBackend serves relaxation from a saved ingestion bundle: no world
 // regeneration, no embedding training — the cold-start path the bundle
 // format exists for. /chat is unavailable because conversations need the
-// full synthetic world, which the bundle deliberately omits.
+// full synthetic world, which the bundle deliberately omits. The same
+// path backs POST /admin/reload and SIGHUP, so pushing a new bundle file
+// and poking the endpoint swaps worlds without a restart.
 func loadBackend(path string) (server.Backend, error) {
-	f, err := os.Open(path)
+	loadStart := time.Now()
+	ing, err := persist.LoadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	loadStart := time.Now()
-	ing, err := persist.Load(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
+	if err := persist.ValidateForServing(ing); err != nil {
 		return nil, err
 	}
 	loadDur := time.Since(loadStart)
@@ -94,14 +128,30 @@ func loadBackend(path string) (server.Backend, error) {
 	mapper := match.NewCombined(match.NewExact(ing.Graph), match.NewEdit(ing.Graph, 0), match.NewLookupService(ing.Graph))
 	sim := core.NewSimilarity(ing.Graph, ing.Frequencies, ing.Ontology)
 	relaxer := core.NewRelaxer(ing, sim, mapper, core.RelaxOptions{Radius: 3, DynamicRadius: true})
-	return &server.RelaxerBackend{Relaxer: relaxer, Ing: ing}, nil
+	backend := &server.RelaxerBackend{Relaxer: relaxer, Ing: ing}
+	// Probe one flagged term end to end so a structurally valid bundle
+	// that cannot actually answer fails here, not in production traffic.
+	if terms := backend.Terms(1); len(terms) > 0 {
+		if _, err := backend.Relax(context.Background(), terms[0], "", 1); err != nil {
+			return nil, err
+		}
+	}
+	return backend, nil
 }
 
 func main() {
 	var (
 		addr = flag.String("addr", ":8080", "listen address")
 		seed = flag.Int64("seed", 42, "generation seed")
-		load = flag.String("load", "", "serve from a saved ingestion bundle instead of rebuilding the world (disables /chat)")
+		load = flag.String("load", "", "serve from a saved ingestion bundle instead of rebuilding the world (disables /chat, enables /admin/reload)")
+
+		cacheSize = flag.Int("cache-size", 16384, "result cache capacity in entries (0 disables caching)")
+		cacheTTL  = flag.Duration("cache-ttl", 5*time.Minute, "result cache entry TTL (0: LRU/reload eviction only)")
+		maxConc   = flag.Int("max-concurrent", 256, "max concurrently admitted /relax+/chat requests; excess sheds with 429 (0: unlimited)")
+		relaxTO   = flag.Duration("relax-timeout", 2*time.Second, "per-request /relax deadline (0: none)")
+		chatTO    = flag.Duration("chat-timeout", 5*time.Second, "per-request /chat deadline (0: none)")
+		chatRPS   = flag.Float64("chat-rps", 200, "global /chat rate limit in requests/second (0: unlimited)")
+		slowQ     = flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold (0: disabled)")
 	)
 	flag.Parse()
 
@@ -127,7 +177,61 @@ func main() {
 			tm.Embeddings.Round(time.Millisecond), tm.Ingest.Round(time.Millisecond))
 		backend = &systemBackend{sys: sys}
 	}
-	srv := server.New(backend)
+
+	opts := serving.DefaultOptions()
+	opts.CacheCapacity = *cacheSize
+	opts.CacheTTL = *cacheTTL
+	opts.MaxConcurrent = *maxConc
+	opts.RelaxTimeout = *relaxTO
+	opts.ChatTimeout = *chatTO
+	opts.ChatRPS = *chatRPS
+	opts.SlowQuery = *slowQ
+	if *load != "" {
+		bundle := *load
+		opts.Loader = func() (server.Backend, error) { return loadBackend(bundle) }
+	}
+	engine := serving.NewEngine(backend, opts)
+	api := server.New(engine)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           engine.Handler(api.Handler()),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	// SIGHUP reloads the bundle in place; SIGINT/SIGTERM drain and exit.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			log.Print("kbserver: SIGHUP — reloading bundle")
+			if err := engine.Reload(); err != nil {
+				log.Printf("kbserver: reload failed, keeping current bundle: %v", err)
+			}
+		}
+	}()
+
+	shutdown := make(chan os.Signal, 1)
+	signal.Notify(shutdown, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-shutdown
+		log.Printf("kbserver: %s — draining in-flight requests", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("kbserver: shutdown: %v", err)
+		}
+	}()
+
 	log.Printf("kbserver listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("kbserver: %v", err)
+	}
+	<-done
+	log.Print("kbserver: shutdown complete")
 }

@@ -1,0 +1,388 @@
+// Command loadgen drives a running kbserver with a zipfian query mix —
+// the head-heavy term distribution query-expansion traffic actually has —
+// and records what the serving layer does under it: cold vs warm tail
+// latency, cache hit/miss/collapse counts, and shed behavior past the
+// concurrency limit. Results go to BENCH_serve.json and a Markdown
+// summary, so cache and admission behavior is benchmarked, not asserted.
+//
+// Usage (against a fresh server so the cold phase is really cold):
+//
+//	kbserver -addr :8080 -load bundle.bin &
+//	loadgen -addr http://127.0.0.1:8080 -duration 10s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+type phaseStats struct {
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+	P50Ms      float64 `json:"p50Ms"`
+	P95Ms      float64 `json:"p95Ms"`
+	P99Ms      float64 `json:"p99Ms"`
+	MeanMs     float64 `json:"meanMs"`
+	Throughput float64 `json:"requestsPerSecond"`
+}
+
+type burstStats struct {
+	Requests int `json:"requests"`
+	OK       int `json:"ok"`
+	Shed     int `json:"shed429"`
+	Errors   int `json:"errors"`
+}
+
+type report struct {
+	Addr          string  `json:"addr"`
+	Terms         int     `json:"terms"`
+	ZipfS         float64 `json:"zipfS"`
+	K             int     `json:"k"`
+	Concurrency   int     `json:"concurrency"`
+	DurationSec   float64 `json:"warmDurationSeconds"`
+	BurstWorkers  int     `json:"burstWorkers"`
+	GeneratededAt string  `json:"generatedAt"`
+
+	Cold  phaseStats `json:"cold"`
+	Warm  phaseStats `json:"warm"`
+	Burst burstStats `json:"burst"`
+
+	WarmSpeedupP95 float64 `json:"warmSpeedupP95"`
+	ByteIdentical  bool    `json:"cachedResponsesByteIdentical"`
+
+	ServerMetrics map[string]float64 `json:"serverMetrics"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "kbserver base URL")
+		terms    = flag.Int("terms", 200, "distinct terms to fetch from /terms")
+		zipfS    = flag.Float64("zipf-s", 1.2, "zipf skew (>1; larger = heavier head)")
+		k        = flag.Int("k", 10, "k per /relax request")
+		conc     = flag.Int("conc", 16, "concurrent workers in the warm phase")
+		duration = flag.Duration("duration", 10*time.Second, "warm phase duration")
+		burstN   = flag.Int("burst", 128, "concurrent workers in the shed burst (0 skips)")
+		burstReq = flag.Int("burst-requests", 20, "requests per burst worker")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		outJSON  = flag.String("out", "BENCH_serve.json", "JSON report path")
+		outMD    = flag.String("md", "results/BENCH_serve.md", "Markdown report path")
+	)
+	flag.Parse()
+
+	// Default transports keep only two idle conns per host: at high
+	// worker counts every request would pay TCP setup, measuring the
+	// dialer instead of the server. Keep a conn per worker alive.
+	maxConns := *conc
+	if *burstN > maxConns {
+		maxConns = *burstN
+	}
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        maxConns + 8,
+			MaxIdleConnsPerHost: maxConns + 8,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+	termList := fetchTerms(client, *addr, *terms)
+	if len(termList) == 0 {
+		log.Fatal("loadgen: server returned no terms")
+	}
+	log.Printf("loadgen: %d terms, zipf s=%.2f, k=%d", len(termList), *zipfS, *k)
+
+	rep := &report{
+		Addr: *addr, Terms: len(termList), ZipfS: *zipfS, K: *k,
+		Concurrency: *conc, DurationSec: duration.Seconds(), BurstWorkers: *burstN,
+		GeneratededAt: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	// Phase 1 — cold: every term exactly once against an empty cache.
+	log.Print("loadgen: cold phase (sequential, all misses)")
+	coldLat := make([]time.Duration, 0, len(termList))
+	coldErrs := 0
+	coldStart := time.Now()
+	for _, term := range termList {
+		d, code := timedRelax(client, *addr, term, *k)
+		if code != http.StatusOK {
+			coldErrs++
+			continue
+		}
+		coldLat = append(coldLat, d)
+	}
+	rep.Cold = summarize(coldLat, coldErrs, time.Since(coldStart))
+
+	// Phase 2 — warm: zipfian mix, concurrent, head terms now cached.
+	log.Printf("loadgen: warm phase (%d workers, %s)", *conc, *duration)
+	var mu sync.Mutex
+	warmLat := make([]time.Duration, 0, 1<<16)
+	warmErrs := 0
+	var wg sync.WaitGroup
+	warmStart := time.Now()
+	deadline := warmStart.Add(*duration)
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			zipf := rand.NewZipf(rng, *zipfS, 1, uint64(len(termList)-1))
+			local := make([]time.Duration, 0, 4096)
+			errs := 0
+			for time.Now().Before(deadline) {
+				term := termList[zipf.Uint64()]
+				d, code := timedRelax(client, *addr, term, *k)
+				if code != http.StatusOK {
+					errs++
+					continue
+				}
+				local = append(local, d)
+			}
+			mu.Lock()
+			warmLat = append(warmLat, local...)
+			warmErrs += errs
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	rep.Warm = summarize(warmLat, warmErrs, time.Since(warmStart))
+	if rep.Warm.P95Ms > 0 {
+		rep.WarmSpeedupP95 = rep.Cold.P95Ms / rep.Warm.P95Ms
+	}
+
+	// Phase 3 — burst: cache-busting random k past the concurrency limit;
+	// the server must answer every request immediately with 200 or 429.
+	if *burstN > 0 {
+		log.Printf("loadgen: shed burst (%d workers x %d requests)", *burstN, *burstReq)
+		var ok, shed, errs int
+		var bmu sync.Mutex
+		for w := 0; w < *burstN; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(*seed + 1000 + int64(w)))
+				var lok, lshed, lerr int
+				for i := 0; i < *burstReq; i++ {
+					term := termList[rng.Intn(len(termList))]
+					kk := 1 + rng.Intn(1000)
+					_, code := timedRelax(client, *addr, term, kk)
+					switch code {
+					case http.StatusOK:
+						lok++
+					case http.StatusTooManyRequests:
+						lshed++
+					default:
+						lerr++
+					}
+				}
+				bmu.Lock()
+				ok += lok
+				shed += lshed
+				errs += lerr
+				bmu.Unlock()
+			}(w)
+		}
+		wg.Wait()
+		rep.Burst = burstStats{Requests: *burstN * *burstReq, OK: ok, Shed: shed, Errors: errs}
+	}
+
+	// Phase 4 — cached responses must be byte-identical to uncached ones.
+	rep.ByteIdentical = true
+	for i := 0; i < 5 && i < len(termList); i++ {
+		url := fmt.Sprintf("%s/relax?term=%s&k=%d", *addr, queryEscape(termList[i]), *k)
+		a := fetchBody(client, url)
+		b := fetchBody(client, url)
+		if a == "" || a != b {
+			rep.ByteIdentical = false
+			log.Printf("loadgen: BYTE MISMATCH for %s", termList[i])
+		}
+	}
+
+	rep.ServerMetrics = scrapeMetrics(client, *addr)
+
+	if err := writeJSON(*outJSON, rep); err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	if err := writeMarkdown(*outMD, rep); err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	log.Printf("loadgen: cold p95 %.2fms, warm p95 %.2fms (%.1fx), %d shed, wrote %s and %s",
+		rep.Cold.P95Ms, rep.Warm.P95Ms, rep.WarmSpeedupP95, rep.Burst.Shed, *outJSON, *outMD)
+}
+
+func fetchTerms(client *http.Client, addr string, n int) []string {
+	resp, err := client.Get(fmt.Sprintf("%s/terms?n=%d", addr, n))
+	if err != nil {
+		log.Fatalf("loadgen: fetching terms: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		log.Fatalf("loadgen: /terms = %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Terms []string `json:"terms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatalf("loadgen: decoding terms: %v", err)
+	}
+	return out.Terms
+}
+
+func timedRelax(client *http.Client, addr, term string, k int) (time.Duration, int) {
+	url := fmt.Sprintf("%s/relax?term=%s&k=%d", addr, queryEscape(term), k)
+	start := time.Now()
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return time.Since(start), resp.StatusCode
+}
+
+func fetchBody(client *http.Client, url string) string {
+	resp, err := client.Get(url)
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return ""
+	}
+	return string(body)
+}
+
+func queryEscape(s string) string {
+	return strings.ReplaceAll(s, " ", "+")
+}
+
+func summarize(lat []time.Duration, errs int, elapsed time.Duration) phaseStats {
+	st := phaseStats{Requests: len(lat) + errs, Errors: errs}
+	if len(lat) == 0 {
+		return st
+	}
+	slices.Sort(lat)
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	st.P50Ms = ms(quantile(lat, 0.50))
+	st.P95Ms = ms(quantile(lat, 0.95))
+	st.P99Ms = ms(quantile(lat, 0.99))
+	st.MeanMs = ms(sum / time.Duration(len(lat)))
+	if elapsed > 0 {
+		st.Throughput = float64(len(lat)) / elapsed.Seconds()
+	}
+	return st
+}
+
+func quantile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// scrapeMetrics pulls the serving-layer counters loadgen reports on.
+func scrapeMetrics(client *http.Client, addr string) map[string]float64 {
+	body := fetchBody(client, addr+"/metrics")
+	out := map[string]float64{}
+	wanted := []string{
+		"medrelax_relax_cache_hits_total",
+		"medrelax_relax_cache_misses_total",
+		"medrelax_relax_cache_collapsed_total",
+		"medrelax_http_shed_total",
+		"medrelax_http_inflight",
+		"medrelax_bundle_generation",
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		name := fields[0]
+		base := name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		for _, w := range wanted {
+			if base == w {
+				v, err := strconv.ParseFloat(fields[1], 64)
+				if err == nil {
+					out[name] = out[name] + v
+				}
+			}
+		}
+	}
+	return out
+}
+
+func writeJSON(path string, rep *report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func writeMarkdown(path string, rep *report) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Serving benchmark (cmd/loadgen)\n\n")
+	fmt.Fprintf(&b, "Generated %s against %s. %d distinct terms, zipf s=%.2f, k=%d, %d warm workers for %.0fs.\n\n",
+		rep.GeneratededAt, rep.Addr, rep.Terms, rep.ZipfS, rep.K, rep.Concurrency, rep.DurationSec)
+	fmt.Fprintf(&b, "## /relax latency, cold vs warm cache\n\n")
+	fmt.Fprintf(&b, "| phase | requests | errors | p50 (ms) | p95 (ms) | p99 (ms) | mean (ms) | req/s |\n")
+	fmt.Fprintf(&b, "|---|---:|---:|---:|---:|---:|---:|---:|\n")
+	fmt.Fprintf(&b, "| cold (sequential, empty cache) | %d | %d | %.3f | %.3f | %.3f | %.3f | %.0f |\n",
+		rep.Cold.Requests, rep.Cold.Errors, rep.Cold.P50Ms, rep.Cold.P95Ms, rep.Cold.P99Ms, rep.Cold.MeanMs, rep.Cold.Throughput)
+	fmt.Fprintf(&b, "| warm (zipfian, concurrent) | %d | %d | %.3f | %.3f | %.3f | %.3f | %.0f |\n\n",
+		rep.Warm.Requests, rep.Warm.Errors, rep.Warm.P50Ms, rep.Warm.P95Ms, rep.Warm.P99Ms, rep.Warm.MeanMs, rep.Warm.Throughput)
+	fmt.Fprintf(&b, "**Warm-cache p95 speedup: %.1fx.** Cached responses byte-identical to uncached: **%v**.\n\n",
+		rep.WarmSpeedupP95, rep.ByteIdentical)
+	if rep.Burst.Requests > 0 {
+		fmt.Fprintf(&b, "## Shed burst (%d workers, cache-busting random k)\n\n", rep.BurstWorkers)
+		fmt.Fprintf(&b, "| requests | 200 OK | 429 shed | other |\n|---:|---:|---:|---:|\n")
+		fmt.Fprintf(&b, "| %d | %d | %d | %d |\n\n", rep.Burst.Requests, rep.Burst.OK, rep.Burst.Shed, rep.Burst.Errors)
+		fmt.Fprintf(&b, "Past the concurrency limit the server sheds with `429 + Retry-After` instead of queueing; no request waits in an unbounded queue.\n\n")
+	}
+	if len(rep.ServerMetrics) > 0 {
+		fmt.Fprintf(&b, "## Server-side counters (/metrics)\n\n| series | value |\n|---|---:|\n")
+		keys := make([]string, 0, len(rep.ServerMetrics))
+		for k := range rep.ServerMetrics {
+			keys = append(keys, k)
+		}
+		slices.Sort(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "| `%s` | %.0f |\n", k, rep.ServerMetrics[k])
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

@@ -26,6 +26,7 @@ import (
 func main() {
 	var (
 		seed    = flag.Int64("seed", 42, "generation seed")
+		scale   = flag.Int("world-scale", 0, "conditions per (body part, severity) pair; 0 = paper-scale default")
 		term    = flag.String("term", "", "query term to relax (empty: interactive)")
 		context = flag.String("context", medrelax.ContextIndication, "query context Domain-Relationship-Range (empty: context-free)")
 		k       = flag.Int("k", 10, "number of results")
@@ -50,6 +51,7 @@ func main() {
 	cfg := medrelax.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.MapperName = *mapper
+	cfg.EKS.ConditionsPerPair = *scale
 	if !*quiet {
 		fmt.Fprintln(os.Stderr, "building synthetic world and running ingestion ...")
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -8,6 +10,17 @@ import (
 	"medrelax/internal/kb"
 	"medrelax/internal/match"
 	"medrelax/internal/ontology"
+)
+
+// Sentinel errors let serving layers map failures to transport-level
+// outcomes (HTTP status codes) without string matching. They are wrapped
+// with detail, so test with errors.Is.
+var (
+	// ErrUnknownTerm marks a query term that maps to no external concept —
+	// the caller asked about something the knowledge source does not name.
+	ErrUnknownTerm = errors.New("unknown query term")
+	// ErrBadContext marks a malformed or unknown query context string.
+	ErrBadContext = errors.New("invalid query context")
 )
 
 // Result is one relaxed answer: an external concept within the search
@@ -68,13 +81,23 @@ func NewRelaxer(ing *Ingestion, sim *Similarity, mapper match.Mapper, opts Relax
 }
 
 // RelaxTerm maps a query term to an external concept and relaxes it. It
-// fails when the term cannot be mapped to any external concept.
+// fails when the term cannot be mapped to any external concept (the error
+// wraps ErrUnknownTerm).
 func (r *Relaxer) RelaxTerm(term string, ctx *ontology.Context, k int) ([]Result, error) {
+	return r.RelaxTermContext(context.Background(), term, ctx, k)
+}
+
+// RelaxTermContext is RelaxTerm with request-scoped cancellation: the
+// serving layer threads the HTTP request context here so a deadline set by
+// admission control stops the traversal mid-flight instead of burning CPU
+// on an answer nobody will receive. The returned error wraps
+// context.DeadlineExceeded / context.Canceled when the context fired.
+func (r *Relaxer) RelaxTermContext(ctx context.Context, term string, qctx *ontology.Context, k int) ([]Result, error) {
 	q, ok := r.mapper.Map(term)
 	if !ok {
-		return nil, fmt.Errorf("core: query term %q has no corresponding external concept", term)
+		return nil, fmt.Errorf("core: query term %q: %w", term, ErrUnknownTerm)
 	}
-	return r.RelaxConcept(q, ctx, k), nil
+	return r.RelaxConceptContext(ctx, q, qctx, k)
 }
 
 // RelaxConcept runs Algorithm 2 from an already-mapped query concept:
@@ -83,15 +106,28 @@ func (r *Relaxer) RelaxTerm(term string, ctx *ontology.Context, k int) ([]Result
 // instances are collected (or candidates run out). The full ranked
 // candidate list that was consumed is returned.
 func (r *Relaxer) RelaxConcept(q eks.ConceptID, ctx *ontology.Context, k int) []Result {
+	// Background never cancels, so the error path is unreachable here.
+	out, _ := r.RelaxConceptContext(context.Background(), q, ctx, k)
+	return out
+}
+
+// RelaxConceptContext is RelaxConcept under request-scoped cancellation.
+// Cancellation is checked between radius-growth rounds and periodically
+// during candidate scoring; on expiry the partial work is discarded and
+// the context's error is returned.
+func (r *Relaxer) RelaxConceptContext(ctx context.Context, q eks.ConceptID, qctx *ontology.Context, k int) ([]Result, error) {
 	target := k
 	if target <= 0 {
 		target = defaultCandidateTarget
 	}
-	ranked := r.rankedCandidatesTarget(q, ctx, target)
-	if k <= 0 {
-		return ranked
+	ranked, err := r.rankedCandidatesTarget(ctx, q, qctx, target)
+	if err != nil {
+		return nil, err
 	}
-	return takeForKInstances(ranked, k)
+	if k <= 0 {
+		return ranked, nil
+	}
+	return takeForKInstances(ranked, k), nil
 }
 
 // takeForKInstances keeps consuming ranked candidates until at least k
@@ -118,16 +154,25 @@ func takeForKInstances(ranked []Result, k int) []Result {
 // dynamically grown) radius of q, ranked by similarity to q, best first.
 // Ties break by concept ID for determinism.
 func (r *Relaxer) RankedCandidates(q eks.ConceptID, ctx *ontology.Context) []Result {
-	return r.rankedCandidatesTarget(q, ctx, defaultCandidateTarget)
+	out, _ := r.rankedCandidatesTarget(context.Background(), q, ctx, defaultCandidateTarget)
+	return out
 }
+
+// scoreCheckInterval is how many candidate scorings happen between context
+// checks: similarity scoring dominates online latency, so the deadline is
+// polled often enough to stop promptly but not on every candidate.
+const scoreCheckInterval = 64
 
 // rankedCandidatesTarget gathers and ranks candidates; with DynamicRadius
 // the radius grows until the candidates can supply target KB instances —
 // the paper's "dynamically decided if a fixed r cannot provide k results".
-func (r *Relaxer) rankedCandidatesTarget(q eks.ConceptID, ctx *ontology.Context, target int) []Result {
+func (r *Relaxer) rankedCandidatesTarget(ctx context.Context, q eks.ConceptID, qctx *ontology.Context, target int) ([]Result, error) {
 	radius := r.opts.Radius
 	var cands []eks.Neighbor
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: relaxation aborted at radius %d: %w", radius, err)
+		}
 		cands = r.flaggedWithin(q, radius)
 		if !r.opts.DynamicRadius || radius >= r.opts.MaxRadius || r.instanceCount(cands) >= target {
 			break
@@ -135,10 +180,15 @@ func (r *Relaxer) rankedCandidatesTarget(q eks.ConceptID, ctx *ontology.Context,
 		radius++
 	}
 	out := make([]Result, 0, len(cands))
-	for _, nb := range cands {
+	for i, nb := range cands {
+		if i%scoreCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: relaxation aborted scoring candidate %d/%d: %w", i, len(cands), err)
+			}
+		}
 		out = append(out, Result{
 			Concept:   nb.ID,
-			Score:     r.sim.Sim(q, nb.ID, ctx),
+			Score:     r.sim.Sim(q, nb.ID, qctx),
 			Hops:      nb.Hops,
 			Instances: r.ing.InstancesFor[nb.ID],
 		})
@@ -149,7 +199,7 @@ func (r *Relaxer) rankedCandidatesTarget(q eks.ConceptID, ctx *ontology.Context,
 		}
 		return out[i].Concept < out[j].Concept
 	})
-	return out
+	return out, nil
 }
 
 // instanceCount counts the distinct KB instances reachable through the

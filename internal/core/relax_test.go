@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"medrelax/internal/eks"
@@ -215,5 +217,28 @@ func TestMethodsRunAndDiffer(t *testing.T) {
 	}
 	if !names["QR"] || !names["QR-no-context"] || !names["QR-no-corpus"] || !names["IC"] {
 		t.Errorf("method names wrong: %v", names)
+	}
+}
+
+func TestRelaxTermUnknownIsSentinel(t *testing.T) {
+	r, _ := newTestRelaxer(t, RelaxOptions{})
+	_, err := r.RelaxTerm("pyelectasia", nil, 5)
+	if !errors.Is(err, ErrUnknownTerm) {
+		t.Errorf("unknown-term error = %v, want errors.Is(_, ErrUnknownTerm)", err)
+	}
+}
+
+func TestRelaxTermContextCanceled(t *testing.T) {
+	r, _ := newTestRelaxer(t, RelaxOptions{DynamicRadius: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := r.RelaxTermContext(ctx, "headache", nil, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled relaxation error = %v, want context.Canceled", err)
+	}
+	// A live context relaxes normally through the same path.
+	res, err := r.RelaxTermContext(context.Background(), "headache", nil, 0)
+	if err != nil || len(res) == 0 {
+		t.Errorf("live-context relaxation = %v results, err %v", len(res), err)
 	}
 }

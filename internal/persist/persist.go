@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"slices"
 
 	"medrelax/internal/core"
@@ -146,6 +147,57 @@ func Load(r io.Reader) (*core.Ingestion, error) {
 		return nil, fmt.Errorf("persist: bundle version %d, want %d", b.Version, Version)
 	}
 	return restore(&b)
+}
+
+// LoadFile loads a bundle from disk — the hot-reload entry point: the
+// serving layer points it at the (possibly replaced) bundle path and swaps
+// in the result only when both Load and ValidateForServing pass.
+func LoadFile(path string) (*core.Ingestion, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening bundle: %w", err)
+	}
+	ing, err := Load(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("persist: closing bundle: %w", cerr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ing, nil
+}
+
+// ValidateForServing checks the invariants a bundle must satisfy before a
+// live server swaps to it — beyond the structural validation restore
+// already does. Load succeeds on any well-formed bundle; this rejects
+// well-formed bundles that would serve nothing (a truncated ingestion, a
+// world with no query-answerable concepts), so a bad push fails the reload
+// instead of silently emptying production answers.
+func ValidateForServing(ing *core.Ingestion) error {
+	if ing == nil {
+		return fmt.Errorf("persist: nil ingestion")
+	}
+	if ing.Graph == nil || ing.Graph.Len() == 0 {
+		return fmt.Errorf("persist: bundle has an empty external knowledge source")
+	}
+	if _, ok := ing.Graph.Root(); !ok {
+		return fmt.Errorf("persist: bundle graph has no root")
+	}
+	if ing.Store == nil || ing.Store.Len() == 0 {
+		return fmt.Errorf("persist: bundle has no KB instances")
+	}
+	if len(ing.Flagged) == 0 {
+		return fmt.Errorf("persist: bundle has no flagged concepts — nothing is query-answerable")
+	}
+	if ing.Frequencies == nil {
+		return fmt.Errorf("persist: bundle has no frequency table")
+	}
+	for id := range ing.Flagged {
+		if len(ing.InstancesFor[id]) == 0 {
+			return fmt.Errorf("persist: flagged concept %d has no mapped instances", id)
+		}
+	}
+	return nil
 }
 
 // restore reconstructs and validates an ingestion from a decoded bundle.

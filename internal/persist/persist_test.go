@@ -2,6 +2,8 @@ package persist
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -177,4 +179,66 @@ func TestFrequencySnapshotRoundTrip(t *testing.T) {
 	}
 	_ = kb.InstanceID(0)
 	_ = corpus.Document{}
+}
+
+func TestLoadFileRoundTrip(t *testing.T) {
+	ing := buildIngestion(t)
+	path := filepath.Join(t.TempDir(), "bundle.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveBinary(f, ing); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Graph.Len() != ing.Graph.Len() {
+		t.Errorf("graph len = %d, want %d", restored.Graph.Len(), ing.Graph.Len())
+	}
+	if err := ValidateForServing(restored); err != nil {
+		t.Errorf("ValidateForServing on a real bundle: %v", err)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.bin")); err == nil {
+		t.Fatal("missing file loaded without error")
+	}
+}
+
+func TestValidateForServingRejects(t *testing.T) {
+	ing := buildIngestion(t)
+	if err := ValidateForServing(nil); err == nil {
+		t.Error("nil ingestion validated")
+	}
+	cases := []struct {
+		name   string
+		mutate func(*core.Ingestion)
+	}{
+		{"no flagged concepts", func(i *core.Ingestion) { i.Flagged = map[eks.ConceptID]bool{} }},
+		{"nil frequencies", func(i *core.Ingestion) { i.Frequencies = nil }},
+		{"flagged without instances", func(i *core.Ingestion) {
+			i.InstancesFor = map[eks.ConceptID][]kb.InstanceID{}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Shallow copy: each case replaces a map/pointer field
+			// wholesale, never mutating the shared originals.
+			cp := *ing
+			tc.mutate(&cp)
+			if err := ValidateForServing(&cp); err == nil {
+				t.Fatalf("%s validated", tc.name)
+			}
+		})
+	}
+	if err := ValidateForServing(ing); err != nil {
+		t.Errorf("pristine ingestion rejected: %v", err)
+	}
 }

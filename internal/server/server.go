@@ -5,28 +5,47 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
+	"slices"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"medrelax/internal/core"
 	"medrelax/internal/dialog"
+	"medrelax/internal/eks"
 	"medrelax/internal/ontology"
 )
 
 // Backend is the slice of the relaxation system the server needs; the
 // medrelax.System satisfies it through a thin adapter in cmd/kbserver, and
-// tests satisfy it with small fixtures.
+// tests satisfy it with small fixtures. The serving subsystem
+// (internal/serving) wraps any Backend with caching, admission control,
+// and hot reload, and is itself a Backend.
 type Backend interface {
 	// Relax answers a [term, context] pair with up to k ranked results.
-	Relax(term, ctx string, k int) ([]RelaxResult, error)
+	// ctx carries the request deadline; implementations should abandon
+	// work when it fires and return an error wrapping the context error.
+	Relax(ctx context.Context, term, qctx string, k int) ([]RelaxResult, error)
 	// NewConversation opens a fresh dialogue with relaxation enabled.
 	NewConversation() (*dialog.Conversation, error)
 	// Stats describes the loaded world.
 	Stats() map[string]any
+}
+
+// TermSampler is an optional Backend extension: backends that can
+// enumerate relaxable terms expose them at GET /terms, which load
+// generators (cmd/loadgen) use to build realistic query mixes.
+type TermSampler interface {
+	// Terms returns up to n query terms known to map to flagged concepts.
+	Terms(n int) []string
 }
 
 // RelaxResult is one JSON-ready relaxed answer.
@@ -51,8 +70,10 @@ type Server struct {
 
 	mu       sync.Mutex // guards sessions (the map only, never held during backend calls)
 	sessions map[string]*session
-	// MaxSessions bounds the session table; the oldest insertion order is
-	// not tracked — when full, new sessions are rejected. Default 1024.
+	// MaxSessions bounds the session table. When full, the
+	// longest-idle session (by last-turn time) is evicted to make room;
+	// rejection happens only as a backstop when every session is
+	// mid-turn and nothing can be evicted. Default 1024.
 	MaxSessions int
 }
 
@@ -60,7 +81,12 @@ type Server struct {
 type session struct {
 	mu   sync.Mutex
 	conv *dialog.Conversation
+	// lastTurn is the unix-nano time of the last activity, read by the
+	// idle-eviction scan without taking mu (hence atomic).
+	lastTurn atomic.Int64
 }
+
+func (s *session) touch() { s.lastTurn.Store(time.Now().UnixNano()) }
 
 // New builds a server over a backend.
 func New(backend Backend) *Server {
@@ -73,6 +99,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /relax", s.handleRelax)
+	mux.HandleFunc("GET /terms", s.handleTerms)
 	mux.HandleFunc("POST /chat", s.handleChat)
 	return mux
 }
@@ -103,12 +130,50 @@ func (s *Server) handleRelax(w http.ResponseWriter, r *http.Request) {
 	}
 	// No lock: the relaxation pipeline is safe for concurrent use, so the
 	// hot path serves requests fully in parallel.
-	results, err := s.backend.Relax(term, ctx, k)
+	results, err := s.backend.Relax(r.Context(), term, ctx, k)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
+		writeError(w, statusForError(err), err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"term": term, "context": ctx, "results": results})
+}
+
+// statusForError maps backend failures onto HTTP semantics via the typed
+// errors from core: an unmappable term is the caller's 404, a malformed
+// context their 400, an expired deadline the gateway's 504, and anything
+// else an internal 500.
+func statusForError(err error) int {
+	switch {
+	case errors.Is(err, core.ErrUnknownTerm):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrBadContext):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleTerms exposes a sample of relaxable query terms when the backend
+// can enumerate them; load generators use it to build realistic mixes.
+func (s *Server) handleTerms(w http.ResponseWriter, r *http.Request) {
+	ts, ok := s.backend.(TermSampler)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "backend cannot enumerate terms")
+		return
+	}
+	n := 100
+	if ns := r.URL.Query().Get("n"); ns != "" {
+		v, err := strconv.Atoi(ns)
+		if err != nil || v < 1 || v > 100000 {
+			writeError(w, http.StatusBadRequest, "n must be an integer in [1, 100000]")
+			return
+		}
+		n = v
+	}
+	terms := ts.Terms(n)
+	writeJSON(w, http.StatusOK, map[string]any{"terms": terms})
 }
 
 // ChatRequest is the /chat request body.
@@ -147,6 +212,7 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 	// Serialize turns within this session only; other sessions proceed.
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	sess.touch()
 	if sess.conv == nil {
 		// A concurrent creator failed after this request found the slot.
 		writeError(w, http.StatusServiceUnavailable, "session initialization failed, retry")
@@ -177,15 +243,16 @@ func (s *Server) conversation(name string) (*session, error) {
 		s.mu.Unlock()
 		return sess, nil
 	}
-	if len(s.sessions) >= s.MaxSessions {
+	if len(s.sessions) >= s.MaxSessions && !s.evictIdleLocked() {
 		n := len(s.sessions)
 		s.mu.Unlock()
-		return nil, fmt.Errorf("session table full (%d sessions)", n)
+		return nil, fmt.Errorf("session table full (%d sessions, none idle)", n)
 	}
 	// Reserve the slot before building the conversation so the (possibly
 	// slow) construction happens outside the table lock; concurrent
 	// requests for the same new session serialize on the session mutex.
 	sess := &session{}
+	sess.touch()
 	sess.mu.Lock()
 	s.sessions[name] = sess
 	s.mu.Unlock()
@@ -199,6 +266,36 @@ func (s *Server) conversation(name string) (*session, error) {
 	}
 	sess.conv = conv
 	return sess, nil
+}
+
+// evictIdleLocked frees one slot by dropping the longest-idle session
+// whose mutex can be taken without blocking (a session mid-turn is never
+// evicted). Caller holds s.mu. Returns false when every session is busy —
+// the hard-reject backstop.
+func (s *Server) evictIdleLocked() bool {
+	type cand struct {
+		name string
+		sess *session
+		t    int64
+	}
+	cands := make([]cand, 0, len(s.sessions))
+	for name, sess := range s.sessions {
+		cands = append(cands, cand{name, sess, sess.lastTurn.Load()})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].t < cands[j].t })
+	for _, c := range cands {
+		if !c.sess.mu.TryLock() {
+			continue // mid-turn, not idle
+		}
+		delete(s.sessions, c.name)
+		// Nil the conversation so a racing request that already fetched
+		// this session pointer fails with "retry" instead of talking to
+		// an evicted dialogue.
+		c.sess.conv = nil
+		c.sess.mu.Unlock()
+		return true
+	}
+	return false
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -222,16 +319,16 @@ type RelaxerBackend struct {
 }
 
 // Relax implements Backend.
-func (b *RelaxerBackend) Relax(term, ctx string, k int) ([]RelaxResult, error) {
+func (b *RelaxerBackend) Relax(ctx context.Context, term, qctx string, k int) ([]RelaxResult, error) {
 	var ctxPtr *ontology.Context
-	if ctx != "" {
-		parsed, err := ontology.ParseContext(ctx)
+	if qctx != "" {
+		parsed, err := ontology.ParseContext(qctx)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", core.ErrBadContext, err)
 		}
 		ctxPtr = &parsed
 	}
-	results, err := b.Relaxer.RelaxTerm(term, ctxPtr, k)
+	results, err := b.Relaxer.RelaxTermContext(ctx, term, ctxPtr, k)
 	if err != nil {
 		return nil, err
 	}
@@ -255,6 +352,26 @@ func (b *RelaxerBackend) NewConversation() (*dialog.Conversation, error) {
 		return nil, fmt.Errorf("no conversation factory configured")
 	}
 	return b.Conversation()
+}
+
+// Terms implements TermSampler: flagged concepts are exactly the ones
+// relaxation can answer from, so their names make a realistic query mix.
+func (b *RelaxerBackend) Terms(n int) []string {
+	ids := make([]eks.ConceptID, 0, len(b.Ing.Flagged))
+	for id := range b.Ing.Flagged {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	if n < len(ids) {
+		ids = ids[:n]
+	}
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if c, ok := b.Ing.Graph.Concept(id); ok {
+			out = append(out, c.Name)
+		}
+	}
+	return out
 }
 
 // Stats implements Backend.

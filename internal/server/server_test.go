@@ -173,7 +173,7 @@ func TestRelaxEndpointErrors(t *testing.T) {
 	getJSON(t, ts.URL+"/relax?term=x&k=0", http.StatusBadRequest)
 	getJSON(t, ts.URL+"/relax?term=x&k=nope", http.StatusBadRequest)
 	getJSON(t, ts.URL+"/relax?term=zzqx+unknown", http.StatusNotFound)
-	getJSON(t, ts.URL+"/relax?term=fever&context=bad-ctx-shape-x-y", http.StatusNotFound)
+	getJSON(t, ts.URL+"/relax?term=fever&context=bad-ctx-shape-x-y", http.StatusBadRequest)
 }
 
 func postChat(t *testing.T, url string, body string) (int, ChatResponse) {
@@ -225,7 +225,7 @@ func TestChatValidation(t *testing.T) {
 	}
 }
 
-func TestSessionTableBound(t *testing.T) {
+func TestSessionTableEvictsIdle(t *testing.T) {
 	srv := New(testBackend(t))
 	srv.MaxSessions = 2
 	ts := httptest.NewServer(srv.Handler())
@@ -236,9 +236,46 @@ func TestSessionTableBound(t *testing.T) {
 			t.Fatalf("session %d = %d", i, code)
 		}
 	}
-	code, _ := postChat(t, ts.URL, `{"session":"overflow","text":"hello"}`)
+	// A full table evicts the longest-idle session instead of rejecting.
+	code, _ := postChat(t, ts.URL, `{"session":"overflow","text":"what drugs treat fever"}`)
+	if code != http.StatusOK {
+		t.Errorf("overflow session = %d, want 200 via idle eviction", code)
+	}
+	srv.mu.Lock()
+	_, evicted := srv.sessions["s0"]
+	_, kept := srv.sessions["overflow"]
+	n := len(srv.sessions)
+	srv.mu.Unlock()
+	if evicted {
+		t.Error("oldest session s0 still resident after eviction")
+	}
+	if !kept || n != 2 {
+		t.Errorf("sessions = %d (overflow present: %v), want table back at cap with new session", n, kept)
+	}
+	// The evicted name starts a fresh conversation transparently.
+	if code, _ := postChat(t, ts.URL, `{"session":"s0","text":"what drugs treat fever"}`); code != http.StatusOK {
+		t.Errorf("recreated evicted session = %d, want 200", code)
+	}
+}
+
+func TestSessionTableBusyBackstop(t *testing.T) {
+	srv := New(testBackend(t))
+	srv.MaxSessions = 1
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if code, _ := postChat(t, ts.URL, `{"session":"busy","text":"what drugs treat fever"}`); code != http.StatusOK {
+		t.Fatal("seed session failed")
+	}
+	// Hold the only session's lock to simulate a turn in progress: the
+	// eviction scan must skip it and the new session must be rejected.
+	srv.mu.Lock()
+	sess := srv.sessions["busy"]
+	srv.mu.Unlock()
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	code, _ := postChat(t, ts.URL, `{"session":"other","text":"hello"}`)
 	if code != http.StatusServiceUnavailable {
-		t.Errorf("overflow session = %d, want 503", code)
+		t.Errorf("all-busy overflow = %d, want 503 backstop", code)
 	}
 }
 

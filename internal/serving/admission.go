@@ -1,0 +1,93 @@
+package serving
+
+import (
+	"sync"
+	"time"
+)
+
+// limiter is a non-queueing concurrency cap: a request either gets a slot
+// immediately or is shed. Queueing under overload only converts an
+// explicit 429 into unbounded memory growth and a timeout later — the
+// client can back off, the queue cannot.
+type limiter struct {
+	slots chan struct{}
+}
+
+// newLimiter builds a limiter admitting up to n concurrent requests;
+// n <= 0 returns nil (unlimited).
+func newLimiter(n int) *limiter {
+	if n <= 0 {
+		return nil
+	}
+	return &limiter{slots: make(chan struct{}, n)}
+}
+
+// tryAcquire takes a slot without blocking; false means shed.
+func (l *limiter) tryAcquire() bool {
+	if l == nil {
+		return true
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *limiter) release() {
+	if l != nil {
+		<-l.slots
+	}
+}
+
+// inUse reports the currently held slots.
+func (l *limiter) inUse() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.slots)
+}
+
+// tokenBucket is a classic rate guard: tokens refill at rate per second up
+// to burst; each admitted request spends one. It protects the expensive
+// stateful /chat path, where every request may train per-session state.
+type tokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	rate   float64
+	burst  float64
+}
+
+// newTokenBucket allows rate requests/second with the given burst;
+// rate <= 0 returns nil (unlimited). burst < 1 is raised to 1.
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{tokens: float64(burst), last: time.Now(), rate: rate, burst: float64(burst)}
+}
+
+// allow spends a token if one is available.
+func (b *tokenBucket) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,193 @@
+package serving
+
+import (
+	"container/list"
+	"context"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"medrelax/internal/server"
+)
+
+// CacheStatus says how a lookup was satisfied.
+type CacheStatus int
+
+const (
+	// CacheMiss: this call ran the backend computation itself.
+	CacheMiss CacheStatus = iota
+	// CacheHit: served from a stored entry.
+	CacheHit
+	// CacheCollapsed: a concurrent identical miss was already computing;
+	// this call waited for its result instead of recomputing.
+	CacheCollapsed
+)
+
+// Cache is a sharded LRU over relaxation results with TTL expiry and
+// singleflight collapse of concurrent misses. Query-expansion traffic is
+// dominated by repeated head terms, so the same handful of keys is hit
+// from many goroutines at once: sharding keeps lock hold times short, and
+// the per-key flight ensures a cold head term is computed once, not once
+// per concurrent requester.
+type Cache struct {
+	shards []cacheShard
+	ttl    time.Duration
+	// gen is the purge epoch: computations started before a Purge must
+	// not insert their (old-backend) results afterwards.
+	gen atomic.Uint64
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	collapsed atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List // front = most recently used
+	entries map[string]*list.Element
+	flights map[string]*flight
+}
+
+type cacheEntry struct {
+	key     string
+	results []server.RelaxResult
+	expires int64 // unix nanos; 0 = no TTL
+}
+
+// flight is one in-progress computation other callers can wait on.
+type flight struct {
+	done    chan struct{}
+	results []server.RelaxResult
+	err     error
+}
+
+// NewCache builds a cache holding up to capacity entries across shards
+// (capacity <= 0 returns nil: caching disabled). ttl <= 0 means entries
+// only leave by LRU pressure or purge. shards <= 0 picks 16.
+func NewCache(capacity int, ttl time.Duration, shards int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	if shards <= 0 {
+		shards = 16
+	}
+	if shards > capacity {
+		shards = 1
+	}
+	c := &Cache{shards: make([]cacheShard, shards), ttl: ttl}
+	per := (capacity + shards - 1) / shards
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			cap:     per,
+			lru:     list.New(),
+			entries: map[string]*list.Element{},
+			flights: map[string]*flight{},
+		}
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// GetOrCompute returns the cached results for key, or runs compute —
+// collapsing concurrent identical misses onto one computation. ctx bounds
+// only this caller's wait on a collapsed flight; compute is responsible
+// for its own deadline so one caller's short deadline cannot poison the
+// result every collapsed waiter receives. Errors are never cached.
+func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]server.RelaxResult, error)) ([]server.RelaxResult, CacheStatus, error) {
+	sh := c.shard(key)
+	now := time.Now().UnixNano()
+
+	sh.mu.Lock()
+	if el, ok := sh.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		if ent.expires == 0 || now < ent.expires {
+			sh.lru.MoveToFront(el)
+			sh.mu.Unlock()
+			c.hits.Add(1)
+			return ent.results, CacheHit, nil
+		}
+		sh.lru.Remove(el)
+		delete(sh.entries, key)
+	}
+	if fl, ok := sh.flights[key]; ok {
+		sh.mu.Unlock()
+		c.collapsed.Add(1)
+		select {
+		case <-fl.done:
+			return fl.results, CacheCollapsed, fl.err
+		case <-ctx.Done():
+			return nil, CacheCollapsed, ctx.Err()
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	sh.flights[key] = fl
+	startGen := c.gen.Load()
+	sh.mu.Unlock()
+
+	c.misses.Add(1)
+	results, err := compute()
+	fl.results, fl.err = results, err
+
+	sh.mu.Lock()
+	delete(sh.flights, key)
+	// Insert only on success and only if no purge happened while
+	// computing — a result computed against a swapped-out bundle must not
+	// outlive the swap.
+	if err == nil && c.gen.Load() == startGen {
+		ent := &cacheEntry{key: key, results: results}
+		if c.ttl > 0 {
+			ent.expires = time.Now().Add(c.ttl).UnixNano()
+		}
+		sh.entries[key] = sh.lru.PushFront(ent)
+		for sh.lru.Len() > sh.cap {
+			old := sh.lru.Back()
+			sh.lru.Remove(old)
+			delete(sh.entries, old.Value.(*cacheEntry).key)
+			c.evictions.Add(1)
+		}
+	}
+	sh.mu.Unlock()
+	close(fl.done)
+	return results, CacheMiss, err
+}
+
+// Purge empties every shard and advances the epoch so in-progress
+// computations do not re-populate the cache with pre-purge results.
+// In-progress flights are left to finish — their waiters get a coherent
+// (old) answer — but their results are not stored.
+func (c *Cache) Purge() {
+	c.gen.Add(1)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.lru.Init()
+		clear(sh.entries)
+		sh.mu.Unlock()
+	}
+}
+
+// Len is the current number of cached entries across shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Hits, Misses, Collapsed, Evictions expose lifetime counters.
+func (c *Cache) Hits() uint64      { return c.hits.Load() }
+func (c *Cache) Misses() uint64    { return c.misses.Load() }
+func (c *Cache) Collapsed() uint64 { return c.collapsed.Load() }
+func (c *Cache) Evictions() uint64 { return c.evictions.Load() }

@@ -1,0 +1,172 @@
+package serving
+
+import (
+	"context"
+	"encoding/json"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"medrelax/internal/serving/metrics"
+)
+
+// trackedEndpoints get per-endpoint latency histograms and request
+// counters; anything else is folded into "other" to keep label
+// cardinality bounded.
+var trackedEndpoints = []string{"/relax", "/chat", "/stats", "/healthz", "/terms"}
+
+const httpLatencyHelp = "HTTP request latency by endpoint"
+
+// Handler mounts the serving endpoints (GET /metrics, POST /admin/reload)
+// and wraps the API handler with admission control and instrumentation.
+func (e *Engine) Handler(api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", e.handleMetrics)
+	mux.HandleFunc("POST /admin/reload", e.handleReload)
+	mux.Handle("/", e.instrument(api))
+	return mux
+}
+
+func (e *Engine) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := e.reg.WritePrometheus(w); err != nil {
+		log.Printf("serving: writing metrics: %v", err)
+	}
+}
+
+func (e *Engine) handleReload(w http.ResponseWriter, _ *http.Request) {
+	if err := e.Reload(); err != nil {
+		status := http.StatusInternalServerError
+		if e.opts.Loader == nil {
+			status = http.StatusNotImplemented
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "reloaded",
+		"generation": e.cur.Load().gen,
+	})
+}
+
+// statusRecorder captures the response code for metrics and logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument applies, per request: inflight accounting, the concurrency
+// cap (shed with 429 + Retry-After), per-endpoint deadlines, chat
+// body-size and rate guards, latency histograms, and the slow-query log.
+func (e *Engine) instrument(next http.Handler) http.Handler {
+	inflight := e.reg.Gauge("medrelax_http_inflight", "requests currently being served", "")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		endpoint := r.URL.Path
+		if !tracked(endpoint) {
+			endpoint = "other"
+		}
+		epLabel := metrics.Label("endpoint", endpoint)
+		inflight.Inc()
+		defer inflight.Dec()
+
+		limited := endpoint == "/relax" || endpoint == "/chat"
+		if limited {
+			if !e.limiter.tryAcquire() {
+				e.shed(w, endpoint, "over concurrency limit")
+				return
+			}
+			defer e.limiter.release()
+		}
+		var timeout time.Duration
+		switch endpoint {
+		case "/relax":
+			timeout = e.opts.RelaxTimeout
+		case "/chat":
+			timeout = e.opts.ChatTimeout
+			if !e.chatRate.allow() {
+				e.shed(w, endpoint, "over rate limit")
+				return
+			}
+			maxBody := e.opts.MaxChatBody
+			if maxBody <= 0 {
+				maxBody = 1 << 20
+			}
+			r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+		}
+		if timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		dur := time.Since(start)
+
+		e.reg.Histogram("medrelax_http_request_seconds", httpLatencyHelp, epLabel).Observe(dur.Seconds())
+		e.reg.Counter("medrelax_http_requests_total", "HTTP requests by endpoint and status code",
+			epLabel+",code=\""+strconv.Itoa(rec.status)+"\"").Inc()
+		if e.opts.SlowQuery > 0 && dur >= e.opts.SlowQuery {
+			e.logSlow(r, endpoint, rec.status, dur)
+		}
+	})
+}
+
+func tracked(path string) bool {
+	for _, ep := range trackedEndpoints {
+		if path == ep {
+			return true
+		}
+	}
+	return false
+}
+
+// shed rejects with 429 + Retry-After: the one response shape that tells
+// a well-behaved client exactly what to do, at near-zero server cost.
+func (e *Engine) shed(w http.ResponseWriter, endpoint, reason string) {
+	retry := e.opts.RetryAfter
+	if retry <= 0 {
+		retry = time.Second
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(int((retry + time.Second - 1) / time.Second)))
+	writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "server overloaded: " + reason})
+	e.reg.Counter("medrelax_http_shed_total", "requests shed by admission control",
+		metrics.Label("endpoint", endpoint)).Inc()
+}
+
+// logSlow emits one structured line per slow request so tail-latency
+// offenders can be grepped out of production logs.
+func (e *Engine) logSlow(r *http.Request, endpoint string, status int, dur time.Duration) {
+	line, err := json.Marshal(map[string]any{
+		"slow_query": true,
+		"endpoint":   endpoint,
+		"query":      r.URL.RawQuery,
+		"status":     status,
+		"ms":         dur.Milliseconds(),
+	})
+	if err != nil {
+		return
+	}
+	e.reg.Counter("medrelax_http_slow_total", "requests over the slow-query threshold",
+		metrics.Label("endpoint", endpoint)).Inc()
+	if logger := e.opts.SlowLog; logger != nil {
+		logger.Print(string(line))
+	} else {
+		log.Print(string(line))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("serving: encoding response: %v", err)
+	}
+}

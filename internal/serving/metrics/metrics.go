@@ -1,0 +1,324 @@
+// Package metrics is a dependency-free observability layer for the serving
+// subsystem: lock-cheap counters, gauges, and fixed-bucket latency
+// histograms, exposed in the Prometheus text format. Everything on the
+// request path is a single atomic op (plus one bucket search for
+// histograms); the only mutexes guard family/series registration, which
+// happens once per distinct label set and then is a lock-free read.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (e.g. inflight requests).
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultLatencyBuckets covers 100µs..10s exponentially — wide enough for
+// a cache hit (tens of µs) and a cold dynamic-radius relaxation (tens of
+// ms) on the same histogram.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are seconds.
+// Each Observe is one bucket search plus three atomic adds; no locks.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; +Inf bucket is implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumNano atomic.Uint64 // sum in integer nanoseconds so it can be atomic
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (seconds). Nil bounds use DefaultLatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	i := sort.SearchFloat64s(h.bounds, seconds)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	if seconds > 0 {
+		h.sumNano.Add(uint64(seconds * 1e9))
+	}
+}
+
+// Count is the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum is the total observed seconds.
+func (h *Histogram) Sum() float64 { return float64(h.sumNano.Load()) / 1e9 }
+
+// Quantile estimates the p-quantile (p in [0,1]) by linear interpolation
+// inside the containing bucket — the same estimate PromQL's
+// histogram_quantile computes. Returns 0 with no observations.
+func (h *Histogram) Quantile(p float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := p * float64(total)
+	var cum uint64
+	for i := range h.buckets {
+		prev := cum
+		cum += h.buckets[i].Load()
+		if float64(cum) < rank {
+			continue
+		}
+		lo, hi := 0.0, math.Inf(1)
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		if i < len(h.bounds) {
+			hi = h.bounds[i]
+		} else {
+			// +Inf bucket: report its lower bound rather than infinity.
+			return lo
+		}
+		inBucket := float64(cum - prev)
+		if inBucket == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/inBucket
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metricType tags a family for the # TYPE line.
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// family is one metric name with its typed series, keyed by rendered label
+// string.
+type family struct {
+	name string
+	help string
+	typ  metricType
+
+	mu     sync.RWMutex
+	order  []string // label strings in first-registration order
+	series map[string]any
+}
+
+// get returns the series for labels, creating it via make on first use.
+func (f *family) get(labels string, make func() any) any {
+	f.mu.RLock()
+	s, ok := f.series[labels]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[labels]; ok {
+		return s
+	}
+	s = make()
+	f.series[labels] = s
+	f.order = append(f.order, labels)
+	return s
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. Families render in registration order; series within
+// a family render in first-use order, so output is deterministic for a
+// deterministic workload and stable across scrapes regardless.
+type Registry struct {
+	mu       sync.RWMutex
+	order    []*family
+	families map[string]*family
+
+	histBounds []float64
+}
+
+// NewRegistry builds an empty registry using DefaultLatencyBuckets for
+// histograms.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}, histBounds: DefaultLatencyBuckets}
+}
+
+func (r *Registry) family(name, help string, typ metricType) *family {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if ok {
+		return f
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		return f
+	}
+	f = &family{name: name, help: help, typ: typ, series: map[string]any{}}
+	r.families[name] = f
+	r.order = append(r.order, f)
+	return f
+}
+
+// Counter returns the counter for name+labels, registering on first use.
+// labels is a rendered Prometheus label set like `endpoint="/relax"` or ""
+// for none.
+func (r *Registry) Counter(name, help, labels string) *Counter {
+	f := r.family(name, help, typeCounter)
+	return f.get(labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge for name+labels, registering on first use.
+func (r *Registry) Gauge(name, help, labels string) *Gauge {
+	f := r.family(name, help, typeGauge)
+	return f.get(labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram for name+labels, registering on first
+// use.
+func (r *Registry) Histogram(name, help, labels string) *Histogram {
+	f := r.family(name, help, typeHistogram)
+	bounds := r.histBounds
+	return f.get(labels, func() any { return NewHistogram(bounds) }).(*Histogram)
+}
+
+// Label renders one key="value" pair, escaping the value per the text
+// format. Join multiple with commas in a fixed order at the call site.
+func Label(key, value string) string {
+	var b strings.Builder
+	b.WriteString(key)
+	b.WriteString(`="`)
+	for _, c := range value {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	b.WriteString(`"`)
+	return b.String()
+}
+
+// WritePrometheus renders every family in the text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := append([]*family(nil), r.order...)
+	r.mu.RUnlock()
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		f.mu.RLock()
+		series := make([]struct {
+			labels string
+			v      any
+		}, 0, len(f.order))
+		for _, ls := range f.order {
+			series = append(series, struct {
+				labels string
+				v      any
+			}{ls, f.series[ls]})
+		}
+		f.mu.RUnlock()
+		for _, s := range series {
+			if err := writeSeries(w, f, s.labels, s.v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, labels string, v any) error {
+	braced := ""
+	if labels != "" {
+		braced = "{" + labels + "}"
+	}
+	switch m := v.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, braced, m.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, braced, m.Value())
+		return err
+	case *Histogram:
+		var cum uint64
+		for i, ub := range m.bounds {
+			cum += m.buckets[i].Load()
+			le := Label("le", formatBound(ub))
+			sep := le
+			if labels != "" {
+				sep = labels + "," + le
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", f.name, sep, cum); err != nil {
+				return err
+			}
+		}
+		cum += m.buckets[len(m.bounds)].Load()
+		inf := Label("le", "+Inf")
+		sep := inf
+		if labels != "" {
+			sep = labels + "," + inf
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", f.name, sep, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", f.name, braced, m.Sum()); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, braced, m.Count())
+		return err
+	}
+	return fmt.Errorf("metrics: unknown series type %T", v)
+}
+
+func formatBound(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 1 {
+		t.Fatalf("gauge = %d, want 1", got)
+	}
+	g.Set(-3)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("gauge = %d, want -3", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1, 1})
+	// 90 fast observations, 10 slow: p50 lands in the first bucket, p95+
+	// in the second-to-last populated one.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.0005)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.05)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if got := h.Quantile(0.5); got > 0.001 {
+		t.Errorf("p50 = %g, want <= 0.001", got)
+	}
+	p95 := h.Quantile(0.95)
+	if p95 < 0.01 || p95 > 0.1 {
+		t.Errorf("p95 = %g, want in (0.01, 0.1]", p95)
+	}
+	if sum := h.Sum(); math.Abs(sum-(90*0.0005+10*0.05)) > 1e-6 {
+		t.Errorf("sum = %g, want %g", sum, 90*0.0005+10*0.05)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewHistogram(nil)
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty quantile = %g, want 0", got)
+	}
+}
+
+func TestRegistryPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("medrelax_requests_total", "requests", Label("endpoint", "/relax")).Add(7)
+	r.Counter("medrelax_requests_total", "requests", Label("endpoint", "/chat")).Add(2)
+	r.Gauge("medrelax_inflight", "inflight", "").Set(3)
+	h := r.Histogram("medrelax_latency_seconds", "latency", Label("endpoint", "/relax"))
+	h.Observe(0.002)
+	h.Observe(0.002)
+	h.Observe(4)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE medrelax_requests_total counter",
+		`medrelax_requests_total{endpoint="/relax"} 7`,
+		`medrelax_requests_total{endpoint="/chat"} 2`,
+		"# TYPE medrelax_inflight gauge",
+		"medrelax_inflight 3",
+		"# TYPE medrelax_latency_seconds histogram",
+		`medrelax_latency_seconds_bucket{endpoint="/relax",le="+Inf"} 3`,
+		`medrelax_latency_seconds_count{endpoint="/relax"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	// Every non-comment line must parse as "name{labels} value" with a
+	// numeric value — the contract a Prometheus scraper relies on.
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed line %q", line)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Fatalf("non-numeric value in line %q: %v", line, err)
+		}
+	}
+	// Histogram buckets must be cumulative (monotone non-decreasing).
+	var last int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "medrelax_latency_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < last {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		last = v
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	got := Label("q", `he said "hi"`+"\n"+`\end`)
+	want := `q="he said \"hi\"\n\\end"`
+	if got != want {
+		t.Fatalf("Label = %s, want %s", got, want)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("c_total", "", Label("worker", fmt.Sprint(g%4))).Inc()
+				r.Histogram("h_seconds", "", "").Observe(float64(i%10) / 1000)
+				r.Gauge("g", "", "").Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total uint64
+	for g := 0; g < 4; g++ {
+		total += r.Counter("c_total", "", Label("worker", fmt.Sprint(g))).Value()
+	}
+	if total != 8*500 {
+		t.Fatalf("counter total = %d, want %d", total, 8*500)
+	}
+	if got := r.Histogram("h_seconds", "", "").Count(); got != 8*500 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*500)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,290 @@
+// Package serving wraps a server.Backend with production semantics: a
+// sharded LRU result cache with singleflight collapse, admission control
+// (per-request deadlines, a concurrency cap that sheds instead of queues,
+// chat size/rate guards), hot bundle reload behind an atomic pointer swap,
+// and a hand-rolled Prometheus-format metrics layer. The paper's system
+// ran as a cloud service behind a conversational frontend; this package is
+// the part of that deployment the algorithm papers leave out.
+package serving
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"medrelax/internal/dialog"
+	"medrelax/internal/server"
+	"medrelax/internal/serving/metrics"
+	"medrelax/internal/stringutil"
+)
+
+// Options tunes the serving layer. The zero value disables the cache and
+// every guard; DefaultOptions returns production defaults.
+type Options struct {
+	// CacheCapacity bounds the result cache in entries (0 disables it).
+	CacheCapacity int
+	// CacheTTL expires entries; 0 means LRU/purge only.
+	CacheTTL time.Duration
+	// CacheShards spreads the cache over this many locks (0 picks 16).
+	CacheShards int
+
+	// MaxConcurrent caps simultaneously admitted /relax + /chat requests;
+	// excess load is shed with 429. 0 means unlimited.
+	MaxConcurrent int
+	// RetryAfter is the backoff hint sent with 429 responses.
+	RetryAfter time.Duration
+
+	// RelaxTimeout bounds one relaxation computation (and a caller's wait
+	// on a collapsed flight). 0 means no deadline.
+	RelaxTimeout time.Duration
+	// ChatTimeout bounds one conversation turn. 0 means no deadline.
+	ChatTimeout time.Duration
+
+	// MaxChatBody caps the /chat request body in bytes (0: 1 MiB).
+	MaxChatBody int64
+	// ChatRPS rate-limits /chat requests per second (0: unlimited).
+	ChatRPS float64
+	// ChatBurst is the token-bucket burst for ChatRPS.
+	ChatBurst int
+
+	// SlowQuery logs requests slower than this threshold (0 disables).
+	SlowQuery time.Duration
+	// SlowLog receives the structured slow-query lines (nil: std logger).
+	SlowLog *log.Logger
+
+	// Loader builds a fresh backend for POST /admin/reload and SIGHUP;
+	// reload is disabled when nil.
+	Loader func() (server.Backend, error)
+}
+
+// DefaultOptions are sane production defaults for a medium instance.
+func DefaultOptions() Options {
+	return Options{
+		CacheCapacity: 16384,
+		CacheTTL:      5 * time.Minute,
+		CacheShards:   16,
+		MaxConcurrent: 256,
+		RetryAfter:    time.Second,
+		RelaxTimeout:  2 * time.Second,
+		ChatTimeout:   5 * time.Second,
+		MaxChatBody:   1 << 20,
+		ChatRPS:       200,
+		ChatBurst:     400,
+		SlowQuery:     500 * time.Millisecond,
+	}
+}
+
+// holder pairs a backend with its inflight refcount so a swapped-out
+// bundle can be drained: the pointer swap is atomic, and the old holder is
+// observed until its last admitted request finishes.
+type holder struct {
+	b        server.Backend
+	gen      uint64
+	inflight atomic.Int64
+}
+
+// Engine implements server.Backend over a swappable inner backend, adding
+// the cache, admission bookkeeping, and metrics. Wire it as the backend of
+// a server.Server, then wrap the server's handler with Engine.Handler.
+type Engine struct {
+	opts  Options
+	cur   atomic.Pointer[holder]
+	cache *Cache
+
+	limiter  *limiter
+	chatRate *tokenBucket
+
+	reg *metrics.Registry
+
+	reloadMu sync.Mutex
+	gen      atomic.Uint64
+
+	// metric handles on the hot path, resolved once.
+	mCacheHits      *metrics.Counter
+	mCacheMisses    *metrics.Counter
+	mCacheCollapsed *metrics.Counter
+	mBackendRelax   *metrics.Histogram
+}
+
+// NewEngine wraps backend with the serving layer.
+func NewEngine(backend server.Backend, opts Options) *Engine {
+	e := &Engine{
+		opts:     opts,
+		cache:    NewCache(opts.CacheCapacity, opts.CacheTTL, opts.CacheShards),
+		limiter:  newLimiter(opts.MaxConcurrent),
+		chatRate: newTokenBucket(opts.ChatRPS, opts.ChatBurst),
+		reg:      metrics.NewRegistry(),
+	}
+	e.cur.Store(&holder{b: backend, gen: e.gen.Add(1)})
+	e.mCacheHits = e.reg.Counter("medrelax_relax_cache_hits_total", "relax results served from cache", "")
+	e.mCacheMisses = e.reg.Counter("medrelax_relax_cache_misses_total", "relax results computed by the backend", "")
+	e.mCacheCollapsed = e.reg.Counter("medrelax_relax_cache_collapsed_total", "concurrent identical misses collapsed onto one computation", "")
+	e.mBackendRelax = e.reg.Histogram("medrelax_backend_relax_seconds", "uncached relaxation compute latency", "")
+	e.reg.Gauge("medrelax_bundle_generation", "monotonic bundle generation, bumped per reload", "").Set(1)
+	return e
+}
+
+// Metrics exposes the registry (for tests and the /metrics handler).
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// CacheStats returns (hits, misses, collapsed, entries); zeros when the
+// cache is disabled.
+func (e *Engine) CacheStats() (hits, misses, collapsed uint64, entries int) {
+	if e.cache == nil {
+		return 0, 0, 0, 0
+	}
+	return e.cache.Hits(), e.cache.Misses(), e.cache.Collapsed(), e.cache.Len()
+}
+
+// acquire pins the current holder for the duration of one request.
+func (e *Engine) acquire() *holder {
+	h := e.cur.Load()
+	h.inflight.Add(1)
+	return h
+}
+
+func (h *holder) release() { h.inflight.Add(-1) }
+
+// cacheKey normalizes the request so trivially different spellings of the
+// same query share an entry. k participates because it changes the
+// consumed candidate list, not just its length.
+func cacheKey(term, qctx string, k int) string {
+	return stringutil.Normalize(term) + "\x1f" + qctx + "\x1f" + strconv.Itoa(k)
+}
+
+// Relax implements server.Backend with caching and singleflight. Cached
+// responses are the same slice the backend returned, so an encoded cached
+// response is byte-identical to the uncached one.
+func (e *Engine) Relax(ctx context.Context, term, qctx string, k int) ([]server.RelaxResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	h := e.acquire()
+	defer h.release()
+	if e.cache == nil {
+		return e.computeRelax(ctx, h, term, qctx, k)
+	}
+	results, status, err := e.cache.GetOrCompute(ctx, cacheKey(term, qctx, k), func() ([]server.RelaxResult, error) {
+		// The flight owns its deadline: a collapsed waiter's short
+		// deadline bounds only its wait, never the shared computation.
+		fctx := context.Background()
+		if e.opts.RelaxTimeout > 0 {
+			var cancel context.CancelFunc
+			fctx, cancel = context.WithTimeout(fctx, e.opts.RelaxTimeout)
+			defer cancel()
+		} else {
+			fctx = ctx
+		}
+		return e.computeRelax(fctx, h, term, qctx, k)
+	})
+	switch status {
+	case CacheHit:
+		e.mCacheHits.Inc()
+	case CacheMiss:
+		e.mCacheMisses.Inc()
+	case CacheCollapsed:
+		e.mCacheCollapsed.Inc()
+	}
+	return results, err
+}
+
+func (e *Engine) computeRelax(ctx context.Context, h *holder, term, qctx string, k int) ([]server.RelaxResult, error) {
+	start := time.Now()
+	results, err := h.b.Relax(ctx, term, qctx, k)
+	if err == nil {
+		e.mBackendRelax.Observe(time.Since(start).Seconds())
+	}
+	return results, err
+}
+
+// NewConversation implements server.Backend.
+func (e *Engine) NewConversation() (*dialog.Conversation, error) {
+	h := e.acquire()
+	defer h.release()
+	return h.b.NewConversation()
+}
+
+// Terms implements server.TermSampler when the inner backend does.
+func (e *Engine) Terms(n int) []string {
+	h := e.acquire()
+	defer h.release()
+	if ts, ok := h.b.(server.TermSampler); ok {
+		return ts.Terms(n)
+	}
+	return nil
+}
+
+// Stats implements server.Backend: the inner stats plus a "serving"
+// section with cache and admission state and per-endpoint tail latencies.
+func (e *Engine) Stats() map[string]any {
+	h := e.acquire()
+	defer h.release()
+	stats := h.b.Stats()
+	hits, misses, collapsed, entries := e.CacheStats()
+	serving := map[string]any{
+		"bundleGeneration": h.gen,
+		"cacheEntries":     entries,
+		"cacheHits":        hits,
+		"cacheMisses":      misses,
+		"cacheCollapsed":   collapsed,
+		"inflightLimited":  e.limiter.inUse(),
+	}
+	for _, ep := range trackedEndpoints {
+		hist := e.reg.Histogram("medrelax_http_request_seconds", httpLatencyHelp, metrics.Label("endpoint", ep))
+		if hist.Count() == 0 {
+			continue
+		}
+		serving[ep] = map[string]any{
+			"requests": hist.Count(),
+			"p50ms":    hist.Quantile(0.50) * 1000,
+			"p95ms":    hist.Quantile(0.95) * 1000,
+			"p99ms":    hist.Quantile(0.99) * 1000,
+		}
+	}
+	stats["serving"] = serving
+	return stats
+}
+
+// Swap atomically replaces the backend, purges the cache, and drains the
+// old holder in the background. In-flight requests finish against
+// whichever backend they started on — every response is coherently old or
+// coherently new, never mixed.
+func (e *Engine) Swap(b server.Backend) {
+	gen := e.gen.Add(1)
+	old := e.cur.Swap(&holder{b: b, gen: gen})
+	if e.cache != nil {
+		e.cache.Purge()
+	}
+	e.reg.Gauge("medrelax_bundle_generation", "monotonic bundle generation, bumped per reload", "").Set(int64(gen))
+	go func() {
+		for old.inflight.Load() > 0 {
+			time.Sleep(5 * time.Millisecond)
+		}
+		log.Printf("serving: bundle generation %d drained, generation %d live", old.gen, gen)
+	}()
+}
+
+// Reload builds a fresh backend via Options.Loader and swaps it in. Safe
+// for concurrent callers (reloads serialize); the request path never
+// blocks on a reload.
+func (e *Engine) Reload() error {
+	if e.opts.Loader == nil {
+		return fmt.Errorf("serving: no reload loader configured")
+	}
+	e.reloadMu.Lock()
+	defer e.reloadMu.Unlock()
+	start := time.Now()
+	b, err := e.opts.Loader()
+	if err != nil {
+		e.reg.Counter("medrelax_reloads_total", "bundle reloads by result", metrics.Label("result", "error")).Inc()
+		return fmt.Errorf("serving: reload: %w", err)
+	}
+	e.Swap(b)
+	e.reg.Counter("medrelax_reloads_total", "bundle reloads by result", metrics.Label("result", "ok")).Inc()
+	log.Printf("serving: reload complete in %s", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -18,6 +18,7 @@
 package medrelax
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -235,15 +236,22 @@ type InstanceRef struct {
 // context-free relaxation; otherwise it is a Domain-Relationship-Range
 // string such as ContextIndication.
 func (s *System) Relax(term, ctx string, k int) ([]Result, error) {
+	return s.RelaxContext(context.Background(), term, ctx, k)
+}
+
+// RelaxContext is Relax under request-scoped cancellation: the serving
+// layer threads HTTP deadlines through here. Context-string parse
+// failures wrap core.ErrBadContext so servers can map them to 400.
+func (s *System) RelaxContext(cctx context.Context, term, ctx string, k int) ([]Result, error) {
 	var ctxPtr *ontology.Context
 	if ctx != "" {
 		parsed, err := ontology.ParseContext(ctx)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", core.ErrBadContext, err)
 		}
 		ctxPtr = &parsed
 	}
-	results, err := s.Relaxer.RelaxTerm(term, ctxPtr, k)
+	results, err := s.Relaxer.RelaxTermContext(cctx, term, ctxPtr, k)
 	if err != nil {
 		return nil, err
 	}
