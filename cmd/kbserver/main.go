@@ -36,11 +36,10 @@ import (
 	"time"
 
 	"medrelax"
-	"medrelax/internal/core"
+	"medrelax/internal/boot"
 	"medrelax/internal/dialog"
 	"medrelax/internal/eks"
-	"medrelax/internal/match"
-	"medrelax/internal/persist"
+	"medrelax/internal/fault"
 	"medrelax/internal/server"
 	"medrelax/internal/serving"
 )
@@ -104,60 +103,42 @@ func (b *systemBackend) Stats() map[string]any {
 	}
 }
 
-// loadBackend serves relaxation from a saved ingestion bundle: no world
-// regeneration, no embedding training — the cold-start path the bundle
-// format exists for. /chat is unavailable because conversations need the
-// full synthetic world, which the bundle deliberately omits. The same
-// path backs POST /admin/reload and SIGHUP, so pushing a new bundle file
-// and poking the endpoint swaps worlds without a restart.
-func loadBackend(path string) (server.Backend, error) {
-	loadStart := time.Now()
-	ing, err := persist.LoadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	if err := persist.ValidateForServing(ing); err != nil {
-		return nil, err
-	}
-	loadDur := time.Since(loadStart)
-	freezeStart := time.Now()
-	ing.Graph.Freeze()
-	log.Printf("bundle loaded: %d EKS concepts, %d instances (decode+restore %s, freeze %s)",
-		ing.Graph.Len(), ing.Store.Len(),
-		loadDur.Round(time.Millisecond), time.Since(freezeStart).Round(time.Millisecond))
-	mapper := match.NewCombined(match.NewExact(ing.Graph), match.NewEdit(ing.Graph, 0), match.NewLookupService(ing.Graph))
-	sim := core.NewSimilarity(ing.Graph, ing.Frequencies, ing.Ontology)
-	relaxer := core.NewRelaxer(ing, sim, mapper, core.RelaxOptions{Radius: 3, DynamicRadius: true})
-	backend := &server.RelaxerBackend{Relaxer: relaxer, Ing: ing}
-	// Probe one flagged term end to end so a structurally valid bundle
-	// that cannot actually answer fails here, not in production traffic.
-	if terms := backend.Terms(1); len(terms) > 0 {
-		if _, err := backend.Relax(context.Background(), terms[0], "", 1); err != nil {
-			return nil, err
-		}
-	}
-	return backend, nil
-}
-
 func main() {
 	var (
 		addr = flag.String("addr", ":8080", "listen address")
 		seed = flag.Int64("seed", 42, "generation seed")
 		load = flag.String("load", "", "serve from a saved ingestion bundle instead of rebuilding the world (disables /chat, enables /admin/reload)")
 
-		cacheSize = flag.Int("cache-size", 16384, "result cache capacity in entries (0 disables caching)")
-		cacheTTL  = flag.Duration("cache-ttl", 5*time.Minute, "result cache entry TTL (0: LRU/reload eviction only)")
-		maxConc   = flag.Int("max-concurrent", 256, "max concurrently admitted /relax+/chat requests; excess sheds with 429 (0: unlimited)")
-		relaxTO   = flag.Duration("relax-timeout", 2*time.Second, "per-request /relax deadline (0: none)")
-		chatTO    = flag.Duration("chat-timeout", 5*time.Second, "per-request /chat deadline (0: none)")
-		chatRPS   = flag.Float64("chat-rps", 200, "global /chat rate limit in requests/second (0: unlimited)")
-		slowQ     = flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold (0: disabled)")
+		cacheSize  = flag.Int("cache-size", 16384, "result cache capacity in entries (0 disables caching)")
+		cacheTTL   = flag.Duration("cache-ttl", 5*time.Minute, "result cache entry TTL (0: LRU/reload eviction only)")
+		cacheStale = flag.Duration("cache-stale", time.Minute, "serve entries expired less than this long ago when recomputation fails (0: disabled)")
+		maxConc    = flag.Int("max-concurrent", 256, "max concurrently admitted /relax+/chat requests; excess sheds with 429 (0: unlimited)")
+		relaxTO    = flag.Duration("relax-timeout", 2*time.Second, "per-request /relax deadline (0: none)")
+		chatTO     = flag.Duration("chat-timeout", 5*time.Second, "per-request /chat deadline (0: none)")
+		chatRPS    = flag.Float64("chat-rps", 200, "global /chat rate limit in requests/second (0: unlimited)")
+		slowQ      = flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold (0: disabled)")
+		faults     = flag.String("faults", "", "fault-injection spec (see internal/fault); overrides $"+fault.EnvVar)
 	)
 	flag.Parse()
 
+	// Fault injection: explicit flag wins, otherwise the environment. Off
+	// (the default) costs one atomic load per armed call site.
+	if *faults != "" {
+		reg, err := fault.Parse(*faults)
+		if err != nil {
+			log.Fatalf("kbserver: -faults: %v", err)
+		}
+		fault.SetDefault(reg)
+	} else if _, err := fault.FromEnv(); err != nil {
+		log.Fatalf("kbserver: $%s: %v", fault.EnvVar, err)
+	}
+	if armed := fault.Default().Names(); len(armed) > 0 {
+		log.Printf("kbserver: FAULT INJECTION ARMED at sites %v", armed)
+	}
+
 	var backend server.Backend
 	if *load != "" {
-		b, err := loadBackend(*load)
+		b, err := boot.LoadBackend(*load)
 		if err != nil {
 			log.Fatalf("kbserver: loading bundle: %v", err)
 		}
@@ -181,6 +162,7 @@ func main() {
 	opts := serving.DefaultOptions()
 	opts.CacheCapacity = *cacheSize
 	opts.CacheTTL = *cacheTTL
+	opts.CacheStaleWindow = *cacheStale
 	opts.MaxConcurrent = *maxConc
 	opts.RelaxTimeout = *relaxTO
 	opts.ChatTimeout = *chatTO
@@ -188,7 +170,7 @@ func main() {
 	opts.SlowQuery = *slowQ
 	if *load != "" {
 		bundle := *load
-		opts.Loader = func() (server.Backend, error) { return loadBackend(bundle) }
+		opts.Loader = func() (server.Backend, error) { return boot.LoadBackend(bundle) }
 	}
 	engine := serving.NewEngine(backend, opts)
 	api := server.New(engine)

@@ -31,11 +31,87 @@ import (
 type phaseStats struct {
 	Requests   int     `json:"requests"`
 	Errors     int     `json:"errors"`
+	Retries    int     `json:"retries,omitempty"`
 	P50Ms      float64 `json:"p50Ms"`
 	P95Ms      float64 `json:"p95Ms"`
 	P99Ms      float64 `json:"p99Ms"`
 	MeanMs     float64 `json:"meanMs"`
 	Throughput float64 `json:"requestsPerSecond"`
+}
+
+// retryPolicy is the client-side answer to admission control: capped
+// exponential backoff with deterministic jitter, never sleeping less than
+// the server's Retry-After hint. maxRetries 0 disables retrying.
+type retryPolicy struct {
+	maxRetries int
+	base       time.Duration
+	cap        time.Duration
+}
+
+// wait computes the sleep before retry number attempt (0-based): half the
+// capped exponential step plus jitter up to the other half, raised to the
+// server's Retry-After when that is longer.
+func (p retryPolicy) wait(attempt int, retryAfter time.Duration, rng *rand.Rand) time.Duration {
+	d := p.base << attempt
+	if d > p.cap || d <= 0 {
+		d = p.cap
+	}
+	w := d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+	if retryAfter > w {
+		w = retryAfter
+	}
+	return w
+}
+
+// retryable says whether a response status is worth retrying: the two
+// explicit back-off-and-retry signals the serving layer emits.
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// parseRetryAfter reads the delay-seconds form of a Retry-After header
+// (the only form the server emits); 0 when absent or malformed.
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// relaxRetry issues one /relax query, retrying shed (429) and transient
+// (503) responses plus transport errors under the policy. It returns the
+// final attempt's latency and status and how many retries were spent;
+// status 0 means even the last attempt failed at the transport layer.
+func relaxRetry(client *http.Client, addr, term string, k int, pol retryPolicy, rng *rand.Rand) (time.Duration, int, int) {
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		url := fmt.Sprintf("%s/relax?term=%s&k=%d", addr, queryEscape(term), k)
+		start := time.Now()
+		resp, err := client.Get(url)
+		if err != nil {
+			if attempt < pol.maxRetries {
+				time.Sleep(pol.wait(attempt, 0, rng))
+				retries++
+				continue
+			}
+			return 0, 0, retries
+		}
+		retryAfter := parseRetryAfter(resp.Header)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		d := time.Since(start)
+		if retryable(resp.StatusCode) && attempt < pol.maxRetries {
+			time.Sleep(pol.wait(attempt, retryAfter, rng))
+			retries++
+			continue
+		}
+		return d, resp.StatusCode, retries
+	}
 }
 
 type burstStats struct {
@@ -76,10 +152,14 @@ func main() {
 		burstN   = flag.Int("burst", 128, "concurrent workers in the shed burst (0 skips)")
 		burstReq = flag.Int("burst-requests", 20, "requests per burst worker")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		retries  = flag.Int("retries", 2, "max client retries per request on 429/503 (cold+warm phases; 0 disables)")
+		retryLo  = flag.Duration("retry-base", 50*time.Millisecond, "exponential backoff base")
+		retryHi  = flag.Duration("retry-cap", 2*time.Second, "exponential backoff cap")
 		outJSON  = flag.String("out", "BENCH_serve.json", "JSON report path")
 		outMD    = flag.String("md", "results/BENCH_serve.md", "Markdown report path")
 	)
 	flag.Parse()
+	pol := retryPolicy{maxRetries: *retries, base: *retryLo, cap: *retryHi}
 
 	// Default transports keep only two idle conns per host: at high
 	// worker counts every request would pay TCP setup, measuring the
@@ -111,10 +191,12 @@ func main() {
 	// Phase 1 — cold: every term exactly once against an empty cache.
 	log.Print("loadgen: cold phase (sequential, all misses)")
 	coldLat := make([]time.Duration, 0, len(termList))
-	coldErrs := 0
+	coldErrs, coldRetries := 0, 0
+	coldRng := rand.New(rand.NewSource(*seed + 7919))
 	coldStart := time.Now()
 	for _, term := range termList {
-		d, code := timedRelax(client, *addr, term, *k)
+		d, code, r := relaxRetry(client, *addr, term, *k, pol, coldRng)
+		coldRetries += r
 		if code != http.StatusOK {
 			coldErrs++
 			continue
@@ -122,12 +204,13 @@ func main() {
 		coldLat = append(coldLat, d)
 	}
 	rep.Cold = summarize(coldLat, coldErrs, time.Since(coldStart))
+	rep.Cold.Retries = coldRetries
 
 	// Phase 2 — warm: zipfian mix, concurrent, head terms now cached.
 	log.Printf("loadgen: warm phase (%d workers, %s)", *conc, *duration)
 	var mu sync.Mutex
 	warmLat := make([]time.Duration, 0, 1<<16)
-	warmErrs := 0
+	warmErrs, warmRetries := 0, 0
 	var wg sync.WaitGroup
 	warmStart := time.Now()
 	deadline := warmStart.Add(*duration)
@@ -138,10 +221,11 @@ func main() {
 			rng := rand.New(rand.NewSource(*seed + int64(w)))
 			zipf := rand.NewZipf(rng, *zipfS, 1, uint64(len(termList)-1))
 			local := make([]time.Duration, 0, 4096)
-			errs := 0
+			errs, rts := 0, 0
 			for time.Now().Before(deadline) {
 				term := termList[zipf.Uint64()]
-				d, code := timedRelax(client, *addr, term, *k)
+				d, code, r := relaxRetry(client, *addr, term, *k, pol, rng)
+				rts += r
 				if code != http.StatusOK {
 					errs++
 					continue
@@ -151,11 +235,13 @@ func main() {
 			mu.Lock()
 			warmLat = append(warmLat, local...)
 			warmErrs += errs
+			warmRetries += rts
 			mu.Unlock()
 		}(w)
 	}
 	wg.Wait()
 	rep.Warm = summarize(warmLat, warmErrs, time.Since(warmStart))
+	rep.Warm.Retries = warmRetries
 	if rep.Warm.P95Ms > 0 {
 		rep.WarmSpeedupP95 = rep.Cold.P95Ms / rep.Warm.P95Ms
 	}
@@ -366,6 +452,10 @@ func writeMarkdown(path string, rep *report) error {
 		rep.Warm.Requests, rep.Warm.Errors, rep.Warm.P50Ms, rep.Warm.P95Ms, rep.Warm.P99Ms, rep.Warm.MeanMs, rep.Warm.Throughput)
 	fmt.Fprintf(&b, "**Warm-cache p95 speedup: %.1fx.** Cached responses byte-identical to uncached: **%v**.\n\n",
 		rep.WarmSpeedupP95, rep.ByteIdentical)
+	if rep.Cold.Retries > 0 || rep.Warm.Retries > 0 {
+		fmt.Fprintf(&b, "Client retries (capped exponential backoff + jitter, honoring `Retry-After`): %d cold, %d warm.\n\n",
+			rep.Cold.Retries, rep.Warm.Retries)
+	}
 	if rep.Burst.Requests > 0 {
 		fmt.Fprintf(&b, "## Shed burst (%d workers, cache-busting random k)\n\n", rep.BurstWorkers)
 		fmt.Fprintf(&b, "| requests | 200 OK | 429 shed | other |\n|---:|---:|---:|---:|\n")

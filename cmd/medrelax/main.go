@@ -70,26 +70,15 @@ func main() {
 			tm.Ingest.Round(time.Millisecond), tm.Total.Round(time.Millisecond))
 	}
 	if *save != "" {
-		saveFn := persist.SaveBinary
-		switch *format {
-		case "binary":
-		case "json":
-			saveFn = persist.Save
-		default:
-			fmt.Fprintf(os.Stderr, "medrelax: unknown -format %q (want binary or json)\n", *format)
-			os.Exit(1)
-		}
-		f, err := os.Create(*save)
+		bundleFormat, err := persist.ParseFormat(*format)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "medrelax:", err)
 			os.Exit(1)
 		}
 		saveStart := time.Now()
-		err = saveFn(f, sys.Ingestion)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
+		// Atomic write (temp + fsync + rename): a crash mid-save leaves the
+		// previous bundle intact rather than a torn file at -save.
+		if err := persist.SaveFileAtomic(*save, sys.Ingestion, bundleFormat); err != nil {
 			fmt.Fprintln(os.Stderr, "medrelax: saving bundle:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,53 @@
+// Package boot assembles a servable backend from a persisted ingestion
+// bundle — the cold-start path shared by cmd/kbserver (startup and hot
+// reload) and cmd/chaos (crash-safety harness). Keeping it in one place
+// guarantees the chaos harness exercises exactly the loader production
+// runs, fault sites included.
+package boot
+
+import (
+	"context"
+	"log"
+	"time"
+
+	"medrelax/internal/core"
+	"medrelax/internal/match"
+	"medrelax/internal/persist"
+	"medrelax/internal/server"
+)
+
+// LoadBackend serves relaxation from a saved ingestion bundle: no world
+// regeneration, no embedding training. /chat is unavailable because
+// conversations need the full synthetic world, which the bundle
+// deliberately omits. The same path backs POST /admin/reload and SIGHUP,
+// so pushing a new bundle file and poking the endpoint swaps worlds
+// without a restart. Errors keep persist's typing: a corrupt file wraps
+// persist.ErrCorruptBundle, a missing one fs.ErrNotExist.
+func LoadBackend(path string) (server.Backend, error) {
+	loadStart := time.Now()
+	ing, err := persist.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := persist.ValidateForServing(ing); err != nil {
+		return nil, err
+	}
+	loadDur := time.Since(loadStart)
+	freezeStart := time.Now()
+	ing.Graph.Freeze()
+	log.Printf("bundle loaded: %d EKS concepts, %d instances (decode+restore %s, freeze %s)",
+		ing.Graph.Len(), ing.Store.Len(),
+		loadDur.Round(time.Millisecond), time.Since(freezeStart).Round(time.Millisecond))
+	mapper := match.NewCombined(match.NewExact(ing.Graph), match.NewEdit(ing.Graph, 0), match.NewLookupService(ing.Graph))
+	sim := core.NewSimilarity(ing.Graph, ing.Frequencies, ing.Ontology)
+	relaxer := core.NewRelaxer(ing, sim, mapper, core.RelaxOptions{Radius: 3, DynamicRadius: true})
+	backend := &server.RelaxerBackend{Relaxer: relaxer, Ing: ing}
+	// Probe one flagged term end to end so a structurally valid bundle
+	// that cannot actually answer fails here, not in production traffic.
+	if terms := backend.Terms(1); len(terms) > 0 {
+		if _, err := backend.Relax(context.Background(), terms[0], "", 1); err != nil {
+			return nil, err
+		}
+	}
+	return backend, nil
+}

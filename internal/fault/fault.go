@@ -1,0 +1,376 @@
+// Package fault is a zero-dependency, deterministic fault-injection
+// framework. Production code declares named injection sites on the paths
+// that can actually fail in deployment — bundle reads and writes, fsync,
+// rename, backend computation — and stays at zero overhead until a
+// registry arms a site: a disabled site is a nil pointer and every method
+// is nil-receiver safe.
+//
+// Faults are configured by a compact spec, one entry per site, separated
+// by semicolons:
+//
+//	persist.read:error,rate=0.5,seed=7
+//	persist.write:torn,bytes=512,count=1
+//	backend.relax:latency,delay=25ms,rate=0.2
+//	backend.relax:error,after=100,count=10
+//
+// Each entry is "site:kind[,key=value...]". Kinds:
+//
+//   - error    Inject returns an *Error (which reports Transient() == true,
+//     so the serving layer maps it to 503 + Retry-After, not 500).
+//   - latency  Inject sleeps for delay before returning nil.
+//   - torn     WrapWriter cuts the stream after bytes written bytes and
+//     fails every later write — a torn/partial write.
+//
+// Keys: rate (fire probability per check, default 1), seed (per-site RNG
+// seed, default derived from the site name), count (max fires, default
+// unlimited), after (checks that pass before the site arms, default 0),
+// delay (latency duration), bytes (torn cut point), msg (error text).
+//
+// The same seed yields the same fire pattern for the same sequence of
+// checks, so a chaos run is replayable. The registry is installed
+// process-wide with SetDefault (or from the MEDRELAX_FAULTS environment
+// variable via FromEnv); call sites use fault.At("site").
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar names the environment variable FromEnv reads the spec from.
+const EnvVar = "MEDRELAX_FAULTS"
+
+// ErrInjected is the sentinel every injected error wraps; code that must
+// distinguish injected faults from organic failures checks
+// errors.Is(err, fault.ErrInjected).
+var ErrInjected = errors.New("injected fault")
+
+// Error is the concrete injected error. It reports itself transient so
+// generic admission layers (which must not import this package's concept
+// of "injected") can classify it via the Transient() interface.
+type Error struct {
+	// Site is the injection-site name that fired.
+	Site string
+	// Msg is the optional configured message.
+	Msg string
+}
+
+func (e *Error) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("fault: site %q: %s", e.Site, e.Msg)
+	}
+	return fmt.Sprintf("fault: injected error at site %q", e.Site)
+}
+
+// Unwrap lets errors.Is(err, ErrInjected) identify injected faults.
+func (e *Error) Unwrap() error { return ErrInjected }
+
+// Transient reports that the failure is expected to clear on retry.
+func (e *Error) Transient() bool { return true }
+
+// Kind is the failure mode of one site.
+type Kind int
+
+const (
+	// KindError makes Inject return an *Error when the site fires.
+	KindError Kind = iota
+	// KindLatency makes Inject sleep for the configured delay.
+	KindLatency
+	// KindTorn makes WrapWriter cut the stream after N bytes.
+	KindTorn
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindLatency:
+		return "latency"
+	case KindTorn:
+		return "torn"
+	}
+	return "unknown"
+}
+
+// Site is one armed injection point. The zero of *Site (nil) is a
+// disabled site: every method no-ops.
+type Site struct {
+	name  string
+	kind  Kind
+	rate  float64
+	after int64
+	count int64 // remaining fires; negative = unlimited
+	delay time.Duration
+	bytes int64
+	msg   string
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	checks atomic.Int64
+	fires  atomic.Int64
+}
+
+// fire decides deterministically whether this check trips the site.
+func (s *Site) fire() bool {
+	n := s.checks.Add(1)
+	if n <= s.after {
+		return false
+	}
+	s.mu.Lock()
+	hit := s.rate >= 1 || s.rng.Float64() < s.rate
+	if hit {
+		if s.count == 0 {
+			hit = false
+		} else if s.count > 0 {
+			s.count--
+		}
+	}
+	s.mu.Unlock()
+	if hit {
+		s.fires.Add(1)
+	}
+	return hit
+}
+
+// Inject applies the site's fault for one operation: for KindLatency it
+// sleeps and returns nil; for KindError it returns an *Error; KindTorn
+// sites never fire here (they act through WrapWriter). Nil-safe.
+func (s *Site) Inject() error {
+	if s == nil || !s.fire() {
+		return nil
+	}
+	switch s.kind {
+	case KindLatency:
+		time.Sleep(s.delay)
+		return nil
+	case KindError:
+		return &Error{Site: s.name, Msg: s.msg}
+	}
+	return nil
+}
+
+// WrapWriter returns w unless this is an armed torn-write site, in which
+// case the returned writer passes the first `bytes` bytes through and
+// fails every write after the cut — the torn write a crash mid-flush
+// leaves behind. Nil-safe.
+func (s *Site) WrapWriter(w io.Writer) io.Writer {
+	if s == nil || s.kind != KindTorn || !s.fire() {
+		return w
+	}
+	return &tornWriter{w: w, left: s.bytes, site: s.name}
+}
+
+// Checks is how many times the site was consulted. Nil-safe.
+func (s *Site) Checks() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.checks.Load()
+}
+
+// Fires is how many times the site tripped. Nil-safe.
+func (s *Site) Fires() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.fires.Load()
+}
+
+type tornWriter struct {
+	w    io.Writer
+	left int64
+	site string
+}
+
+func (t *tornWriter) Write(p []byte) (int, error) {
+	if t.left <= 0 {
+		return 0, &Error{Site: t.site, Msg: "torn write"}
+	}
+	if int64(len(p)) <= t.left {
+		n, err := t.w.Write(p)
+		t.left -= int64(n)
+		return n, err
+	}
+	n, err := t.w.Write(p[:t.left])
+	t.left -= int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, &Error{Site: t.site, Msg: "torn write"}
+}
+
+// Registry maps site names to armed sites. A nil *Registry is valid and
+// always returns disabled (nil) sites.
+type Registry struct {
+	sites map[string]*Site
+}
+
+// Site looks up a site by name; nil (disabled) when the registry is nil
+// or the site is not armed.
+func (r *Registry) Site(name string) *Site {
+	if r == nil {
+		return nil
+	}
+	return r.sites[name]
+}
+
+// SiteStats is a point-in-time snapshot of one site's activity.
+type SiteStats struct {
+	Kind   string `json:"kind"`
+	Checks int64  `json:"checks"`
+	Fires  int64  `json:"fires"`
+}
+
+// Snapshot reports every armed site's check/fire counters, keyed by site
+// name — the chaos harness embeds it in its run report.
+func (r *Registry) Snapshot() map[string]SiteStats {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]SiteStats, len(r.sites))
+	for name, s := range r.sites {
+		out[name] = SiteStats{Kind: s.kind.String(), Checks: s.Checks(), Fires: s.Fires()}
+	}
+	return out
+}
+
+// Names lists the armed sites in sorted order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.sites))
+	for n := range r.sites {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Parse builds a registry from a spec (see the package comment for the
+// grammar). An empty spec yields a nil registry — everything disabled.
+func Parse(spec string) (*Registry, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	r := &Registry{sites: map[string]*Site{}}
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		site, err := parseEntry(entry)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := r.sites[site.name]; dup {
+			return nil, fmt.Errorf("fault: duplicate site %q in spec", site.name)
+		}
+		r.sites[site.name] = site
+	}
+	if len(r.sites) == 0 {
+		return nil, nil
+	}
+	return r, nil
+}
+
+func parseEntry(entry string) (*Site, error) {
+	name, rest, ok := strings.Cut(entry, ":")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" {
+		return nil, fmt.Errorf("fault: entry %q: want site:kind[,key=value...]", entry)
+	}
+	parts := strings.Split(rest, ",")
+	s := &Site{name: name, rate: 1, count: -1}
+	switch strings.TrimSpace(parts[0]) {
+	case "error":
+		s.kind = KindError
+	case "latency":
+		s.kind = KindLatency
+		s.delay = 10 * time.Millisecond
+	case "torn":
+		s.kind = KindTorn
+	default:
+		return nil, fmt.Errorf("fault: site %q: unknown kind %q", name, parts[0])
+	}
+	seeded := false
+	for _, kv := range parts[1:] {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: site %q: malformed option %q", name, kv)
+		}
+		var err error
+		switch key {
+		case "rate":
+			s.rate, err = strconv.ParseFloat(val, 64)
+			if err == nil && (s.rate < 0 || s.rate > 1) {
+				err = fmt.Errorf("rate %v outside [0,1]", s.rate)
+			}
+		case "seed":
+			var seed int64
+			seed, err = strconv.ParseInt(val, 10, 64)
+			s.rng = rand.New(rand.NewSource(seed))
+			seeded = true
+		case "count":
+			s.count, err = strconv.ParseInt(val, 10, 64)
+		case "after":
+			s.after, err = strconv.ParseInt(val, 10, 64)
+		case "delay":
+			s.delay, err = time.ParseDuration(val)
+		case "bytes":
+			s.bytes, err = strconv.ParseInt(val, 10, 64)
+		case "msg":
+			s.msg = val
+		default:
+			err = fmt.Errorf("unknown option %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault: site %q: option %q: %v", name, kv, err)
+		}
+	}
+	if !seeded {
+		// Derive a stable per-site seed so unseeded specs are still
+		// deterministic run to run.
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		s.rng = rand.New(rand.NewSource(int64(h.Sum64())))
+	}
+	return s, nil
+}
+
+// defaultReg is the process-wide registry consulted by fault.At.
+var defaultReg atomic.Pointer[Registry]
+
+// SetDefault installs (or, with nil, clears) the process-wide registry.
+func SetDefault(r *Registry) { defaultReg.Store(r) }
+
+// Default returns the process-wide registry (possibly nil).
+func Default() *Registry { return defaultReg.Load() }
+
+// At returns the named site from the process-wide registry; nil when no
+// registry is installed or the site is not armed. The fast path for a
+// fault-free process is one atomic load and a nil map lookup.
+func At(name string) *Site { return defaultReg.Load().Site(name) }
+
+// FromEnv parses MEDRELAX_FAULTS and installs the result as the default
+// registry. Unset or empty leaves injection disabled.
+func FromEnv() (*Registry, error) {
+	r, err := Parse(os.Getenv(EnvVar))
+	if err != nil {
+		return nil, err
+	}
+	SetDefault(r)
+	return r, nil
+}

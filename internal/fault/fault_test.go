@@ -1,0 +1,200 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestParseAndInjectError(t *testing.T) {
+	r, err := Parse("persist.read:error,rate=1,count=2,msg=boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Site("persist.read")
+	if s == nil {
+		t.Fatal("site not armed")
+	}
+	for i := 0; i < 2; i++ {
+		err := s.Inject()
+		if err == nil {
+			t.Fatalf("check %d: want injected error", i)
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("injected error does not wrap ErrInjected: %v", err)
+		}
+		var fe *Error
+		if !errors.As(err, &fe) || !fe.Transient() {
+			t.Fatalf("injected error not transient: %v", err)
+		}
+	}
+	// count=2 exhausted: the site never fires again.
+	for i := 0; i < 10; i++ {
+		if err := s.Inject(); err != nil {
+			t.Fatalf("fire after count exhausted: %v", err)
+		}
+	}
+	if got := s.Fires(); got != 2 {
+		t.Fatalf("fires = %d, want 2", got)
+	}
+}
+
+func TestAfterDelaysArming(t *testing.T) {
+	r, err := Parse("x:error,after=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Site("x")
+	for i := 0; i < 3; i++ {
+		if err := s.Inject(); err != nil {
+			t.Fatalf("check %d fired before after=3", i)
+		}
+	}
+	if err := s.Inject(); err == nil {
+		t.Fatal("check 4 should fire")
+	}
+}
+
+func TestRateIsDeterministicPerSeed(t *testing.T) {
+	pattern := func() []bool {
+		r, err := Parse("x:error,rate=0.5,seed=42")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := r.Site("x")
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = s.Inject() != nil
+		}
+		return out
+	}
+	a := pattern()
+	c := pattern()
+	fired := 0
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("fire pattern diverged at check %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("rate=0.5 fired %d/%d times — not probabilistic", fired, len(a))
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	r, err := Parse("x:latency,delay=30ms,rate=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Site("x")
+	start := time.Now()
+	if err := s.Inject(); err != nil {
+		t.Fatalf("latency site returned error: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("latency site slept %v, want >= 30ms", d)
+	}
+}
+
+func TestTornWriter(t *testing.T) {
+	r, err := Parse("w:torn,bytes=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := r.Site("w").WrapWriter(&buf)
+	n, err := w.Write([]byte("hello world"))
+	if n != 5 {
+		t.Fatalf("torn writer passed %d bytes, want 5", n)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write error = %v, want ErrInjected", err)
+	}
+	if buf.String() != "hello" {
+		t.Fatalf("buffer = %q, want %q", buf.String(), "hello")
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after cut = %v, want ErrInjected", err)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var s *Site
+	if err := s.Inject(); err != nil {
+		t.Fatal("nil site injected")
+	}
+	var buf bytes.Buffer
+	if w := s.WrapWriter(&buf); w != io.Writer(&buf) {
+		t.Fatal("nil site wrapped the writer")
+	}
+	var r *Registry
+	if r.Site("x") != nil {
+		t.Fatal("nil registry returned a site")
+	}
+	if r.Snapshot() != nil || r.Names() != nil {
+		t.Fatal("nil registry returned stats")
+	}
+	SetDefault(nil)
+	if At("anything") != nil {
+		t.Fatal("At with no default registry returned a site")
+	}
+}
+
+func TestDefaultRegistryAt(t *testing.T) {
+	r, err := Parse("a.b:error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetDefault(r)
+	defer SetDefault(nil)
+	if At("a.b") == nil {
+		t.Fatal("At did not find armed site")
+	}
+	if At("other") != nil {
+		t.Fatal("At returned an unarmed site")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, spec := range []string{
+		"nosite",
+		"x:explode",
+		"x:error,rate=2",
+		"x:error,rate=abc",
+		"x:error,bogus=1",
+		"x:error;x:latency",
+		"x:latency,delay=notaduration",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestParseEmptyDisables(t *testing.T) {
+	for _, spec := range []string{"", "  ", ";;"} {
+		r, err := Parse(spec)
+		if err != nil || r != nil {
+			t.Errorf("Parse(%q) = %v, %v; want nil, nil", spec, r, err)
+		}
+	}
+}
+
+func TestSnapshotCounts(t *testing.T) {
+	r, err := Parse("x:error,rate=1,count=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Site("x")
+	s.Inject()
+	s.Inject()
+	snap := r.Snapshot()
+	if st := snap["x"]; st.Checks != 2 || st.Fires != 1 || st.Kind != "error" {
+		t.Fatalf("snapshot = %+v", st)
+	}
+}

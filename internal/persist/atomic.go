@@ -1,0 +1,110 @@
+package persist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"medrelax/internal/core"
+	"medrelax/internal/fault"
+)
+
+// Format selects the on-disk encoding for SaveFileAtomic.
+type Format int
+
+const (
+	// FormatBinary is the compact v2 encoding (SaveBinary).
+	FormatBinary Format = iota
+	// FormatJSON is the inspectable v1 encoding (Save).
+	FormatJSON
+)
+
+// ParseFormat maps the CLI spelling ("binary" or "json") to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "binary":
+		return FormatBinary, nil
+	case "json":
+		return FormatJSON, nil
+	}
+	return 0, fmt.Errorf("persist: unknown bundle format %q (want binary or json)", s)
+}
+
+// SaveFileAtomic writes the ingestion to path crash-safely: the bundle is
+// written to a temporary file in the same directory, flushed and fsynced,
+// and only then renamed over path (followed by a directory fsync so the
+// rename itself is durable). A crash — or an injected fault — at any
+// point leaves either the previous bundle or no file at path, never a
+// torn one; the temporary file is removed on every failure path. Combined
+// with Load's checksums this is the full crash-safety story: writers
+// can't publish a partial bundle, and readers reject one anyway if the
+// storage layer tears it.
+//
+// Fault sites: "persist.write" (torn writes into the temp file),
+// "persist.fsync" (flush/fsync failure), "persist.rename" (failure at the
+// publish step).
+func SaveFileAtomic(path string, ing *core.Ingestion, format Format) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".bundle-*.tmp")
+	if err != nil {
+		return fmt.Errorf("persist: creating temp bundle: %w", err)
+	}
+	tmpName := tmp.Name()
+	committed := false
+	defer func() {
+		if !committed {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+
+	var w io.Writer = fault.At("persist.write").WrapWriter(tmp)
+	bw := bufio.NewWriterSize(w, 1<<20)
+	switch format {
+	case FormatBinary:
+		err = SaveBinary(bw, ing)
+	case FormatJSON:
+		err = Save(bw, ing)
+	default:
+		err = fmt.Errorf("persist: unknown format %d", format)
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		return fmt.Errorf("persist: writing bundle to %q: %w", tmpName, err)
+	}
+	if err := fault.At("persist.fsync").Inject(); err != nil {
+		return fmt.Errorf("persist: fsync %q: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("persist: fsync %q: %w", tmpName, err)
+	}
+	// Temp files are 0600; bundles are world-readable like os.Create's.
+	if err := tmp.Chmod(0o644); err != nil {
+		return fmt.Errorf("persist: chmod %q: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: closing %q: %w", tmpName, err)
+	}
+	if err := fault.At("persist.rename").Inject(); err != nil {
+		return fmt.Errorf("persist: renaming %q to %q: %w", tmpName, path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("persist: renaming %q to %q: %w", tmpName, path, err)
+	}
+	committed = true
+	// Fsync the directory so the rename survives a crash. Failure here is
+	// reported (the caller may retry) but the visible file is already
+	// complete and valid either way.
+	if d, derr := os.Open(dir); derr == nil {
+		serr := d.Sync()
+		d.Close()
+		if serr != nil {
+			return fmt.Errorf("persist: fsync directory %q: %w", dir, serr)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package persist
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"medrelax/internal/fault"
+)
+
+// armFaults installs a fault registry for the duration of one test.
+func armFaults(t *testing.T, spec string) {
+	t.Helper()
+	reg, err := fault.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.SetDefault(reg)
+	t.Cleanup(func() { fault.SetDefault(nil) })
+}
+
+func TestSaveFileAtomicRoundTrip(t *testing.T) {
+	ing := buildIngestion(t)
+	for _, format := range []Format{FormatBinary, FormatJSON} {
+		path := filepath.Join(t.TempDir(), "bundle")
+		if err := SaveFileAtomic(path, ing, format); err != nil {
+			t.Fatalf("format %d: %v", format, err)
+		}
+		restored, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("format %d: %v", format, err)
+		}
+		if restored.Graph.Len() != ing.Graph.Len() {
+			t.Errorf("format %d: graph len = %d, want %d", format, restored.Graph.Len(), ing.Graph.Len())
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Mode().Perm() != 0o644 {
+			t.Errorf("format %d: bundle mode = %v, want 0644", format, fi.Mode().Perm())
+		}
+	}
+}
+
+// TestSaveFileAtomicNeverPublishesPartial injects a failure at every
+// stage of the publish pipeline — torn write, failed fsync, failed
+// rename — and asserts the atomicity contract each time: no file appears
+// at the target path and no temp file survives.
+func TestSaveFileAtomicNeverPublishesPartial(t *testing.T) {
+	ing := buildIngestion(t)
+	cases := []struct {
+		name string
+		spec string
+	}{
+		{"torn write", "persist.write:torn,bytes=1024,count=1"},
+		{"torn write at zero", "persist.write:torn,bytes=0,count=1"},
+		{"fsync failure", "persist.fsync:error,count=1"},
+		{"rename failure", "persist.rename:error,count=1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			armFaults(t, tc.spec)
+			dir := t.TempDir()
+			path := filepath.Join(dir, "bundle.bin")
+			if err := SaveFileAtomic(path, ing, FormatBinary); err == nil {
+				t.Fatal("save succeeded through an injected fault")
+			}
+			if _, err := os.Stat(path); !errors.Is(err, fs.ErrNotExist) {
+				t.Errorf("partial bundle visible at target path (stat err %v)", err)
+			}
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) != 0 {
+				t.Errorf("temp litter after failed save: %v", entries)
+			}
+		})
+	}
+}
+
+// TestSaveFileAtomicKeepsPreviousBundle proves a failed re-publish over
+// an existing bundle leaves the old one byte-identical and loadable —
+// the crash-safety property hot reload depends on.
+func TestSaveFileAtomicKeepsPreviousBundle(t *testing.T) {
+	ing := buildIngestion(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bundle.bin")
+	if err := SaveFileAtomic(path, ing, FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	armFaults(t, "persist.write:torn,bytes=512,count=1")
+	if err := SaveFileAtomic(path, ing, FormatBinary); err == nil {
+		t.Fatal("save succeeded through a torn writer")
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("previous bundle gone after failed save: %v", err)
+	}
+	if string(before) != string(after) {
+		t.Error("previous bundle modified by a failed save")
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Errorf("previous bundle unloadable after failed save: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory not clean after failed save: %v", entries)
+	}
+}
+
+// TestLoadFaultSites proves the read-side fault hooks fire: an armed
+// persist.open fails LoadFile before any I/O, and an armed persist.read
+// fails Load itself.
+func TestLoadFaultSites(t *testing.T) {
+	ing := buildIngestion(t)
+	path := filepath.Join(t.TempDir(), "bundle.bin")
+	if err := SaveFileAtomic(path, ing, FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+
+	armFaults(t, "persist.open:error,count=1")
+	if _, err := LoadFile(path); !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("persist.open fault not surfaced: %v", err)
+	}
+	// The count is exhausted: the next load succeeds.
+	if _, err := LoadFile(path); err != nil {
+		t.Errorf("load after fault exhaustion: %v", err)
+	}
+
+	armFaults(t, "persist.read:error,count=1")
+	if _, err := LoadFile(path); !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("persist.read fault not surfaced: %v", err)
+	}
+}

@@ -79,10 +79,12 @@ func (w *binWriter) ref(s string) uint64 {
 	return i
 }
 
-func (w *binWriter) uvarint(v uint64)  { w.body = binary.AppendUvarint(w.body, v) }
-func (w *binWriter) varint(v int64)    { w.body = binary.AppendVarint(w.body, v) }
-func (w *binWriter) str(s string)      { w.uvarint(w.ref(s)) }
-func (w *binWriter) float64(v float64) { w.body = binary.LittleEndian.AppendUint64(w.body, math.Float64bits(v)) }
+func (w *binWriter) uvarint(v uint64) { w.body = binary.AppendUvarint(w.body, v) }
+func (w *binWriter) varint(v int64)   { w.body = binary.AppendVarint(w.body, v) }
+func (w *binWriter) str(s string)     { w.uvarint(w.ref(s)) }
+func (w *binWriter) float64(v float64) {
+	w.body = binary.LittleEndian.AppendUint64(w.body, math.Float64bits(v))
+}
 
 // delta emits cur relative to *prev as a wraparound uvarint and advances
 // *prev. Ascending sequences cost one or two bytes per element.
@@ -184,7 +186,7 @@ type binReader struct {
 
 func (r *binReader) fail(format string, args ...any) {
 	if r.err == nil {
-		r.err = fmt.Errorf("persist: binary bundle: "+format, args...)
+		r.err = corruptf("binary v2", format, args...)
 	}
 }
 
@@ -267,29 +269,29 @@ func decodeBinary(rd io.Reader) (*Bundle, error) {
 	br := bufio.NewReader(rd)
 	head := make([]byte, len(binaryMagic)+1+4)
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("persist: binary bundle: reading header: %w", err)
+		return nil, fmt.Errorf("%w: %v", corruptf("binary v2", "truncated header"), err)
 	}
 	if string(head[:len(binaryMagic)]) != binaryMagic {
-		return nil, fmt.Errorf("persist: binary bundle: bad magic")
+		return nil, corruptf("binary v2", "bad magic")
 	}
 	if v := head[len(binaryMagic)]; v != VersionBinary {
-		return nil, fmt.Errorf("persist: binary bundle version %d, want %d", v, VersionBinary)
+		return nil, corruptf("binary v2", "bundle version %d, want %d", v, VersionBinary)
 	}
 	wantCRC := binary.LittleEndian.Uint32(head[len(binaryMagic)+1:])
 	length, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("persist: binary bundle: reading payload length: %w", err)
+		return nil, fmt.Errorf("%w: %v", corruptf("binary v2", "reading payload length"), err)
 	}
 	const maxPayload = 1 << 32 // 4 GiB: far above any real bundle, stops absurd allocations
 	if length > maxPayload {
-		return nil, fmt.Errorf("persist: binary bundle: implausible payload length %d", length)
+		return nil, corruptf("binary v2", "implausible payload length %d", length)
 	}
 	payload := make([]byte, length)
 	if _, err := io.ReadFull(br, payload); err != nil {
-		return nil, fmt.Errorf("persist: binary bundle: truncated payload (want %d bytes): %w", length, err)
+		return nil, fmt.Errorf("%w: %v", corruptf("binary v2", "truncated payload (want %d bytes)", length), err)
 	}
 	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
-		return nil, fmt.Errorf("persist: binary bundle: checksum mismatch (corrupted bundle)")
+		return nil, corruptf("binary v2", "checksum mismatch (stored %08x, computed %08x)", wantCRC, got)
 	}
 
 	r := &binReader{buf: payload}
@@ -377,7 +379,7 @@ func decodeBinary(rd io.Reader) (*Bundle, error) {
 		return nil, r.err
 	}
 	if r.off != len(r.buf) {
-		return nil, fmt.Errorf("persist: binary bundle: %d trailing bytes after sections", len(r.buf)-r.off)
+		return nil, corruptf("binary v2", "%d trailing bytes after sections", len(r.buf)-r.off)
 	}
 	return b, nil
 }

@@ -1,0 +1,118 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// encodeBoth returns the same ingestion in both on-disk formats, the raw
+// material for torn-write simulations.
+func encodeBoth(t *testing.T) (jsonBundle, binBundle []byte) {
+	t.Helper()
+	ing := buildIngestion(t)
+	var jb, bb bytes.Buffer
+	if err := Save(&jb, ing); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveBinary(&bb, ing); err != nil {
+		t.Fatal(err)
+	}
+	return jb.Bytes(), bb.Bytes()
+}
+
+// TestLoadRejectsTornBundles simulates every tear and bit-flip class a
+// crashed or lying storage layer can produce, in both formats, and
+// demands a typed ErrCorruptBundle for each: a torn bundle must never
+// load as a smaller-but-plausible world.
+func TestLoadRejectsTornBundles(t *testing.T) {
+	jsonBundle, binBundle := encodeBoth(t)
+
+	flip := func(src []byte, off int) []byte {
+		b := append([]byte(nil), src...)
+		b[off] ^= 0x40
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		// Binary v2: tears at the header, mid-payload, and one byte
+		// short; flips in the header's length field and in the payload.
+		// (Bytes appended beyond the declared payload length are not a
+		// tear — the frame is complete and checksummed — so they are
+		// deliberately absent here; see binary_test.go.)
+		{"bin/truncated header", binBundle[:8]},
+		{"bin/truncated quarter", binBundle[:len(binBundle)/4]},
+		{"bin/truncated half", binBundle[:len(binBundle)/2]},
+		{"bin/truncated one byte short", binBundle[:len(binBundle)-1]},
+		{"bin/bitflip header length", flip(binBundle, 9)},
+		{"bin/bitflip payload early", flip(binBundle, 32)},
+		{"bin/bitflip payload middle", flip(binBundle, len(binBundle)/2)},
+		{"bin/bitflip last byte", flip(binBundle, len(binBundle)-1)},
+
+		// JSON v1: tears that still decode are caught by the embedded
+		// CRC; tears that break the syntax by the decoder. Cutting the
+		// closing brace breaks decoding; flipping a digit inside a value
+		// leaves a parseable document whose checksum no longer matches.
+		{"json/truncated quarter", jsonBundle[:len(jsonBundle)/4]},
+		{"json/truncated half", jsonBundle[:len(jsonBundle)/2]},
+		{"json/truncated before closing brace", jsonBundle[:len(jsonBundle)-2]},
+		{"json/bitflip payload middle", flip(jsonBundle, len(jsonBundle)/2)},
+
+		{"empty", nil},
+		{"garbage", []byte("this is not a bundle\n")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ing, err := Load(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatalf("corrupt bundle loaded: %d concepts", ing.Graph.Len())
+			}
+			if !errors.Is(err, ErrCorruptBundle) {
+				t.Errorf("error is not ErrCorruptBundle: %v", err)
+			}
+		})
+	}
+}
+
+// TestLoadFileErrorTyping pins the contract reload handling depends on:
+// a corrupt file is ErrCorruptBundle (with the path in the message), a
+// missing file is fs.ErrNotExist, and the two never overlap.
+func TestLoadFileErrorTyping(t *testing.T) {
+	dir := t.TempDir()
+
+	corrupt := filepath.Join(dir, "corrupt.bin")
+	if err := os.WriteFile(corrupt, []byte("not a bundle"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadFile(corrupt)
+	if !errors.Is(err, ErrCorruptBundle) {
+		t.Errorf("corrupt file: got %v, want ErrCorruptBundle", err)
+	}
+	if errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("corrupt file reported as missing: %v", err)
+	}
+	if err != nil && !bytes.Contains([]byte(err.Error()), []byte(corrupt)) {
+		t.Errorf("corrupt-file error does not name the path: %v", err)
+	}
+
+	empty := filepath.Join(dir, "empty.bin")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(empty); !errors.Is(err, ErrCorruptBundle) {
+		t.Errorf("empty file: got %v, want ErrCorruptBundle", err)
+	}
+
+	_, err = LoadFile(filepath.Join(dir, "missing.bin"))
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("missing file: got %v, want fs.ErrNotExist", err)
+	}
+	if errors.Is(err, ErrCorruptBundle) {
+		t.Errorf("missing file reported as corrupt: %v", err)
+	}
+}

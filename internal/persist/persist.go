@@ -16,23 +16,43 @@
 //
 // Load auto-detects the format from the first bytes of the stream. Both
 // formats are strictly validated on load (a corrupted or truncated bundle
-// fails loudly rather than yielding a half-built system).
+// fails loudly rather than yielding a half-built system): v2 is protected
+// by its CRC-32 header, and v1 carries a crc32 field computed over the
+// rest of the document, so a torn or bit-flipped bundle of either format
+// is rejected with an error wrapping ErrCorruptBundle — distinguishable
+// from a missing file, which surfaces the fs.ErrNotExist open error.
 package persist
 
 import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"slices"
 
 	"medrelax/internal/core"
 	"medrelax/internal/eks"
+	"medrelax/internal/fault"
 	"medrelax/internal/kb"
 	"medrelax/internal/ontology"
 )
+
+// ErrCorruptBundle marks a bundle that exists but cannot be trusted —
+// truncated, bit-flipped, checksum-mismatched, structurally invalid, or
+// of an unknown format. The serving layer's reload handler checks
+// errors.Is(err, ErrCorruptBundle) to tell "the pushed file is bad, keep
+// the old generation" apart from "the file is missing".
+var ErrCorruptBundle = errors.New("corrupt bundle")
+
+// corruptf builds an ErrCorruptBundle error tagged with the detected
+// format ("json v1", "binary v2", or "unknown").
+func corruptf(format, msg string, args ...any) error {
+	return fmt.Errorf("persist: %w (%s): %s", ErrCorruptBundle, format, fmt.Sprintf(msg, args...))
+}
 
 // Version is the JSON bundle format version.
 const Version = 1
@@ -43,6 +63,13 @@ const VersionBinary = 2
 // Bundle is the on-disk form of an ingestion.
 type Bundle struct {
 	Version int `json:"version"`
+	// CRC32 is the IEEE checksum of the bundle's canonical JSON encoding
+	// with this field zeroed (v1 only; v2 checksums its binary payload in
+	// the header instead). It makes torn and bit-flipped v1 bundles fail
+	// loudly: JSON truncated mid-document already fails to decode, and
+	// this catches the remaining cases — a flipped value that still
+	// parses, or a tear that lands on a value boundary.
+	CRC32 uint32 `json:"crc32,omitempty"`
 
 	OntologyConcepts      []ontology.Concept      `json:"ontologyConcepts"`
 	OntologyRelationships []ontology.Relationship `json:"ontologyRelationships"`
@@ -111,24 +138,58 @@ func buildBundle(ing *core.Ingestion) (*Bundle, error) {
 	return b, nil
 }
 
-// Save writes the ingestion as a JSON (v1) bundle.
+// Save writes the ingestion as a JSON (v1) bundle, including the crc32
+// integrity field Load verifies.
 func Save(w io.Writer, ing *core.Ingestion) error {
 	b, err := buildBundle(ing)
 	if err != nil {
 		return err
 	}
+	// Marshal once with CRC32 zeroed (omitted by omitempty) to fix the
+	// canonical bytes the checksum covers, then again with it set.
+	canonical, err := json.Marshal(b)
+	if err != nil {
+		return fmt.Errorf("persist: encoding bundle: %w", err)
+	}
+	b.CRC32 = crc32.ChecksumIEEE(canonical)
 	enc := json.NewEncoder(w)
 	return enc.Encode(b)
+}
+
+// verifyJSONChecksum re-derives the canonical encoding of a decoded v1
+// bundle and checks it against the stored crc32 field. Decode→encode is
+// canonical here because Bundle holds only slices and scalars (no maps),
+// so a mismatch means the file's values are not the ones Save wrote.
+func verifyJSONChecksum(b *Bundle) error {
+	want := b.CRC32
+	b.CRC32 = 0
+	canonical, err := json.Marshal(b)
+	b.CRC32 = want
+	if err != nil {
+		return fmt.Errorf("persist: re-encoding bundle for checksum: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(canonical); got != want {
+		return corruptf("json v1", "checksum mismatch (stored %08x, computed %08x)", want, got)
+	}
+	return nil
 }
 
 // Load reads a bundle — JSON v1 or binary v2, auto-detected from the
 // stream's first bytes — and reconstructs the ingestion. The returned
 // ingestion is fully usable for the online phase: build a Similarity over
-// ing.Frequencies and a Relaxer over it.
+// ing.Frequencies and a Relaxer over it. A bundle that exists but cannot
+// be decoded, fails its checksum, or restores to an invalid structure
+// yields an error wrapping ErrCorruptBundle.
 func Load(r io.Reader) (*core.Ingestion, error) {
+	if err := fault.At("persist.read").Inject(); err != nil {
+		return nil, fmt.Errorf("persist: reading bundle: %w", err)
+	}
 	br := bufio.NewReader(r)
 	head, err := br.Peek(len(binaryMagic))
 	if err != nil && len(head) == 0 {
+		if err == io.EOF {
+			return nil, corruptf("unknown", "empty bundle")
+		}
 		return nil, fmt.Errorf("persist: reading bundle: %w", err)
 	}
 	if bytes.Equal(head, []byte(binaryMagic)) {
@@ -136,23 +197,44 @@ func Load(r io.Reader) (*core.Ingestion, error) {
 		if err != nil {
 			return nil, err
 		}
-		return restore(b)
+		ing, err := restore(b)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", corruptf("binary v2", "restore failed"), err)
+		}
+		return ing, nil
+	}
+	if len(head) == 0 || (head[0] != '{' && head[0] != ' ' && head[0] != '\t' && head[0] != '\n' && head[0] != '\r') {
+		// Neither the binary magic nor the start of a JSON object: the
+		// file is not a bundle in any format we know.
+		return nil, corruptf("unknown", "no binary magic and no JSON object at byte 0")
 	}
 	var b Bundle
 	dec := json.NewDecoder(br)
 	if err := dec.Decode(&b); err != nil {
-		return nil, fmt.Errorf("persist: decoding bundle: %w", err)
+		return nil, fmt.Errorf("%w: %v", corruptf("json v1", "decode failed (truncated or malformed)"), err)
 	}
 	if b.Version != Version {
-		return nil, fmt.Errorf("persist: bundle version %d, want %d", b.Version, Version)
+		return nil, corruptf("json v1", "bundle version %d, want %d", b.Version, Version)
 	}
-	return restore(&b)
+	if err := verifyJSONChecksum(&b); err != nil {
+		return nil, err
+	}
+	ing, err := restore(&b)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", corruptf("json v1", "restore failed"), err)
+	}
+	return ing, nil
 }
 
 // LoadFile loads a bundle from disk — the hot-reload entry point: the
 // serving layer points it at the (possibly replaced) bundle path and swaps
-// in the result only when both Load and ValidateForServing pass.
+// in the result only when both Load and ValidateForServing pass. Errors
+// carry the path; a corrupt file wraps ErrCorruptBundle while a missing
+// file wraps fs.ErrNotExist, so callers can react differently.
 func LoadFile(path string) (*core.Ingestion, error) {
+	if err := fault.At("persist.open").Inject(); err != nil {
+		return nil, fmt.Errorf("persist: opening bundle %q: %w", path, err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("persist: opening bundle: %w", err)
@@ -162,7 +244,7 @@ func LoadFile(path string) (*core.Ingestion, error) {
 		err = fmt.Errorf("persist: closing bundle: %w", cerr)
 	}
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("bundle %q: %w", path, err)
 	}
 	return ing, nil
 }

@@ -2,6 +2,9 @@ package persist
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
@@ -17,8 +20,8 @@ import (
 )
 
 // buildIngestion produces a realistic ingestion over a small synthetic
-// world.
-func buildIngestion(t *testing.T) *core.Ingestion {
+// world. testing.TB so the fuzz harness can share it.
+func buildIngestion(t testing.TB) *core.Ingestion {
 	t.Helper()
 	world, err := synthkb.Generate(synthkb.Config{Seed: 31, ConditionsPerPair: 2})
 	if err != nil {
@@ -142,11 +145,33 @@ func TestLoadRejectsDanglingMapping(t *testing.T) {
 	if err := Save(&buf, ing); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt one mapping's concept.
-	s := buf.String()
-	s = strings.Replace(s, `"concept":`, `"concept":9`, 1)
-	if _, err := Load(strings.NewReader(s)); err == nil {
-		t.Error("dangling mapping must fail")
+	// Point one mapping at a concept the graph does not contain, then
+	// re-checksum: the corruption must be caught by restore-time
+	// validation, not the CRC.
+	var b Bundle
+	if err := json.Unmarshal(buf.Bytes(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Mappings) == 0 {
+		t.Fatal("bundle has no mappings")
+	}
+	b.Mappings[0].Concept = 1 << 40
+	b.CRC32 = 0
+	raw, err := json.Marshal(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.CRC32 = crc32.ChecksumIEEE(raw)
+	raw, err = json.Marshal(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatal("dangling mapping must fail")
+	}
+	if !errors.Is(err, ErrCorruptBundle) {
+		t.Errorf("dangling mapping error is not ErrCorruptBundle: %v", err)
 	}
 }
 

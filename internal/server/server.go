@@ -132,17 +132,29 @@ func (s *Server) handleRelax(w http.ResponseWriter, r *http.Request) {
 	// hot path serves requests fully in parallel.
 	results, err := s.backend.Relax(r.Context(), term, ctx, k)
 	if err != nil {
-		writeError(w, statusForError(err), err.Error())
+		status := statusForError(err)
+		if status == http.StatusServiceUnavailable {
+			// A transient backend fault is retryable: tell the client
+			// when, the same way admission-control sheds do.
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"term": term, "context": ctx, "results": results})
 }
 
+// transient is the marker interface for failures expected to clear on
+// retry (injected faults, flaky downstream I/O). Declared structurally so
+// error producers don't need to import this package.
+type transient interface{ Transient() bool }
+
 // statusForError maps backend failures onto HTTP semantics via the typed
 // errors from core: an unmappable term is the caller's 404, a malformed
-// context their 400, an expired deadline the gateway's 504, and anything
-// else an internal 500.
+// context their 400, an expired deadline the gateway's 504, a transient
+// backend fault a retryable 503, and anything else an internal 500.
 func statusForError(err error) int {
+	var tr transient
 	switch {
 	case errors.Is(err, core.ErrUnknownTerm):
 		return http.StatusNotFound
@@ -150,6 +162,8 @@ func statusForError(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
+	case errors.As(err, &tr) && tr.Transient():
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
@@ -206,6 +220,7 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 	}
 	sess, err := s.conversation(req.Session)
 	if err != nil {
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}

@@ -22,6 +22,9 @@ const (
 	// CacheCollapsed: a concurrent identical miss was already computing;
 	// this call waited for its result instead of recomputing.
 	CacheCollapsed
+	// CacheStale: the computation failed, but an expired entry within the
+	// stale window was served instead — degraded mode, not an error.
+	CacheStale
 )
 
 // Cache is a sharded LRU over relaxation results with TTL expiry and
@@ -33,6 +36,12 @@ const (
 type Cache struct {
 	shards []cacheShard
 	ttl    time.Duration
+	// staleFor is the bounded stale-on-error window: an entry that has
+	// expired less than staleFor ago is kept as a fallback and served —
+	// clearly counted as stale — when recomputation fails. 0 disables
+	// degraded serving; entries older than expiry+staleFor are gone for
+	// good.
+	staleFor time.Duration
 	// gen is the purge epoch: computations started before a Purge must
 	// not insert their (old-backend) results afterwards.
 	gen atomic.Uint64
@@ -41,6 +50,7 @@ type Cache struct {
 	misses    atomic.Uint64
 	collapsed atomic.Uint64
 	evictions atomic.Uint64
+	stale     atomic.Uint64
 }
 
 type cacheShard struct {
@@ -57,16 +67,22 @@ type cacheEntry struct {
 	expires int64 // unix nanos; 0 = no TTL
 }
 
-// flight is one in-progress computation other callers can wait on.
+// flight is one in-progress computation other callers can wait on. stale
+// carries the expired-but-within-window entry found at flight start, so
+// every collapsed waiter degrades to the same stale answer if the
+// computation fails.
 type flight struct {
-	done    chan struct{}
-	results []server.RelaxResult
-	err     error
+	done     chan struct{}
+	results  []server.RelaxResult
+	err      error
+	stale    []server.RelaxResult
+	hasStale bool
 }
 
 // NewCache builds a cache holding up to capacity entries across shards
 // (capacity <= 0 returns nil: caching disabled). ttl <= 0 means entries
-// only leave by LRU pressure or purge. shards <= 0 picks 16.
+// only leave by LRU pressure or purge. shards <= 0 picks 16. staleFor is
+// set separately with SetStaleWindow.
 func NewCache(capacity int, ttl time.Duration, shards int) *Cache {
 	if capacity <= 0 {
 		return nil
@@ -90,6 +106,17 @@ func NewCache(capacity int, ttl time.Duration, shards int) *Cache {
 	return c
 }
 
+// SetStaleWindow enables stale-on-error serving: when a recomputation
+// fails, an entry that expired less than d ago is returned (with
+// CacheStale status) instead of the error. Call before serving traffic.
+// Nil-safe so a disabled cache stays disabled.
+func (c *Cache) SetStaleWindow(d time.Duration) {
+	if c == nil || d < 0 {
+		return
+	}
+	c.staleFor = d
+}
+
 func (c *Cache) shard(key string) *cacheShard {
 	h := fnv.New32a()
 	h.Write([]byte(key))
@@ -100,12 +127,17 @@ func (c *Cache) shard(key string) *cacheShard {
 // collapsing concurrent identical misses onto one computation. ctx bounds
 // only this caller's wait on a collapsed flight; compute is responsible
 // for its own deadline so one caller's short deadline cannot poison the
-// result every collapsed waiter receives. Errors are never cached.
+// result every collapsed waiter receives. Errors are never cached — but
+// when compute fails and an entry expired less than the stale window ago
+// exists, that entry is served (CacheStale, nil error) instead: bounded
+// degraded mode for a flaky backend.
 func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]server.RelaxResult, error)) ([]server.RelaxResult, CacheStatus, error) {
 	sh := c.shard(key)
 	now := time.Now().UnixNano()
 
 	sh.mu.Lock()
+	var stale []server.RelaxResult
+	hasStale := false
 	if el, ok := sh.entries[key]; ok {
 		ent := el.Value.(*cacheEntry)
 		if ent.expires == 0 || now < ent.expires {
@@ -114,20 +146,31 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]
 			c.hits.Add(1)
 			return ent.results, CacheHit, nil
 		}
-		sh.lru.Remove(el)
-		delete(sh.entries, key)
+		if c.staleFor > 0 && now < ent.expires+int64(c.staleFor) {
+			// Expired but inside the stale window: treat as a miss (force
+			// recomputation) while keeping the entry as a degraded-mode
+			// fallback should the computation fail.
+			stale, hasStale = ent.results, true
+		} else {
+			sh.lru.Remove(el)
+			delete(sh.entries, key)
+		}
 	}
 	if fl, ok := sh.flights[key]; ok {
 		sh.mu.Unlock()
 		c.collapsed.Add(1)
 		select {
 		case <-fl.done:
+			if fl.err != nil && fl.hasStale {
+				c.stale.Add(1)
+				return fl.stale, CacheStale, nil
+			}
 			return fl.results, CacheCollapsed, fl.err
 		case <-ctx.Done():
 			return nil, CacheCollapsed, ctx.Err()
 		}
 	}
-	fl := &flight{done: make(chan struct{})}
+	fl := &flight{done: make(chan struct{}), stale: stale, hasStale: hasStale}
 	sh.flights[key] = fl
 	startGen := c.gen.Load()
 	sh.mu.Unlock()
@@ -142,6 +185,11 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]
 	// computing — a result computed against a swapped-out bundle must not
 	// outlive the swap.
 	if err == nil && c.gen.Load() == startGen {
+		if el, ok := sh.entries[key]; ok {
+			// Replace the stale fallback kept above.
+			sh.lru.Remove(el)
+			delete(sh.entries, key)
+		}
 		ent := &cacheEntry{key: key, results: results}
 		if c.ttl > 0 {
 			ent.expires = time.Now().Add(c.ttl).UnixNano()
@@ -156,6 +204,10 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]
 	}
 	sh.mu.Unlock()
 	close(fl.done)
+	if err != nil && hasStale {
+		c.stale.Add(1)
+		return stale, CacheStale, nil
+	}
 	return results, CacheMiss, err
 }
 
@@ -186,8 +238,9 @@ func (c *Cache) Len() int {
 	return n
 }
 
-// Hits, Misses, Collapsed, Evictions expose lifetime counters.
-func (c *Cache) Hits() uint64      { return c.hits.Load() }
-func (c *Cache) Misses() uint64    { return c.misses.Load() }
-func (c *Cache) Collapsed() uint64 { return c.collapsed.Load() }
-func (c *Cache) Evictions() uint64 { return c.evictions.Load() }
+// Hits, Misses, Collapsed, Evictions, StaleServed expose lifetime counters.
+func (c *Cache) Hits() uint64        { return c.hits.Load() }
+func (c *Cache) Misses() uint64      { return c.misses.Load() }
+func (c *Cache) Collapsed() uint64   { return c.collapsed.Load() }
+func (c *Cache) Evictions() uint64   { return c.evictions.Load() }
+func (c *Cache) StaleServed() uint64 { return c.stale.Load() }

@@ -135,7 +135,7 @@ func (e *Engine) shed(w http.ResponseWriter, endpoint, reason string) {
 	if retry <= 0 {
 		retry = time.Second
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(int((retry + time.Second - 1) / time.Second)))
+	w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
 	writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "server overloaded: " + reason})
 	e.reg.Counter("medrelax_http_shed_total", "requests shed by admission control",
 		metrics.Label("endpoint", endpoint)).Inc()

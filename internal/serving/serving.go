@@ -9,7 +9,9 @@ package serving
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io/fs"
 	"log"
 	"strconv"
 	"sync"
@@ -17,6 +19,8 @@ import (
 	"time"
 
 	"medrelax/internal/dialog"
+	"medrelax/internal/fault"
+	"medrelax/internal/persist"
 	"medrelax/internal/server"
 	"medrelax/internal/serving/metrics"
 	"medrelax/internal/stringutil"
@@ -31,6 +35,10 @@ type Options struct {
 	CacheTTL time.Duration
 	// CacheShards spreads the cache over this many locks (0 picks 16).
 	CacheShards int
+	// CacheStaleWindow bounds stale-on-error serving: when the backend
+	// fails a recomputation, a cache entry that expired less than this
+	// long ago is served instead of the error (0 disables degraded mode).
+	CacheStaleWindow time.Duration
 
 	// MaxConcurrent caps simultaneously admitted /relax + /chat requests;
 	// excess load is shed with 429. 0 means unlimited.
@@ -64,17 +72,18 @@ type Options struct {
 // DefaultOptions are sane production defaults for a medium instance.
 func DefaultOptions() Options {
 	return Options{
-		CacheCapacity: 16384,
-		CacheTTL:      5 * time.Minute,
-		CacheShards:   16,
-		MaxConcurrent: 256,
-		RetryAfter:    time.Second,
-		RelaxTimeout:  2 * time.Second,
-		ChatTimeout:   5 * time.Second,
-		MaxChatBody:   1 << 20,
-		ChatRPS:       200,
-		ChatBurst:     400,
-		SlowQuery:     500 * time.Millisecond,
+		CacheCapacity:    16384,
+		CacheTTL:         5 * time.Minute,
+		CacheShards:      16,
+		CacheStaleWindow: time.Minute,
+		MaxConcurrent:    256,
+		RetryAfter:       time.Second,
+		RelaxTimeout:     2 * time.Second,
+		ChatTimeout:      5 * time.Second,
+		MaxChatBody:      1 << 20,
+		ChatRPS:          200,
+		ChatBurst:        400,
+		SlowQuery:        500 * time.Millisecond,
 	}
 }
 
@@ -107,6 +116,7 @@ type Engine struct {
 	mCacheHits      *metrics.Counter
 	mCacheMisses    *metrics.Counter
 	mCacheCollapsed *metrics.Counter
+	mCacheStale     *metrics.Counter
 	mBackendRelax   *metrics.Histogram
 }
 
@@ -119,12 +129,17 @@ func NewEngine(backend server.Backend, opts Options) *Engine {
 		chatRate: newTokenBucket(opts.ChatRPS, opts.ChatBurst),
 		reg:      metrics.NewRegistry(),
 	}
+	e.cache.SetStaleWindow(opts.CacheStaleWindow)
 	e.cur.Store(&holder{b: backend, gen: e.gen.Add(1)})
 	e.mCacheHits = e.reg.Counter("medrelax_relax_cache_hits_total", "relax results served from cache", "")
 	e.mCacheMisses = e.reg.Counter("medrelax_relax_cache_misses_total", "relax results computed by the backend", "")
 	e.mCacheCollapsed = e.reg.Counter("medrelax_relax_cache_collapsed_total", "concurrent identical misses collapsed onto one computation", "")
+	e.mCacheStale = e.reg.Counter("medrelax_relax_cache_stale_total", "expired entries served because recomputation failed (degraded mode)", "")
 	e.mBackendRelax = e.reg.Histogram("medrelax_backend_relax_seconds", "uncached relaxation compute latency", "")
 	e.reg.Gauge("medrelax_bundle_generation", "monotonic bundle generation, bumped per reload", "").Set(1)
+	// Register the failure counter up front so a scrape before the first
+	// failed reload still shows the series at 0.
+	e.reg.Counter("medrelax_reload_failures_total", "bundle reloads rejected (old generation kept serving)", "")
 	return e
 }
 
@@ -188,11 +203,20 @@ func (e *Engine) Relax(ctx context.Context, term, qctx string, k int) ([]server.
 		e.mCacheMisses.Inc()
 	case CacheCollapsed:
 		e.mCacheCollapsed.Inc()
+	case CacheStale:
+		e.mCacheStale.Inc()
 	}
 	return results, err
 }
 
+// computeRelax runs the backend computation. The "backend.relax" fault
+// site injects latency or errors here — after admission, before the
+// backend — so chaos runs exercise the degradation paths (503 mapping,
+// stale-on-error) without a special backend.
 func (e *Engine) computeRelax(ctx context.Context, h *holder, term, qctx string, k int) ([]server.RelaxResult, error) {
+	if err := fault.At("backend.relax").Inject(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	results, err := h.b.Relax(ctx, term, qctx, k)
 	if err == nil {
@@ -232,6 +256,10 @@ func (e *Engine) Stats() map[string]any {
 		"cacheMisses":      misses,
 		"cacheCollapsed":   collapsed,
 		"inflightLimited":  e.limiter.inUse(),
+		"reloadFailures":   e.ReloadFailures(),
+	}
+	if e.cache != nil {
+		serving["cacheStaleServed"] = e.cache.StaleServed()
 	}
 	for _, ep := range trackedEndpoints {
 		hist := e.reg.Histogram("medrelax_http_request_seconds", httpLatencyHelp, metrics.Label("endpoint", ep))
@@ -271,6 +299,15 @@ func (e *Engine) Swap(b server.Backend) {
 // Reload builds a fresh backend via Options.Loader and swaps it in. Safe
 // for concurrent callers (reloads serialize); the request path never
 // blocks on a reload.
+//
+// A failed reload is the degraded-mode contract in one sentence: the old
+// generation keeps serving, untouched — the swap happens only after the
+// loader fully validated the new bundle. Failures increment
+// medrelax_reload_failures_total plus a reason-labelled
+// medrelax_reloads_total series ("corrupt" for a bundle that exists but
+// fails its checksums or validation, "missing" for a vanished file,
+// "error" otherwise), so a bad push is visible on the dashboard while
+// traffic sees no change.
 func (e *Engine) Reload() error {
 	if e.opts.Loader == nil {
 		return fmt.Errorf("serving: no reload loader configured")
@@ -280,11 +317,32 @@ func (e *Engine) Reload() error {
 	start := time.Now()
 	b, err := e.opts.Loader()
 	if err != nil {
-		e.reg.Counter("medrelax_reloads_total", "bundle reloads by result", metrics.Label("result", "error")).Inc()
+		e.reg.Counter("medrelax_reload_failures_total", "bundle reloads rejected (old generation kept serving)", "").Inc()
+		e.reg.Counter("medrelax_reloads_total", "bundle reloads by result", metrics.Label("result", reloadFailureReason(err))).Inc()
 		return fmt.Errorf("serving: reload: %w", err)
 	}
 	e.Swap(b)
 	e.reg.Counter("medrelax_reloads_total", "bundle reloads by result", metrics.Label("result", "ok")).Inc()
 	log.Printf("serving: reload complete in %s", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// ReloadFailures reports how many reloads were rejected since start.
+func (e *Engine) ReloadFailures() uint64 {
+	return e.reg.Counter("medrelax_reload_failures_total", "bundle reloads rejected (old generation kept serving)", "").Value()
+}
+
+// reloadFailureReason buckets a loader error for the reloads_total label:
+// a corrupt bundle (checksum, truncation, structural damage) is the
+// operationally interesting case and gets its own series, as does a
+// missing file.
+func reloadFailureReason(err error) string {
+	switch {
+	case errors.Is(err, persist.ErrCorruptBundle):
+		return "corrupt"
+	case errors.Is(err, fs.ErrNotExist):
+		return "missing"
+	default:
+		return "error"
+	}
 }
