@@ -1,5 +1,5 @@
 // Command chaos is the crash-safety harness: it boots the same serving
-// stack kbserver runs (boot.LoadBackend -> serving.Engine -> server API),
+// stack kbserver runs (engine.LoadSnapshot -> serving.Engine -> server API),
 // captures golden /relax responses, then drives concurrent retrying
 // traffic while injecting backend faults, corrupting the bundle on disk
 // mid-reload, and tearing writes — and asserts the invariants the fault
@@ -42,9 +42,9 @@ import (
 	"sync/atomic"
 	"time"
 
-	"medrelax/internal/boot"
 	"medrelax/internal/core"
 	"medrelax/internal/eks"
+	"medrelax/internal/engine"
 	"medrelax/internal/fault"
 	"medrelax/internal/medkb"
 	"medrelax/internal/persist"
@@ -181,7 +181,7 @@ func newHarness(seed int64, phase time.Duration, workers, k int, dir string) (*h
 	}
 	log.Printf("chaos: bundle published: %s (%d bytes)", h.bundle, len(h.goodBytes))
 
-	backend, err := boot.LoadBackend(h.bundle)
+	backend, err := engine.LoadSnapshot(h.bundle)
 	if err != nil {
 		return nil, err
 	}
@@ -196,7 +196,13 @@ func newHarness(seed int64, phase time.Duration, workers, k int, dir string) (*h
 	opts.RelaxTimeout = 2 * time.Second
 	opts.SlowQuery = 0
 	bundle := h.bundle
-	opts.Loader = func() (server.Backend, error) { return boot.LoadBackend(bundle) }
+	opts.Loader = func() (server.Backend, error) {
+		snap, err := engine.LoadSnapshot(bundle)
+		if err != nil {
+			return nil, err
+		}
+		return snap, nil
+	}
 	h.engine = serving.NewEngine(backend, opts)
 
 	api := server.New(h.engine)

@@ -2,123 +2,86 @@
 // small JSON API, the way the paper's method was deployed as a cloud
 // service interacting with the conversational frontend. The serving layer
 // (internal/serving) adds a result cache, admission control, hot bundle
-// reload, and Prometheus-format metrics.
+// reload, and Prometheus-format metrics; the engine layer
+// (internal/engine) supplies the immutable snapshots being served.
 //
 // Endpoints:
 //
 //	GET  /healthz                           liveness probe
 //	GET  /stats                             world, ingestion, and serving statistics
 //	GET  /relax?term=X&context=C&k=N        ranked relaxed results (cached)
+//	POST /relax/batch {"queries":[...]}     many relax queries in one request
 //	GET  /terms?n=N                         sample of relaxable query terms
 //	POST /chat {"session":"s1","text":"…"}  stateful conversation turn
-//	GET  /metrics                           Prometheus text exposition
-//	POST /admin/reload                      reload the -load bundle and swap atomically
+//	GET  /metrics                           Prometheus text exposition (all tenants)
+//	POST /admin/reload                      reload this tenant's bundle and swap atomically
 //
-// SIGHUP also triggers a bundle reload; SIGINT/SIGTERM drain in-flight
+// Multi-tenant serving: repeat -bundle name=path to serve several bundles
+// from one process. Each tenant gets its own cache partition, reload, and
+// tenant-labelled metrics; route with /t/{name}/... or the
+// X-Medrelax-Tenant header (bare paths hit the first-listed tenant).
+//
+// SIGHUP reloads every reloadable tenant; SIGINT/SIGTERM drain in-flight
 // requests and exit.
 //
 // Usage:
 //
 //	kbserver -addr :8080 -seed 42
 //	kbserver -addr :8080 -load bundle.bin
+//	kbserver -addr :8080 -bundle alpha=a.bin -bundle beta=b.bin
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
-	"slices"
+	"strings"
 	"syscall"
 	"time"
 
 	"medrelax"
-	"medrelax/internal/boot"
-	"medrelax/internal/dialog"
-	"medrelax/internal/eks"
+	"medrelax/internal/engine"
 	"medrelax/internal/fault"
 	"medrelax/internal/server"
 	"medrelax/internal/serving"
+	"medrelax/internal/serving/metrics"
 )
 
-// systemBackend adapts the medrelax facade to the server's Backend.
-type systemBackend struct {
-	sys *medrelax.System
-}
-
-func (b *systemBackend) Relax(ctx context.Context, term, qctx string, k int) ([]server.RelaxResult, error) {
-	results, err := b.sys.RelaxContext(ctx, term, qctx, k)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]server.RelaxResult, 0, len(results))
-	for _, r := range results {
-		rr := server.RelaxResult{Concept: r.ConceptName, Score: r.Score, Hops: r.Hops}
-		for _, inst := range r.Instances {
-			rr.Instances = append(rr.Instances, inst.Name)
-		}
-		out = append(out, rr)
-	}
-	return out, nil
-}
-
-func (b *systemBackend) NewConversation() (*dialog.Conversation, error) {
-	return b.sys.NewConversation(true)
-}
-
-// Terms implements server.TermSampler over the flagged concepts.
-func (b *systemBackend) Terms(n int) []string {
-	ids := make([]eks.ConceptID, 0, len(b.sys.Ingestion.Flagged))
-	for id := range b.sys.Ingestion.Flagged {
-		ids = append(ids, id)
-	}
-	// Deterministic order so repeated loadgen runs see the same mix.
-	slices.Sort(ids)
-	if n < len(ids) {
-		ids = ids[:n]
-	}
-	out := make([]string, 0, len(ids))
-	for _, id := range ids {
-		if c, ok := b.sys.World.Graph.Concept(id); ok {
-			out = append(out, c.Name)
-		}
-	}
-	return out
-}
-
-func (b *systemBackend) Stats() map[string]any {
-	return map[string]any{
-		"eksConcepts":      b.sys.World.Graph.Len(),
-		"eksEdges":         b.sys.World.Graph.EdgeCount(),
-		"shortcutsAdded":   b.sys.Ingestion.ShortcutsAdded,
-		"kbInstances":      b.sys.Med.Store.Len(),
-		"flaggedConcepts":  len(b.sys.Ingestion.Flagged),
-		"contexts":         len(b.sys.Ingestion.Contexts),
-		"corpusTokens":     b.sys.Corpus.TokenCount(),
-		"embeddingVocab":   b.sys.MedModel.VocabSize(),
-		"ontologyConcepts": b.sys.Med.Ontology.ConceptCount(),
-	}
+// tenantSpec is one -bundle name=path mount.
+type tenantSpec struct {
+	name, path string
 }
 
 func main() {
+	var bundles []tenantSpec
 	var (
 		addr = flag.String("addr", ":8080", "listen address")
 		seed = flag.Int64("seed", 42, "generation seed")
 		load = flag.String("load", "", "serve from a saved ingestion bundle instead of rebuilding the world (disables /chat, enables /admin/reload)")
 
-		cacheSize  = flag.Int("cache-size", 16384, "result cache capacity in entries (0 disables caching)")
+		cacheSize  = flag.Int("cache-size", 16384, "result cache capacity in entries, per tenant (0 disables caching)")
 		cacheTTL   = flag.Duration("cache-ttl", 5*time.Minute, "result cache entry TTL (0: LRU/reload eviction only)")
 		cacheStale = flag.Duration("cache-stale", time.Minute, "serve entries expired less than this long ago when recomputation fails (0: disabled)")
-		maxConc    = flag.Int("max-concurrent", 256, "max concurrently admitted /relax+/chat requests; excess sheds with 429 (0: unlimited)")
+		maxConc    = flag.Int("max-concurrent", 256, "max concurrently admitted /relax+/chat requests, per tenant; excess sheds with 429 (0: unlimited)")
 		relaxTO    = flag.Duration("relax-timeout", 2*time.Second, "per-request /relax deadline (0: none)")
 		chatTO     = flag.Duration("chat-timeout", 5*time.Second, "per-request /chat deadline (0: none)")
 		chatRPS    = flag.Float64("chat-rps", 200, "global /chat rate limit in requests/second (0: unlimited)")
 		slowQ      = flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold (0: disabled)")
 		faults     = flag.String("faults", "", "fault-injection spec (see internal/fault); overrides $"+fault.EnvVar)
 	)
+	flag.Func("bundle", "name=path: serve this bundle as tenant NAME (repeatable; first is the default tenant)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		bundles = append(bundles, tenantSpec{name: name, path: path})
+		return nil
+	})
 	flag.Parse()
 
 	// Fault injection: explicit flag wins, otherwise the environment. Off
@@ -135,15 +98,70 @@ func main() {
 	if armed := fault.Default().Names(); len(armed) > 0 {
 		log.Printf("kbserver: FAULT INJECTION ARMED at sites %v", armed)
 	}
+	if len(bundles) > 0 && *load != "" {
+		log.Fatal("kbserver: -load and -bundle are mutually exclusive; use -bundle default=path")
+	}
 
-	var backend server.Backend
-	if *load != "" {
-		b, err := boot.LoadBackend(*load)
+	opts := serving.DefaultOptions()
+	opts.CacheCapacity = *cacheSize
+	opts.CacheTTL = *cacheTTL
+	opts.CacheStaleWindow = *cacheStale
+	opts.MaxConcurrent = *maxConc
+	opts.RelaxTimeout = *relaxTO
+	opts.ChatTimeout = *chatTO
+	opts.ChatRPS = *chatRPS
+	opts.SlowQuery = *slowQ
+
+	// Every deployment shape mounts through the tenant router; the
+	// single-tenant shapes just register one unlabelled tenant, so bare
+	// paths and series names look exactly like they always did.
+	tenants := serving.NewTenantServer()
+	switch {
+	case len(bundles) > 0:
+		// Multi-tenant: one engine registry slot, cache partition, and
+		// tenant-labelled series per bundle, over one shared metrics
+		// registry so a single scrape covers the fleet.
+		registry := engine.NewRegistry()
+		shared := metrics.NewRegistry()
+		for _, spec := range bundles {
+			snap, err := engine.LoadSnapshot(spec.path)
+			if err != nil {
+				log.Fatalf("kbserver: tenant %q: %v", spec.name, err)
+			}
+			handle, err := registry.Add(spec.name, spec.path, snap)
+			if err != nil {
+				log.Fatalf("kbserver: %v", err)
+			}
+			o := opts
+			o.Metrics = shared
+			o.BaseLabels = metrics.Label("tenant", spec.name)
+			o.Loader = func() (server.Backend, error) {
+				fresh, err := handle.Reload()
+				if err != nil {
+					return nil, err
+				}
+				return fresh, nil
+			}
+			eng := serving.NewEngine(snap, o)
+			tenants.Add(spec.name, eng, server.New(eng).Handler())
+			log.Printf("kbserver: tenant %q serving %s", spec.name, spec.path)
+		}
+	case *load != "":
+		snap, err := engine.LoadSnapshot(*load)
 		if err != nil {
 			log.Fatalf("kbserver: loading bundle: %v", err)
 		}
-		backend = b
-	} else {
+		bundle := *load
+		opts.Loader = func() (server.Backend, error) {
+			fresh, err := engine.LoadSnapshot(bundle)
+			if err != nil {
+				return nil, err
+			}
+			return fresh, nil
+		}
+		eng := serving.NewEngine(snap, opts)
+		tenants.Add("default", eng, server.New(eng).Handler())
+	default:
 		cfg := medrelax.DefaultConfig()
 		cfg.Seed = *seed
 		log.Print("building synthetic world and running ingestion ...")
@@ -156,42 +174,31 @@ func main() {
 		log.Printf("world ready in %s (worldgen %s, embeddings %s, ingest %s)",
 			time.Since(buildStart).Round(time.Millisecond), tm.WorldGen.Round(time.Millisecond),
 			tm.Embeddings.Round(time.Millisecond), tm.Ingest.Round(time.Millisecond))
-		backend = &systemBackend{sys: sys}
+		eng := serving.NewEngine(sys.Engine, opts)
+		tenants.Add("default", eng, server.New(eng).Handler())
 	}
-
-	opts := serving.DefaultOptions()
-	opts.CacheCapacity = *cacheSize
-	opts.CacheTTL = *cacheTTL
-	opts.CacheStaleWindow = *cacheStale
-	opts.MaxConcurrent = *maxConc
-	opts.RelaxTimeout = *relaxTO
-	opts.ChatTimeout = *chatTO
-	opts.ChatRPS = *chatRPS
-	opts.SlowQuery = *slowQ
-	if *load != "" {
-		bundle := *load
-		opts.Loader = func() (server.Backend, error) { return boot.LoadBackend(bundle) }
-	}
-	engine := serving.NewEngine(backend, opts)
-	api := server.New(engine)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           engine.Handler(api.Handler()),
+		Handler:           tenants.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
 
-	// SIGHUP reloads the bundle in place; SIGINT/SIGTERM drain and exit.
+	// SIGHUP reloads every reloadable tenant in place; SIGINT/SIGTERM
+	// drain and exit.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
 		for range hup {
-			log.Print("kbserver: SIGHUP — reloading bundle")
-			if err := engine.Reload(); err != nil {
-				log.Printf("kbserver: reload failed, keeping current bundle: %v", err)
+			for _, name := range tenants.Names() {
+				eng, _ := tenants.Engine(name)
+				log.Printf("kbserver: SIGHUP — reloading tenant %q", name)
+				if err := eng.Reload(); err != nil {
+					log.Printf("kbserver: tenant %q reload failed, keeping current bundle: %v", name, err)
+				}
 			}
 		}
 	}()
@@ -210,7 +217,7 @@ func main() {
 		}
 	}()
 
-	log.Printf("kbserver listening on %s", *addr)
+	log.Printf("kbserver listening on %s (tenants: %s)", *addr, strings.Join(tenants.Names(), ", "))
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("kbserver: %v", err)
 	}

@@ -1,17 +1,23 @@
 // Command loadgen drives a running kbserver with a zipfian query mix —
 // the head-heavy term distribution query-expansion traffic actually has —
 // and records what the serving layer does under it: cold vs warm tail
-// latency, cache hit/miss/collapse counts, and shed behavior past the
-// concurrency limit. Results go to BENCH_serve.json and a Markdown
-// summary, so cache and admission behavior is benchmarked, not asserted.
+// latency, cache hit/miss/collapse counts, shed behavior past the
+// concurrency limit, batch amortization through POST /relax/batch, and —
+// against a multi-tenant server — per-tenant warm-up via /t/{name}/
+// routing. Results go to BENCH_serve.json and a Markdown summary, so
+// cache, admission, and batch behavior is benchmarked, not asserted.
 //
 // Usage (against a fresh server so the cold phase is really cold):
 //
 //	kbserver -addr :8080 -load bundle.bin &
 //	loadgen -addr http://127.0.0.1:8080 -duration 10s
+//
+//	kbserver -addr :8080 -bundle alpha=a.bin -bundle beta=b.bin &
+//	loadgen -addr http://127.0.0.1:8080 -tenants alpha,beta
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -121,6 +127,16 @@ type burstStats struct {
 	Errors   int `json:"errors"`
 }
 
+// batchStats is the batch phase's record for one batch size.
+type batchStats struct {
+	Size        int     `json:"size"`
+	Batches     int     `json:"batches"`
+	Errors      int     `json:"errors"`
+	P50Ms       float64 `json:"p50Ms"`
+	P95Ms       float64 `json:"p95Ms"`
+	ItemsPerSec float64 `json:"itemsPerSecond"`
+}
+
 type report struct {
 	Addr          string  `json:"addr"`
 	Terms         int     `json:"terms"`
@@ -138,7 +154,25 @@ type report struct {
 	WarmSpeedupP95 float64 `json:"warmSpeedupP95"`
 	ByteIdentical  bool    `json:"cachedResponsesByteIdentical"`
 
+	Batch              []batchStats `json:"batch,omitempty"`
+	BatchByteIdentical bool         `json:"batchItemsByteIdenticalToSequential"`
+	BatchItemSpeedup   float64      `json:"batchItemSpeedupVsSequential,omitempty"`
+
+	Tenants map[string]phaseStats `json:"tenants,omitempty"`
+
 	ServerMetrics map[string]float64 `json:"serverMetrics"`
+}
+
+// batchQuery and batchItemResp mirror the wire shapes of POST /relax/batch.
+type batchQuery struct {
+	Term    string `json:"term"`
+	Context string `json:"context,omitempty"`
+	K       int    `json:"k"`
+}
+
+type batchItemResp struct {
+	Status int             `json:"status"`
+	Body   json.RawMessage `json:"body"`
 }
 
 func main() {
@@ -155,6 +189,10 @@ func main() {
 		retries  = flag.Int("retries", 2, "max client retries per request on 429/503 (cold+warm phases; 0 disables)")
 		retryLo  = flag.Duration("retry-base", 50*time.Millisecond, "exponential backoff base")
 		retryHi  = flag.Duration("retry-cap", 2*time.Second, "exponential backoff cap")
+		batchCSV = flag.String("batch-sizes", "4,16,64", "comma-separated POST /relax/batch sizes for the batch phase (empty skips)")
+		batchN   = flag.Int("batch-count", 50, "batches per size in the batch phase")
+		tenCSV   = flag.String("tenants", "", "comma-separated tenant names to drive via /t/{name}/ (empty skips; needs kbserver -bundle)")
+		tenDur   = flag.Duration("tenant-duration", 3*time.Second, "per-tenant phase duration")
 		outJSON  = flag.String("out", "BENCH_serve.json", "JSON report path")
 		outMD    = flag.String("md", "results/BENCH_serve.md", "Markdown report path")
 	)
@@ -294,6 +332,114 @@ func main() {
 		}
 	}
 
+	// Phase 5 — batch: mixed sizes through POST /relax/batch with
+	// cache-busting random k, so batches measure shared-scratch
+	// computation, not cache lookups; then a byte-identity sweep and a
+	// same-size sequential control for the amortization claim.
+	rep.BatchByteIdentical = true
+	if sizes := parseSizes(*batchCSV); len(sizes) > 0 {
+		brng := rand.New(rand.NewSource(*seed + 31337))
+		bzipf := rand.NewZipf(brng, *zipfS, 1, uint64(len(termList)-1))
+		for _, size := range sizes {
+			log.Printf("loadgen: batch phase (size %d x %d batches)", size, *batchN)
+			lat := make([]time.Duration, 0, *batchN)
+			errs, items := 0, 0
+			start := time.Now()
+			for b := 0; b < *batchN; b++ {
+				queries := make([]batchQuery, size)
+				for i := range queries {
+					queries[i] = batchQuery{Term: termList[bzipf.Uint64()], K: 1 + brng.Intn(200)}
+				}
+				d, code, resp := postBatch(client, *addr, queries)
+				if code != http.StatusOK || len(resp) != size {
+					errs++
+					continue
+				}
+				lat = append(lat, d)
+				items += size
+			}
+			elapsed := time.Since(start)
+			st := summarize(lat, errs, elapsed)
+			bs := batchStats{Size: size, Batches: *batchN, Errors: errs, P50Ms: st.P50Ms, P95Ms: st.P95Ms}
+			if elapsed > 0 {
+				bs.ItemsPerSec = float64(items) / elapsed.Seconds()
+			}
+			rep.Batch = append(rep.Batch, bs)
+		}
+
+		// Sequential control: the same item count as the largest batch
+		// size's run, one GET /relax per item, same term/k distribution.
+		largest := sizes[len(sizes)-1]
+		seqItems := largest * *batchN
+		seqStart := time.Now()
+		for i := 0; i < seqItems; i++ {
+			timedRelax(client, *addr, termList[bzipf.Uint64()], 1+brng.Intn(200))
+		}
+		if el := time.Since(seqStart); el > 0 && len(rep.Batch) > 0 {
+			seqRate := float64(seqItems) / el.Seconds()
+			if seqRate > 0 {
+				rep.BatchItemSpeedup = rep.Batch[len(rep.Batch)-1].ItemsPerSec / seqRate
+			}
+		}
+
+		// Byte identity: every batch item body must equal the body of the
+		// same query issued as GET /relax (the batch ran first, so the
+		// sequential side may answer from the batch-populated cache —
+		// byte equality is the contract either way).
+		idQueries := make([]batchQuery, 0, 8)
+		for i := 0; i < 8 && i < len(termList); i++ {
+			idQueries = append(idQueries, batchQuery{Term: termList[i], K: 1 + brng.Intn(1000)})
+		}
+		_, code, items2 := postBatch(client, *addr, idQueries)
+		if code != http.StatusOK || len(items2) != len(idQueries) {
+			rep.BatchByteIdentical = false
+			log.Printf("loadgen: batch identity POST = %d (%d items)", code, len(items2))
+		} else {
+			for i, q := range idQueries {
+				url := fmt.Sprintf("%s/relax?term=%s&k=%d", *addr, queryEscape(q.Term), q.K)
+				seq := strings.TrimRight(fetchBody(client, url), "\n")
+				if items2[i].Status != http.StatusOK || seq == "" || string(items2[i].Body) != seq {
+					rep.BatchByteIdentical = false
+					log.Printf("loadgen: BATCH BYTE MISMATCH for %s k=%d", q.Term, q.K)
+				}
+			}
+		}
+	}
+
+	// Phase 6 — tenants: drive each named tenant through its /t/{name}/
+	// prefix. Separate cache partitions mean each tenant pays its own
+	// cold misses and warms independently.
+	if *tenCSV != "" {
+		rep.Tenants = map[string]phaseStats{}
+		for _, name := range strings.Split(*tenCSV, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			base := strings.TrimRight(*addr, "/") + "/t/" + name
+			tTerms := fetchTerms(client, base, *terms)
+			if len(tTerms) == 0 {
+				log.Fatalf("loadgen: tenant %q returned no terms", name)
+			}
+			log.Printf("loadgen: tenant phase (%q, %d terms, %s)", name, len(tTerms), *tenDur)
+			trng := rand.New(rand.NewSource(*seed + 53 + int64(len(name))))
+			tzipf := rand.NewZipf(trng, *zipfS, 1, uint64(len(tTerms)-1))
+			lat := make([]time.Duration, 0, 4096)
+			errs := 0
+			start := time.Now()
+			deadline := start.Add(*tenDur)
+			for time.Now().Before(deadline) {
+				d, code := timedRelax(client, base, tTerms[tzipf.Uint64()], *k)
+				if code != http.StatusOK {
+					errs++
+					continue
+				}
+				lat = append(lat, d)
+			}
+			rep.Tenants[name] = summarize(lat, errs, time.Since(start))
+		}
+	}
+
 	rep.ServerMetrics = scrapeMetrics(client, *addr)
 
 	if err := writeJSON(*outJSON, rep); err != nil {
@@ -323,6 +469,44 @@ func fetchTerms(client *http.Client, addr string, n int) []string {
 		log.Fatalf("loadgen: decoding terms: %v", err)
 	}
 	return out.Terms
+}
+
+// postBatch issues one POST /relax/batch and decodes the positional item
+// envelope; status 0 means the transport failed.
+func postBatch(client *http.Client, addr string, queries []batchQuery) (time.Duration, int, []batchItemResp) {
+	payload, err := json.Marshal(map[string]any{"queries": queries})
+	if err != nil {
+		return 0, 0, nil
+	}
+	start := time.Now()
+	resp, err := client.Post(addr+"/relax/batch", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, 0, nil
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Items []batchItemResp `json:"items"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return time.Since(start), resp.StatusCode, nil
+	}
+	return time.Since(start), resp.StatusCode, out.Items
+}
+
+func parseSizes(csv string) []int {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			log.Fatalf("loadgen: bad -batch-sizes entry %q", f)
+		}
+		out = append(out, n)
+	}
+	return out
 }
 
 func timedRelax(client *http.Client, addr, term string, k int) (time.Duration, int) {
@@ -461,6 +645,34 @@ func writeMarkdown(path string, rep *report) error {
 		fmt.Fprintf(&b, "| requests | 200 OK | 429 shed | other |\n|---:|---:|---:|---:|\n")
 		fmt.Fprintf(&b, "| %d | %d | %d | %d |\n\n", rep.Burst.Requests, rep.Burst.OK, rep.Burst.Shed, rep.Burst.Errors)
 		fmt.Fprintf(&b, "Past the concurrency limit the server sheds with `429 + Retry-After` instead of queueing; no request waits in an unbounded queue.\n\n")
+	}
+	if len(rep.Batch) > 0 {
+		fmt.Fprintf(&b, "## Batch relaxation (POST /relax/batch, cache-busting random k)\n\n")
+		fmt.Fprintf(&b, "| batch size | batches | errors | p50 (ms) | p95 (ms) | items/s |\n|---:|---:|---:|---:|---:|---:|\n")
+		for _, bs := range rep.Batch {
+			fmt.Fprintf(&b, "| %d | %d | %d | %.3f | %.3f | %.0f |\n",
+				bs.Size, bs.Batches, bs.Errors, bs.P50Ms, bs.P95Ms, bs.ItemsPerSec)
+		}
+		fmt.Fprintf(&b, "\n")
+		if rep.BatchItemSpeedup > 0 {
+			fmt.Fprintf(&b, "**Item throughput of the largest batch size vs one GET /relax per item: %.1fx** (loopback: per-item relaxation dominates; over a real network the batch saves one round trip per item). ", rep.BatchItemSpeedup)
+		}
+		fmt.Fprintf(&b, "Batch item bodies byte-identical to sequential `GET /relax`: **%v**.\n\n", rep.BatchByteIdentical)
+	}
+	if len(rep.Tenants) > 0 {
+		fmt.Fprintf(&b, "## Per-tenant phase (routed via /t/{name}/)\n\n")
+		fmt.Fprintf(&b, "| tenant | requests | errors | p50 (ms) | p95 (ms) | req/s |\n|---|---:|---:|---:|---:|---:|\n")
+		names := make([]string, 0, len(rep.Tenants))
+		for name := range rep.Tenants {
+			names = append(names, name)
+		}
+		slices.Sort(names)
+		for _, name := range names {
+			st := rep.Tenants[name]
+			fmt.Fprintf(&b, "| %s | %d | %d | %.3f | %.3f | %.0f |\n",
+				name, st.Requests, st.Errors, st.P50Ms, st.P95Ms, st.Throughput)
+		}
+		fmt.Fprintf(&b, "\nEach tenant has its own cache partition, admission gate, and tenant-labelled metric series; the table shows both warming independently in one process.\n\n")
 	}
 	if len(rep.ServerMetrics) > 0 {
 		fmt.Fprintf(&b, "## Server-side counters (/metrics)\n\n| series | value |\n|---|---:|\n")

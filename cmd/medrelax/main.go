@@ -10,6 +10,7 @@ package main
 
 import (
 	"bufio"
+	stdcontext "context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,9 +18,7 @@ import (
 	"time"
 
 	"medrelax"
-	"medrelax/internal/core"
-	"medrelax/internal/match"
-	"medrelax/internal/ontology"
+	"medrelax/internal/engine"
 	"medrelax/internal/persist"
 )
 
@@ -142,60 +141,28 @@ func relaxOnce(sys *medrelax.System, term, context string, k int) error {
 }
 
 // serveFromBundle answers queries from a saved ingestion without
-// regenerating the world or retraining embeddings: term mapping runs on
-// exact match, edit distance and the lookup service — everything the
-// bundle contains.
-func serveFromBundle(path, term, context string, k int, quiet bool) error {
-	f, err := os.Open(path)
+// regenerating the world or retraining embeddings, through the same
+// engine.LoadSnapshot path kbserver cold-starts on.
+func serveFromBundle(path, term, qctx string, k int, quiet bool) error {
+	snap, err := engine.LoadSnapshot(path)
 	if err != nil {
 		return err
 	}
-	loadStart := time.Now()
-	ing, err := persist.Load(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return err
-	}
-	loadDur := time.Since(loadStart)
-	freezeStart := time.Now()
-	ing.Graph.Freeze()
-	freezeDur := time.Since(freezeStart)
 	if !quiet {
+		ing := snap.Ingestion()
 		fmt.Fprintf(os.Stderr, "loaded bundle: %d EKS concepts, %d instances, %d flagged, %d contexts\n",
 			ing.Graph.Len(), ing.Store.Len(), len(ing.Flagged), len(ing.Contexts))
-		fmt.Fprintf(os.Stderr, "load timing: decode+restore %s, dense-index freeze %s\n",
-			loadDur.Round(time.Millisecond), freezeDur.Round(time.Millisecond))
 	}
-	mapper := match.NewCombined(match.NewExact(ing.Graph), match.NewEdit(ing.Graph, 0), match.NewLookupService(ing.Graph))
-	sim := core.NewSimilarity(ing.Graph, ing.Frequencies, ing.Ontology)
-	relaxer := core.NewRelaxer(ing, sim, mapper, core.RelaxOptions{Radius: 3, DynamicRadius: true})
 
 	relax := func(q string) error {
-		var ctxPtr *ontology.Context
-		if context != "" {
-			parsed, err := ontology.ParseContext(context)
-			if err != nil {
-				return err
-			}
-			ctxPtr = &parsed
-		}
-		results, err := relaxer.RelaxTerm(q, ctxPtr, k)
+		results, err := snap.Relax(stdcontext.Background(), q, qctx, k)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("relaxations of %q (context %s):\n", q, displayContext(context))
+		fmt.Printf("relaxations of %q (context %s):\n", q, displayContext(qctx))
 		for i, r := range results {
-			concept, _ := ing.Graph.Concept(r.Concept)
-			names := make([]string, 0, len(r.Instances))
-			for _, iid := range r.Instances {
-				if inst, ok := ing.Store.Instance(iid); ok {
-					names = append(names, inst.Name)
-				}
-			}
 			fmt.Printf("%3d. %-50s score=%.4f hops=%d instances=[%s]\n",
-				i+1, concept.Name, r.Score, r.Hops, strings.Join(names, "; "))
+				i+1, r.Concept, r.Score, r.Hops, strings.Join(r.Instances, "; "))
 		}
 		return nil
 	}

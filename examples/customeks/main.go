@@ -12,6 +12,7 @@ import (
 	"medrelax/internal/core"
 	"medrelax/internal/corpus"
 	"medrelax/internal/eks"
+	"medrelax/internal/engine"
 	"medrelax/internal/kb"
 	"medrelax/internal/match"
 	"medrelax/internal/ontology"
@@ -104,8 +105,10 @@ func main() {
 	// 6. Online phase: Algorithm 2 — "what drugs treat pertussis" has no
 	// direct KB answer; relaxation reaches bronchitis (the paper's
 	// introduction example), and "pyelectasia" reaches kidney disease.
-	sim := core.NewSimilarity(ing.Graph, ing.Frequencies, ing.Ontology)
-	relaxer := core.NewRelaxer(ing, sim, mapper, core.RelaxOptions{Radius: 3, DynamicRadius: true})
+	// Hand the ingestion to the engine layer: it freezes the graph and
+	// assembles the relaxer, same as every serving entry point.
+	snap := engine.New(ing, engine.Config{Mapper: mapper, Relax: core.RelaxOptions{Radius: 3, DynamicRadius: true}})
+	relaxer := snap.Relaxer()
 	ctx := &ontology.Context{Domain: "Indication", Relationship: "hasFinding", Range: "Finding"}
 
 	for _, term := range []string{"pertussis", "pyelectasia", "pertusis" /* typo */} {

@@ -27,8 +27,7 @@ func main() {
 		log.Fatal(err)
 	}
 	combined := match.NewCombined(sys.Mappers["EXACT"], sys.Mappers["EDIT"], sys.Mappers["EMBEDDING"])
-	sim := core.NewSimilarity(sys.Ingestion.Graph, sys.Ingestion.Frequencies, sys.Ingestion.Ontology)
-	base := core.NewRelaxer(sys.Ingestion, sim, combined, sys.Config.Relax)
+	base := sys.Engine.NewRelaxer(combined, sys.Config.Relax)
 	relaxer := core.NewFeedbackRelaxer(base, nil)
 	ctx := &ontology.Context{Domain: "Indication", Relationship: "hasFinding", Range: "Finding"}
 

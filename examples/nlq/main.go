@@ -15,7 +15,6 @@ import (
 	"strings"
 
 	"medrelax"
-	"medrelax/internal/core"
 	"medrelax/internal/match"
 	"medrelax/internal/nlq"
 	"medrelax/internal/synthkb"
@@ -30,8 +29,7 @@ func main() {
 	combined := match.NewCombined(sys.Mappers["EXACT"], sys.Mappers["EDIT"], sys.Mappers["EMBEDDING"])
 	opts := sys.Config.Relax
 	opts.IncludeSelf = true
-	sim := core.NewSimilarity(sys.Ingestion.Graph, sys.Ingestion.Frequencies, sys.Ingestion.Ontology)
-	relaxer := core.NewRelaxer(sys.Ingestion, sim, combined, opts)
+	relaxer := sys.Engine.NewRelaxer(combined, opts)
 	system := nlq.NewSystem(sys.Med.Ontology, sys.Med.Store, relaxer, sys.Ingestion)
 
 	// Assemble the Figure 9 style query from the synthetic world: a drug,

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"medrelax/internal/ontology"
+)
+
+// TestRelaxBatchMatchesSequential pins the batch read path to the
+// sequential one: for every mix of term/concept items, contexts, and k
+// values, RelaxBatchContext must return exactly what per-item calls
+// return, in input order.
+func TestRelaxBatchMatchesSequential(t *testing.T) {
+	r, _ := newTestRelaxer(t, RelaxOptions{Radius: 3, DynamicRadius: true, MaxRadius: 6})
+	ctx := &ontology.Context{Domain: "Indication", Relationship: "hasFinding", Range: "Finding"}
+	queries := []BatchQuery{
+		{Term: "headache", Ctx: ctx, K: 3},
+		{Term: "fever", K: 0}, // full ranked list, context-free
+		{Concept: 5, UseConcept: true, Ctx: ctx, K: 2},
+		{Term: "headache", Ctx: ctx, K: 3}, // repeated head term, scratch reuse
+		{Term: "no such term anywhere", K: 5},
+		{Term: "bronchitis", Ctx: ctx, K: 10},
+	}
+	results, errs := r.RelaxBatchContext(context.Background(), queries)
+	if len(results) != len(queries) || len(errs) != len(queries) {
+		t.Fatalf("batch returned %d results / %d errs for %d queries", len(results), len(errs), len(queries))
+	}
+	for i, q := range queries {
+		var want []Result
+		var wantErr error
+		if q.UseConcept {
+			want, wantErr = r.RelaxConceptContext(context.Background(), q.Concept, q.Ctx, q.K)
+		} else {
+			want, wantErr = r.RelaxTermContext(context.Background(), q.Term, q.Ctx, q.K)
+		}
+		if (wantErr == nil) != (errs[i] == nil) {
+			t.Fatalf("item %d: batch err %v, sequential err %v", i, errs[i], wantErr)
+		}
+		if wantErr != nil {
+			if !errors.Is(errs[i], ErrUnknownTerm) {
+				t.Errorf("item %d: batch error %v does not wrap ErrUnknownTerm", i, errs[i])
+			}
+			continue
+		}
+		if !reflect.DeepEqual(results[i], want) {
+			t.Errorf("item %d (%+v): batch diverged from sequential:\nbatch: %v\nseq:   %v", i, q, results[i], want)
+		}
+	}
+}
+
+// TestRelaxBatchDeadline verifies that an expired context fails the
+// remaining items with the context error instead of burning CPU on them.
+func TestRelaxBatchDeadline(t *testing.T) {
+	r, _ := newTestRelaxer(t, RelaxOptions{Radius: 3})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	queries := []BatchQuery{{Term: "headache", K: 3}, {Term: "fever", K: 3}}
+	_, errs := r.RelaxBatchContext(ctx, queries)
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("item %d: err = %v, want context.Canceled", i, err)
+		}
+	}
+
+	// A deadline firing mid-batch fails the tail but keeps the head.
+	dctx, dcancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer dcancel()
+	head, herrs := r.RelaxBatchContext(dctx, []BatchQuery{{Term: "headache", K: 3}})
+	if herrs[0] != nil || len(head[0]) == 0 {
+		t.Fatalf("live-context batch item failed: %v", herrs[0])
+	}
+}
+
+// TestRelaxBatchConcurrent runs concurrent batches against one Relaxer
+// under -race: the scratch is per-call, the relaxer itself shared.
+func TestRelaxBatchConcurrent(t *testing.T) {
+	r, _ := newTestRelaxer(t, RelaxOptions{Radius: 3, DynamicRadius: true, MaxRadius: 6})
+	ctx := &ontology.Context{Domain: "Indication", Relationship: "hasFinding", Range: "Finding"}
+	queries := []BatchQuery{
+		{Term: "headache", Ctx: ctx, K: 3},
+		{Term: "fever", K: 4},
+		{Term: "pain in throat", Ctx: ctx, K: 2},
+	}
+	want, wantErrs := r.RelaxBatchContext(context.Background(), queries)
+	for i, err := range wantErrs {
+		if err != nil {
+			t.Fatalf("baseline item %d: %v", i, err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				got, errs := r.RelaxBatchContext(context.Background(), queries)
+				for j := range queries {
+					if errs[j] != nil {
+						t.Errorf("concurrent batch item %d: %v", j, errs[j])
+						return
+					}
+					if !reflect.DeepEqual(got[j], want[j]) {
+						t.Errorf("concurrent batch item %d diverged", j)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

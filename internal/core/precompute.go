@@ -179,5 +179,5 @@ func (r *CachedRelaxer) RelaxConcept(q eks.ConceptID, ctx *ontology.Context, k i
 	if k <= 0 {
 		return ranked
 	}
-	return takeForKInstances(ranked, k)
+	return takeForKInstances(ranked, k, &relaxScratch{})
 }

@@ -116,18 +116,43 @@ func (r *Relaxer) RelaxConcept(q eks.ConceptID, ctx *ontology.Context, k int) []
 // during candidate scoring; on expiry the partial work is discarded and
 // the context's error is returned.
 func (r *Relaxer) RelaxConceptContext(ctx context.Context, q eks.ConceptID, qctx *ontology.Context, k int) ([]Result, error) {
+	return r.relaxConceptScratch(ctx, q, qctx, k, &relaxScratch{})
+}
+
+// relaxScratch holds the per-query working state that batch relaxation
+// reuses across items: the instance-dedup set (hit once per radius round
+// and once per truncation) and the flagged-neighbour buffer. Returned
+// Result slices are always freshly allocated — only the intermediate
+// state is shared.
+type relaxScratch struct {
+	seen map[kb.InstanceID]bool
+	nbuf []eks.Neighbor
+}
+
+// resetSeen clears (or lazily allocates) the dedup set.
+func (s *relaxScratch) resetSeen() map[kb.InstanceID]bool {
+	if s.seen == nil {
+		s.seen = make(map[kb.InstanceID]bool)
+	} else {
+		clear(s.seen)
+	}
+	return s.seen
+}
+
+// relaxConceptScratch is the scratch-threaded core of RelaxConceptContext.
+func (r *Relaxer) relaxConceptScratch(ctx context.Context, q eks.ConceptID, qctx *ontology.Context, k int, sc *relaxScratch) ([]Result, error) {
 	target := k
 	if target <= 0 {
 		target = defaultCandidateTarget
 	}
-	ranked, err := r.rankedCandidatesTarget(ctx, q, qctx, target)
+	ranked, err := r.rankedCandidatesTarget(ctx, q, qctx, target, sc)
 	if err != nil {
 		return nil, err
 	}
 	if k <= 0 {
 		return ranked, nil
 	}
-	return takeForKInstances(ranked, k), nil
+	return takeForKInstances(ranked, k, sc), nil
 }
 
 // takeForKInstances keeps consuming ranked candidates until at least k
@@ -135,9 +160,9 @@ func (r *Relaxer) RelaxConceptContext(ctx context.Context, q eks.ConceptID, qctx
 // are deduplicated across candidates with the same semantics as
 // TopKInstances, so an instance reachable through several candidate
 // concepts is counted once.
-func takeForKInstances(ranked []Result, k int) []Result {
+func takeForKInstances(ranked []Result, k int, sc *relaxScratch) []Result {
 	var out []Result
-	seen := make(map[kb.InstanceID]bool, k)
+	seen := sc.resetSeen()
 	for _, res := range ranked {
 		if len(seen) >= k {
 			break
@@ -150,11 +175,60 @@ func takeForKInstances(ranked []Result, k int) []Result {
 	return out
 }
 
+// BatchQuery is one item of a RelaxBatchContext call.
+type BatchQuery struct {
+	// Term is resolved through the relaxer's mapper; an unmappable term
+	// yields an error wrapping ErrUnknownTerm for that item.
+	Term string
+	// Concept short-circuits term mapping when UseConcept is set — the
+	// batch relaxes this already-mapped concept directly.
+	Concept    eks.ConceptID
+	UseConcept bool
+	// Ctx is the optional query context (nil: context-free).
+	Ctx *ontology.Context
+	// K bounds the distinct KB instances consumed; k <= 0 returns the full
+	// ranked candidate list, exactly as RelaxConceptContext does.
+	K int
+}
+
+// RelaxBatchContext answers a batch of queries in one call. Items are
+// processed in input order and results[i]/errs[i] always correspond to
+// queries[i], so output is deterministic for a deterministic batch. The
+// per-query working state (instance-dedup sets, neighbour buffers) is
+// allocated once and reused across items, which is what makes a batch
+// cheaper than n sequential calls. The deadline is honoured between items
+// and inside each item's traversal; once ctx fires, every remaining item
+// reports the context error.
+func (r *Relaxer) RelaxBatchContext(ctx context.Context, queries []BatchQuery) (results [][]Result, errs []error) {
+	results = make([][]Result, len(queries))
+	errs = make([]error, len(queries))
+	sc := &relaxScratch{}
+	for i, q := range queries {
+		if err := ctx.Err(); err != nil {
+			for j := i; j < len(queries); j++ {
+				errs[j] = fmt.Errorf("core: batch aborted at item %d/%d: %w", j, len(queries), err)
+			}
+			return results, errs
+		}
+		concept := q.Concept
+		if !q.UseConcept {
+			mapped, ok := r.mapper.Map(q.Term)
+			if !ok {
+				errs[i] = fmt.Errorf("core: query term %q: %w", q.Term, ErrUnknownTerm)
+				continue
+			}
+			concept = mapped
+		}
+		results[i], errs[i] = r.relaxConceptScratch(ctx, concept, q.Ctx, q.K, sc)
+	}
+	return results, errs
+}
+
 // RankedCandidates returns every flagged concept within the (possibly
 // dynamically grown) radius of q, ranked by similarity to q, best first.
 // Ties break by concept ID for determinism.
 func (r *Relaxer) RankedCandidates(q eks.ConceptID, ctx *ontology.Context) []Result {
-	out, _ := r.rankedCandidatesTarget(context.Background(), q, ctx, defaultCandidateTarget)
+	out, _ := r.rankedCandidatesTarget(context.Background(), q, ctx, defaultCandidateTarget, &relaxScratch{})
 	return out
 }
 
@@ -166,15 +240,15 @@ const scoreCheckInterval = 64
 // rankedCandidatesTarget gathers and ranks candidates; with DynamicRadius
 // the radius grows until the candidates can supply target KB instances —
 // the paper's "dynamically decided if a fixed r cannot provide k results".
-func (r *Relaxer) rankedCandidatesTarget(ctx context.Context, q eks.ConceptID, qctx *ontology.Context, target int) ([]Result, error) {
+func (r *Relaxer) rankedCandidatesTarget(ctx context.Context, q eks.ConceptID, qctx *ontology.Context, target int, sc *relaxScratch) ([]Result, error) {
 	radius := r.opts.Radius
 	var cands []eks.Neighbor
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: relaxation aborted at radius %d: %w", radius, err)
 		}
-		cands = r.flaggedWithin(q, radius)
-		if !r.opts.DynamicRadius || radius >= r.opts.MaxRadius || r.instanceCount(cands) >= target {
+		cands = r.flaggedWithin(q, radius, sc)
+		if !r.opts.DynamicRadius || radius >= r.opts.MaxRadius || r.instanceCount(cands, sc) >= target {
 			break
 		}
 		radius++
@@ -206,8 +280,8 @@ func (r *Relaxer) rankedCandidatesTarget(ctx context.Context, q eks.ConceptID, q
 // candidate set. Deduplication matches TopKInstances: an instance mapped to
 // several candidate concepts contributes once, so dynamic-radius growth
 // stops exactly when k distinct results are reachable.
-func (r *Relaxer) instanceCount(cands []eks.Neighbor) int {
-	seen := make(map[kb.InstanceID]bool)
+func (r *Relaxer) instanceCount(cands []eks.Neighbor, sc *relaxScratch) int {
+	seen := sc.resetSeen()
 	for _, nb := range cands {
 		for _, id := range r.ing.InstancesFor[nb.ID] {
 			seen[id] = true
@@ -221,9 +295,9 @@ func (r *Relaxer) instanceCount(cands []eks.Neighbor) int {
 // reachable (or MaxRadius is hit).
 const defaultCandidateTarget = 10
 
-func (r *Relaxer) flaggedWithin(q eks.ConceptID, radius int) []eks.Neighbor {
+func (r *Relaxer) flaggedWithin(q eks.ConceptID, radius int, sc *relaxScratch) []eks.Neighbor {
 	nbs := r.ing.Graph.NeighborsWithinHops(q, radius)
-	out := make([]eks.Neighbor, 0, len(nbs))
+	out := sc.nbuf[:0]
 	if r.opts.IncludeSelf && r.ing.Flagged[q] {
 		out = append(out, eks.Neighbor{ID: q, Hops: 0})
 	}
@@ -232,6 +306,7 @@ func (r *Relaxer) flaggedWithin(q eks.ConceptID, radius int) []eks.Neighbor {
 			out = append(out, nb)
 		}
 	}
+	sc.nbuf = out
 	return out
 }
 

@@ -1,0 +1,301 @@
+// Package engine is the one immutable serving layer between the offline
+// phase and everything that answers queries. Its central type is Snapshot:
+// the frozen output of ingestion (customized EKS dense graph, mappings,
+// frequencies, shortcuts, relaxer, term index) behind a read-only,
+// concurrency-safe API. Every consumer — the medrelax facade, the HTTP
+// server, the production serving stack, the chaos harness, the CLIs —
+// constructs or loads exactly this type, so there is a single assembly of
+// "EKS + ingest artifacts + relaxer" in the whole program, and hot reload
+// is an atomic swap of whole Snapshots (see Registry).
+package engine
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"slices"
+	"time"
+
+	"medrelax/internal/core"
+	"medrelax/internal/dialog"
+	"medrelax/internal/eks"
+	"medrelax/internal/match"
+	"medrelax/internal/ontology"
+	"medrelax/internal/persist"
+)
+
+// RelaxResult is one JSON-ready relaxed answer, with concepts and
+// instances resolved to surface names. The HTTP layer re-exports it as
+// server.RelaxResult.
+type RelaxResult struct {
+	Concept   string   `json:"concept"`
+	Score     float64  `json:"score"`
+	Hops      int      `json:"hops"`
+	Instances []string `json:"instances"`
+}
+
+// BatchItem is one query of a batch relaxation request.
+type BatchItem struct {
+	Term    string `json:"term"`
+	Context string `json:"context"`
+	K       int    `json:"k"`
+}
+
+// BatchOutcome is one item's answer: Results on success, Err otherwise.
+// Outcomes are positional — outcome i always answers item i.
+type BatchOutcome struct {
+	Results []RelaxResult
+	Err     error
+}
+
+// Config tunes Snapshot assembly. The zero value serves a loaded bundle:
+// combined exact/edit/lookup term mapping, default relaxation radius, no
+// conversations.
+type Config struct {
+	// Relax configures the online phase; zero values pick the defaults of
+	// core.RelaxOptions plus DynamicRadius (the serving shape).
+	Relax core.RelaxOptions
+	// Mapper resolves query terms; nil builds the bundle mapper (exact
+	// match, then edit distance, then the lookup service) over the graph.
+	Mapper match.Mapper
+	// Conversation opens a relaxation-backed dialogue; nil disables /chat.
+	Conversation func() (*dialog.Conversation, error)
+	// ExtraStats is merged over the base Stats map (world metadata only a
+	// richer builder knows, e.g. corpus and embedding sizes).
+	ExtraStats func() map[string]any
+	// Source names where the snapshot came from (bundle path, or "" for an
+	// in-process build); reported in Stats.
+	Source string
+}
+
+// Snapshot is a frozen, servable relaxation world. All fields are set at
+// construction and never mutated, so every method is safe for unbounded
+// concurrent use; replacing a world means building a new Snapshot and
+// swapping the pointer (Registry, internal/serving).
+type Snapshot struct {
+	ing     *core.Ingestion
+	relaxer *core.Relaxer
+	cfg     Config
+	// terms is the precomputed term index: flagged-concept names in
+	// deterministic (ID) order, the realistic query mix GET /terms serves.
+	terms []string
+}
+
+// New assembles a Snapshot over an ingestion: freezes the dense graph
+// index, builds the similarity evaluator and relaxer, and precomputes the
+// term index. The ingestion must not be mutated afterwards — the Snapshot
+// owns it.
+func New(ing *core.Ingestion, cfg Config) *Snapshot {
+	if cfg.Relax.Radius == 0 {
+		cfg.Relax = core.RelaxOptions{Radius: 3, DynamicRadius: true}
+	}
+	if cfg.Mapper == nil {
+		cfg.Mapper = match.NewCombined(
+			match.NewExact(ing.Graph), match.NewEdit(ing.Graph, 0), match.NewLookupService(ing.Graph))
+	}
+	ing.Graph.Freeze()
+	sim := core.NewSimilarity(ing.Graph, ing.Frequencies, ing.Ontology)
+	return &Snapshot{
+		ing:     ing,
+		relaxer: core.NewRelaxer(ing, sim, cfg.Mapper, cfg.Relax),
+		cfg:     cfg,
+		terms:   flaggedTerms(ing),
+	}
+}
+
+// flaggedTerms resolves the flagged concepts to names in ID order — the
+// deterministic term index Terms slices from.
+func flaggedTerms(ing *core.Ingestion) []string {
+	ids := make([]eks.ConceptID, 0, len(ing.Flagged))
+	for id := range ing.Flagged {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if c, ok := ing.Graph.Concept(id); ok {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// LoadSnapshot builds a Snapshot from a persisted ingestion bundle: no
+// world regeneration, no embedding training. This is the one cold-start
+// path — kbserver startup, hot reload, the chaos harness, and the CLI all
+// come through here, fault sites and CRC checks included. Conversations
+// are unavailable because the bundle deliberately omits the synthetic
+// world. Errors keep persist's typing: a corrupt file wraps
+// persist.ErrCorruptBundle, a missing one fs.ErrNotExist.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	loadStart := time.Now()
+	ing, err := persist.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := persist.ValidateForServing(ing); err != nil {
+		return nil, err
+	}
+	loadDur := time.Since(loadStart)
+	freezeStart := time.Now()
+	snap := New(ing, Config{Source: path})
+	log.Printf("bundle loaded: %d EKS concepts, %d instances (decode+restore %s, freeze %s)",
+		ing.Graph.Len(), ing.Store.Len(),
+		loadDur.Round(time.Millisecond), time.Since(freezeStart).Round(time.Millisecond))
+	// Probe one flagged term end to end so a structurally valid bundle
+	// that cannot actually answer fails here, not in production traffic.
+	if terms := snap.Terms(1); len(terms) > 0 {
+		if _, err := snap.Relax(context.Background(), terms[0], "", 1); err != nil {
+			return nil, fmt.Errorf("engine: bundle %q failed serving probe: %w", path, err)
+		}
+	}
+	return snap, nil
+}
+
+// Relaxer exposes the assembled online phase for harnesses that drive it
+// directly (golden pinning, benchmarks, the evaluation suite).
+func (s *Snapshot) Relaxer() *core.Relaxer { return s.relaxer }
+
+// NewRelaxer derives an alternative online phase over the same frozen
+// ingestion — different mapper or options (e.g. dialogue repair wants
+// IncludeSelf and the combined mapper) — keeping relaxer assembly inside
+// the engine. A nil mapper reuses the snapshot's.
+func (s *Snapshot) NewRelaxer(mapper match.Mapper, opts core.RelaxOptions) *core.Relaxer {
+	if mapper == nil {
+		mapper = s.cfg.Mapper
+	}
+	sim := core.NewSimilarity(s.ing.Graph, s.ing.Frequencies, s.ing.Ontology)
+	return core.NewRelaxer(s.ing, sim, mapper, opts)
+}
+
+// Ingestion exposes the underlying frozen ingestion (read-only).
+func (s *Snapshot) Ingestion() *core.Ingestion { return s.ing }
+
+// Source reports where the snapshot was loaded from ("" if built in
+// process).
+func (s *Snapshot) Source() string { return s.cfg.Source }
+
+// parseContext turns the wire context string into the typed form; parse
+// failures wrap core.ErrBadContext so servers can map them to 400.
+func parseContext(qctx string) (*ontology.Context, error) {
+	if qctx == "" {
+		return nil, nil
+	}
+	parsed, err := ontology.ParseContext(qctx)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", core.ErrBadContext, err)
+	}
+	return &parsed, nil
+}
+
+// RelaxIDs answers a [term, context] pair with the raw concept/instance
+// IDs of the online phase — the form the richer medrelax facade resolves
+// itself. ctx carries the request deadline.
+func (s *Snapshot) RelaxIDs(ctx context.Context, term, qctx string, k int) ([]core.Result, error) {
+	ctxPtr, err := parseContext(qctx)
+	if err != nil {
+		return nil, err
+	}
+	return s.relaxer.RelaxTermContext(ctx, term, ctxPtr, k)
+}
+
+// Relax answers a [term, context] pair with up to k ranked, name-resolved
+// results. It implements the HTTP server's Backend contract.
+func (s *Snapshot) Relax(ctx context.Context, term, qctx string, k int) ([]RelaxResult, error) {
+	results, err := s.RelaxIDs(ctx, term, qctx, k)
+	if err != nil {
+		return nil, err
+	}
+	return s.resolve(results), nil
+}
+
+// resolve maps core results to surface names.
+func (s *Snapshot) resolve(results []core.Result) []RelaxResult {
+	out := make([]RelaxResult, 0, len(results))
+	for _, r := range results {
+		concept, _ := s.ing.Graph.Concept(r.Concept)
+		rr := RelaxResult{Concept: concept.Name, Score: r.Score, Hops: r.Hops}
+		for _, iid := range r.Instances {
+			if inst, ok := s.ing.Store.Instance(iid); ok {
+				rr.Instances = append(rr.Instances, inst.Name)
+			}
+		}
+		out = append(out, rr)
+	}
+	return out
+}
+
+// RelaxBatch answers a batch of queries through core's shared-scratch
+// batch path. Outcomes are positional and deterministic; per-item failures
+// (unknown term, bad context) land in that item's Err while the rest of
+// the batch still answers. The deadline in ctx bounds the whole batch.
+func (s *Snapshot) RelaxBatch(ctx context.Context, items []BatchItem) []BatchOutcome {
+	out := make([]BatchOutcome, len(items))
+	queries := make([]core.BatchQuery, len(items))
+	for i, it := range items {
+		ctxPtr, err := parseContext(it.Context)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		queries[i] = core.BatchQuery{Term: it.Term, Ctx: ctxPtr, K: it.K}
+	}
+	// Items with a bad context are skipped by marking them as already
+	// answered; core still sees a dense slice to keep positions aligned.
+	for i := range items {
+		if out[i].Err != nil {
+			queries[i] = core.BatchQuery{UseConcept: true, K: -1} // placeholder, never used
+		}
+	}
+	results, errs := s.relaxer.RelaxBatchContext(ctx, queries)
+	for i := range items {
+		if out[i].Err != nil {
+			continue
+		}
+		if errs[i] != nil {
+			out[i].Err = errs[i]
+			continue
+		}
+		out[i].Results = s.resolve(results[i])
+	}
+	return out
+}
+
+// NewConversation opens a relaxation-backed dialogue when the snapshot's
+// builder provided one (bundles cannot: the synthetic world is absent).
+func (s *Snapshot) NewConversation() (*dialog.Conversation, error) {
+	if s.cfg.Conversation == nil {
+		return nil, fmt.Errorf("engine: snapshot has no conversation factory (serving from a bundle?)")
+	}
+	return s.cfg.Conversation()
+}
+
+// Terms returns up to n query terms known to map to flagged concepts, in
+// deterministic order — the realistic query mix load generators build on.
+func (s *Snapshot) Terms(n int) []string {
+	if n > len(s.terms) {
+		n = len(s.terms)
+	}
+	return s.terms[:n:n]
+}
+
+// Stats describes the frozen world.
+func (s *Snapshot) Stats() map[string]any {
+	stats := map[string]any{
+		"eksConcepts":     s.ing.Graph.Len(),
+		"eksEdges":        s.ing.Graph.EdgeCount(),
+		"shortcutsAdded":  s.ing.ShortcutsAdded,
+		"kbInstances":     s.ing.Store.Len(),
+		"flaggedConcepts": len(s.ing.Flagged),
+		"contexts":        len(s.ing.Contexts),
+	}
+	if s.cfg.Source != "" {
+		stats["source"] = s.cfg.Source
+	}
+	if s.cfg.ExtraStats != nil {
+		for k, v := range s.cfg.ExtraStats() {
+			stats[k] = v
+		}
+	}
+	return stats
+}

@@ -1,0 +1,297 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"medrelax/internal/core"
+	"medrelax/internal/corpus"
+	"medrelax/internal/eks"
+	"medrelax/internal/kb"
+	"medrelax/internal/ontology"
+	"medrelax/internal/persist"
+)
+
+// testIngestion builds the small Figure 7/8-shaped world the server tests
+// use: a four-concept EKS over a Drug/Indication/Risk/Finding ontology
+// with two flagged findings.
+func testIngestion(t *testing.T) *core.Ingestion {
+	t.Helper()
+	o := ontology.New()
+	for _, c := range []ontology.Concept{
+		{Name: "Drug"}, {Name: "Indication"}, {Name: "Risk"}, {Name: "Finding"},
+	} {
+		if err := o.AddConcept(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range []ontology.Relationship{
+		{Name: "treat", Domain: "Drug", Range: "Indication"},
+		{Name: "cause", Domain: "Drug", Range: "Risk"},
+		{Name: "hasFinding", Domain: "Indication", Range: "Finding"},
+		{Name: "hasFinding", Domain: "Risk", Range: "Finding"},
+	} {
+		if err := o.AddRelationship(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := eks.New()
+	for _, c := range []eks.Concept{
+		{ID: 1, Name: "clinical finding"},
+		{ID: 2, Name: "kidney disease"},
+		{ID: 3, Name: "pyelectasia"},
+		{ID: 4, Name: "fever"},
+	} {
+		if err := g.AddConcept(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]eks.ConceptID{{2, 1}, {3, 2}, {4, 1}} {
+		if err := g.AddSubsumption(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.SetRoot(1); err != nil {
+		t.Fatal(err)
+	}
+	store := kb.NewStore(o)
+	for _, inst := range []kb.Instance{
+		{ID: 1, Concept: "Drug", Name: "lisinopril"},
+		{ID: 10, Concept: "Indication", Name: "ind-kidney"},
+		{ID: 20, Concept: "Finding", Name: "kidney disease"},
+		{ID: 21, Concept: "Finding", Name: "fever"},
+	} {
+		if err := store.AddInstance(inst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, a := range []kb.Assertion{
+		{Subject: 1, Relationship: "treat", Object: 10},
+		{Subject: 10, Relationship: "hasFinding", Object: 20},
+	} {
+		if err := store.AddAssertion(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corp := corpus.New([]corpus.Document{{ID: "d", Sections: []corpus.Section{
+		{Label: "Indication-hasFinding-Finding", Text: "kidney disease kidney disease fever"},
+	}}})
+	ing, err := core.Ingest(o, store, g, corp, exactMapper{g}, core.IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ing
+}
+
+type exactMapper struct{ g *eks.Graph }
+
+func (m exactMapper) Name() string { return "EXACT" }
+func (m exactMapper) Map(name string) (eks.ConceptID, bool) {
+	ids := m.g.LookupName(name)
+	if len(ids) == 0 {
+		return 0, false
+	}
+	return ids[0], true
+}
+
+func TestSnapshotServesAndReports(t *testing.T) {
+	snap := New(testIngestion(t), Config{})
+
+	results, err := snap.Relax(context.Background(), "pyelectasia", "", 5)
+	if err != nil {
+		t.Fatalf("Relax: %v", err)
+	}
+	if len(results) == 0 {
+		t.Fatal("Relax returned no results for a relaxable term")
+	}
+	for _, r := range results {
+		if r.Concept == "" {
+			t.Errorf("result with unresolved concept name: %+v", r)
+		}
+	}
+
+	if _, err := snap.Relax(context.Background(), "no such term", "", 5); !errors.Is(err, core.ErrUnknownTerm) {
+		t.Errorf("unknown term: err = %v, want ErrUnknownTerm", err)
+	}
+	if _, err := snap.Relax(context.Background(), "pyelectasia", "totally-bogus", 5); !errors.Is(err, core.ErrBadContext) {
+		t.Errorf("bad context: err = %v, want ErrBadContext", err)
+	}
+
+	terms := snap.Terms(100)
+	if len(terms) == 0 {
+		t.Fatal("Terms returned no flagged terms")
+	}
+	if again := snap.Terms(100); !reflect.DeepEqual(terms, again) {
+		t.Error("Terms is not deterministic")
+	}
+	if short := snap.Terms(1); len(short) != 1 || short[0] != terms[0] {
+		t.Errorf("Terms(1) = %v, want prefix of %v", short, terms)
+	}
+
+	stats := snap.Stats()
+	for _, key := range []string{"eksConcepts", "eksEdges", "kbInstances", "flaggedConcepts"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("Stats missing %q: %v", key, stats)
+		}
+	}
+	if _, err := snap.NewConversation(); err == nil {
+		t.Error("NewConversation without a factory should fail")
+	}
+}
+
+func TestSnapshotBatchMatchesSequential(t *testing.T) {
+	snap := New(testIngestion(t), Config{})
+	items := []BatchItem{
+		{Term: "pyelectasia", K: 5},
+		{Term: "kidney disease", K: 3},
+		{Term: "no such term", K: 5},
+		{Term: "fever", Context: "not a context", K: 2},
+		{Term: "pyelectasia", K: 5},
+	}
+	outcomes := snap.RelaxBatch(context.Background(), items)
+	if len(outcomes) != len(items) {
+		t.Fatalf("got %d outcomes for %d items", len(outcomes), len(items))
+	}
+	for i, it := range items {
+		want, wantErr := snap.Relax(context.Background(), it.Term, it.Context, it.K)
+		if (wantErr == nil) != (outcomes[i].Err == nil) {
+			t.Fatalf("item %d: batch err %v, sequential err %v", i, outcomes[i].Err, wantErr)
+		}
+		if wantErr != nil {
+			if !errors.Is(outcomes[i].Err, wantErr) && outcomes[i].Err.Error() != wantErr.Error() {
+				// Same error class is enough; exact wrapping may differ.
+				if !(errors.Is(outcomes[i].Err, core.ErrUnknownTerm) && errors.Is(wantErr, core.ErrUnknownTerm)) &&
+					!(errors.Is(outcomes[i].Err, core.ErrBadContext) && errors.Is(wantErr, core.ErrBadContext)) {
+					t.Errorf("item %d: batch err %v, sequential err %v", i, outcomes[i].Err, wantErr)
+				}
+			}
+			continue
+		}
+		if !reflect.DeepEqual(outcomes[i].Results, want) {
+			t.Errorf("item %d: batch %v != sequential %v", i, outcomes[i].Results, want)
+		}
+	}
+}
+
+func TestLoadSnapshotRoundTrip(t *testing.T) {
+	ing := testIngestion(t)
+	path := filepath.Join(t.TempDir(), "bundle.bin")
+	if err := persist.SaveFileAtomic(path, ing, persist.FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	built := New(testIngestion(t), Config{})
+	loaded, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	if loaded.Source() != path {
+		t.Errorf("Source = %q, want %q", loaded.Source(), path)
+	}
+	if got, want := loaded.Terms(100), built.Terms(100); !reflect.DeepEqual(got, want) {
+		t.Errorf("loaded Terms %v != built Terms %v", got, want)
+	}
+	for _, term := range loaded.Terms(100) {
+		got, err := loaded.Relax(context.Background(), term, "", 5)
+		if err != nil {
+			t.Fatalf("loaded Relax(%q): %v", term, err)
+		}
+		want, err := built.Relax(context.Background(), term, "", 5)
+		if err != nil {
+			t.Fatalf("built Relax(%q): %v", term, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Relax(%q): loaded %v != built %v", term, got, want)
+		}
+	}
+	if _, err := LoadSnapshot(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Error("LoadSnapshot of a missing file should fail")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	ing := testIngestion(t)
+	path := filepath.Join(t.TempDir(), "alpha.bin")
+	if err := persist.SaveFileAtomic(path, ing, persist.FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	alpha, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta := New(testIngestion(t), Config{})
+
+	ha, err := reg.Add("alpha", path, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Add("beta", "", beta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Add("alpha", path, alpha); err == nil {
+		t.Error("duplicate tenant registration should fail")
+	}
+	if _, err := reg.Add("", path, alpha); err == nil {
+		t.Error("empty tenant name should fail")
+	}
+
+	if reg.Default() != "alpha" {
+		t.Errorf("Default = %q, want first-added tenant", reg.Default())
+	}
+	if got := reg.Names(); !reflect.DeepEqual(got, []string{"alpha", "beta"}) {
+		t.Errorf("Names = %v", got)
+	}
+	if h, ok := reg.Get(""); !ok || h != ha {
+		t.Error("empty name should resolve to the default tenant")
+	}
+	if h, ok := reg.Get("beta"); !ok || h.Load() != beta {
+		t.Error("Get(beta) should return the registered snapshot")
+	}
+	if _, ok := reg.Get("gamma"); ok {
+		t.Error("unknown tenant should not resolve")
+	}
+
+	// Reload swaps in a fresh snapshot; the old pointer is untouched.
+	before := ha.Load()
+	fresh, err := ha.Reload()
+	if err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	if fresh == before || ha.Load() != fresh {
+		t.Error("Reload did not swap in a new snapshot")
+	}
+	hb, _ := reg.Get("beta")
+	if _, err := hb.Reload(); err == nil {
+		t.Error("Reload of a source-less tenant should fail")
+	}
+}
+
+func TestSnapshotConcurrent(t *testing.T) {
+	snap := New(testIngestion(t), Config{})
+	term := snap.Terms(1)[0]
+	want, err := snap.Relax(context.Background(), term, "", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got, err := snap.Relax(context.Background(), term, "", 5)
+				if err != nil || !reflect.DeepEqual(got, want) {
+					t.Errorf("concurrent Relax diverged: %v %v", got, err)
+					return
+				}
+				snap.Terms(10)
+				snap.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+}

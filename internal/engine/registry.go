@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Handle is one named, reloadable snapshot slot: a bundle path plus the
+// atomically swappable Snapshot currently serving it. Readers call Load;
+// Reload rebuilds from the source and swaps, leaving in-flight readers on
+// the old snapshot until they finish.
+type Handle struct {
+	name   string
+	source string
+	cur    atomic.Pointer[Snapshot]
+}
+
+// Name returns the tenant name the handle is registered under.
+func (h *Handle) Name() string { return h.name }
+
+// Source returns the bundle path the handle reloads from ("" for an
+// in-process snapshot, which cannot Reload).
+func (h *Handle) Source() string { return h.source }
+
+// Load returns the current snapshot. Never nil for a registered handle.
+func (h *Handle) Load() *Snapshot { return h.cur.Load() }
+
+// Reload rebuilds the snapshot from the handle's source bundle and swaps
+// it in atomically, returning the fresh snapshot. On error the previous
+// snapshot keeps serving untouched.
+func (h *Handle) Reload() (*Snapshot, error) {
+	if h.source == "" {
+		return nil, fmt.Errorf("engine: tenant %q was built in process and has no bundle to reload", h.name)
+	}
+	snap, err := LoadSnapshot(h.source)
+	if err != nil {
+		return nil, fmt.Errorf("engine: reload tenant %q: %w", h.name, err)
+	}
+	h.cur.Store(snap)
+	return snap, nil
+}
+
+// Registry maps tenant names to snapshot handles — several independently
+// built knowledge bundles served side by side from one process. The set
+// of tenants is fixed after construction (Add happens at startup);
+// snapshots within each handle stay swappable forever, so the map needs
+// no lock on the read path.
+type Registry struct {
+	tenants map[string]*Handle
+	def     string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{tenants: make(map[string]*Handle)}
+}
+
+// Add registers a snapshot under name. The first tenant added becomes the
+// default (the one bare, un-prefixed routes resolve to). source is the
+// bundle path reloads pull from; "" disables reload for this tenant.
+func (r *Registry) Add(name, source string, snap *Snapshot) (*Handle, error) {
+	if name == "" {
+		return nil, fmt.Errorf("engine: tenant name must be non-empty")
+	}
+	if _, dup := r.tenants[name]; dup {
+		return nil, fmt.Errorf("engine: duplicate tenant %q", name)
+	}
+	h := &Handle{name: name, source: source}
+	h.cur.Store(snap)
+	r.tenants[name] = h
+	if r.def == "" {
+		r.def = name
+	}
+	return h, nil
+}
+
+// Get returns the handle for a tenant name, or ok=false if unknown. An
+// empty name resolves to the default tenant.
+func (r *Registry) Get(name string) (*Handle, bool) {
+	if name == "" {
+		name = r.def
+	}
+	h, ok := r.tenants[name]
+	return h, ok
+}
+
+// Default returns the default tenant's name ("" when the registry is
+// empty).
+func (r *Registry) Default() string { return r.def }
+
+// Names lists the registered tenants in sorted order.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.tenants))
+	for name := range r.tenants {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports how many tenants are registered.
+func (r *Registry) Len() int { return len(r.tenants) }

@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"slices"
 	"sort"
 	"strconv"
 	"sync"
@@ -20,13 +19,11 @@ import (
 
 	"medrelax/internal/core"
 	"medrelax/internal/dialog"
-	"medrelax/internal/eks"
-	"medrelax/internal/ontology"
+	"medrelax/internal/engine"
 )
 
-// Backend is the slice of the relaxation system the server needs; the
-// medrelax.System satisfies it through a thin adapter in cmd/kbserver, and
-// tests satisfy it with small fixtures. The serving subsystem
+// Backend is the slice of the relaxation system the server needs.
+// engine.Snapshot satisfies it directly; the serving subsystem
 // (internal/serving) wraps any Backend with caching, admission control,
 // and hot reload, and is itself a Backend.
 type Backend interface {
@@ -40,6 +37,13 @@ type Backend interface {
 	Stats() map[string]any
 }
 
+// BatchBackend is an optional Backend extension: backends that support the
+// batch read path answer POST /relax/batch through it. engine.Snapshot and
+// serving.Engine both implement it.
+type BatchBackend interface {
+	RelaxBatch(ctx context.Context, items []BatchItem) []BatchOutcome
+}
+
 // TermSampler is an optional Backend extension: backends that can
 // enumerate relaxable terms expose them at GET /terms, which load
 // generators (cmd/loadgen) use to build realistic query mixes.
@@ -48,13 +52,18 @@ type TermSampler interface {
 	Terms(n int) []string
 }
 
-// RelaxResult is one JSON-ready relaxed answer.
-type RelaxResult struct {
-	Concept   string   `json:"concept"`
-	Score     float64  `json:"score"`
-	Hops      int      `json:"hops"`
-	Instances []string `json:"instances"`
-}
+// RelaxResult is one JSON-ready relaxed answer. It is the engine's result
+// type re-exported so handlers and backends share one wire shape.
+type RelaxResult = engine.RelaxResult
+
+// BatchItem is one query of a POST /relax/batch request.
+type BatchItem = engine.BatchItem
+
+// BatchOutcome is one item's answer within a batch.
+type BatchOutcome = engine.BatchOutcome
+
+// MaxBatchItems bounds a single /relax/batch request.
+const MaxBatchItems = 256
 
 // Server handles the API endpoints.
 //
@@ -99,6 +108,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /relax", s.handleRelax)
+	mux.HandleFunc("POST /relax/batch", s.handleRelaxBatch)
 	mux.HandleFunc("GET /terms", s.handleTerms)
 	mux.HandleFunc("POST /chat", s.handleChat)
 	return mux
@@ -112,25 +122,49 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.backend.Stats())
 }
 
+// validateRelaxParams applies the shared /relax parameter contract: term
+// required, k in [1, 1000] defaulting to 10. The returned message is the
+// exact 400 body text, so single and batch paths fail identically.
+func validateRelaxParams(term string, k int, kSet bool) (int, string) {
+	if term == "" {
+		return 0, "missing term parameter"
+	}
+	if !kSet {
+		return 10, ""
+	}
+	if k < 1 || k > 1000 {
+		return 0, "k must be an integer in [1, 1000]"
+	}
+	return k, ""
+}
+
+// relaxBody is the one success-body shape for a relax answer, shared by
+// GET /relax and each POST /relax/batch item so the two serialize
+// byte-identically.
+func relaxBody(term, qctx string, results []RelaxResult) map[string]any {
+	return map[string]any{"term": term, "context": qctx, "results": results}
+}
+
 func (s *Server) handleRelax(w http.ResponseWriter, r *http.Request) {
 	term := r.URL.Query().Get("term")
-	if term == "" {
-		writeError(w, http.StatusBadRequest, "missing term parameter")
-		return
-	}
-	ctx := r.URL.Query().Get("context")
-	k := 10
+	qctx := r.URL.Query().Get("context")
+	k, kSet := 0, false
 	if ks := r.URL.Query().Get("k"); ks != "" {
 		v, err := strconv.Atoi(ks)
-		if err != nil || v < 1 || v > 1000 {
+		if err != nil {
 			writeError(w, http.StatusBadRequest, "k must be an integer in [1, 1000]")
 			return
 		}
-		k = v
+		k, kSet = v, true
+	}
+	k, msg := validateRelaxParams(term, k, kSet)
+	if msg != "" {
+		writeError(w, http.StatusBadRequest, msg)
+		return
 	}
 	// No lock: the relaxation pipeline is safe for concurrent use, so the
 	// hot path serves requests fully in parallel.
-	results, err := s.backend.Relax(r.Context(), term, ctx, k)
+	results, err := s.backend.Relax(r.Context(), term, qctx, k)
 	if err != nil {
 		status := statusForError(err)
 		if status == http.StatusServiceUnavailable {
@@ -141,7 +175,80 @@ func (s *Server) handleRelax(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"term": term, "context": ctx, "results": results})
+	writeJSON(w, http.StatusOK, relaxBody(term, qctx, results))
+}
+
+// BatchRequest is the POST /relax/batch request body.
+type BatchRequest struct {
+	Queries []BatchItem `json:"queries"`
+}
+
+// BatchItemResponse wraps one item's answer: Status is the HTTP status the
+// same query would have gotten from GET /relax, Body the exact response
+// object it would have gotten — success items serialize byte-identically
+// to sequential /relax bodies.
+type BatchItemResponse struct {
+	Status int `json:"status"`
+	Body   any `json:"body"`
+}
+
+// handleRelaxBatch answers many relax queries in one request through the
+// backend's shared-scratch batch path. The response is positional: item i
+// answers query i, failures included, so one unknown term does not fail
+// the batch. The request deadline bounds the whole batch.
+func (s *Server) handleRelaxBatch(w http.ResponseWriter, r *http.Request) {
+	bb, ok := s.backend.(BatchBackend)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "backend does not support batch relaxation")
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "queries must be a non-empty array")
+		return
+	}
+	if len(req.Queries) > MaxBatchItems {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds limit of %d", len(req.Queries), MaxBatchItems))
+		return
+	}
+	items := make([]BatchItemResponse, len(req.Queries))
+	// Validate every item first; only the valid ones reach the backend,
+	// with positions preserved through the index map.
+	valid := make([]BatchItem, 0, len(req.Queries))
+	validIdx := make([]int, 0, len(req.Queries))
+	for i, q := range req.Queries {
+		k, msg := validateRelaxParams(q.Term, q.K, q.K != 0)
+		if msg != "" {
+			items[i] = BatchItemResponse{Status: http.StatusBadRequest, Body: map[string]string{"error": msg}}
+			continue
+		}
+		q.K = k
+		valid = append(valid, q)
+		validIdx = append(validIdx, i)
+	}
+	if len(valid) > 0 {
+		outcomes := bb.RelaxBatch(r.Context(), valid)
+		for j, out := range outcomes {
+			i := validIdx[j]
+			if out.Err != nil {
+				items[i] = BatchItemResponse{
+					Status: statusForError(out.Err),
+					Body:   map[string]string{"error": out.Err.Error()},
+				}
+				continue
+			}
+			items[i] = BatchItemResponse{
+				Status: http.StatusOK,
+				Body:   relaxBody(valid[j].Term, valid[j].Context, out.Results),
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"items": items})
 }
 
 // transient is the marker interface for failures expected to clear on
@@ -323,80 +430,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
-}
-
-// RelaxerBackend is a ready-made Backend over the core types, for callers
-// that assembled the pipeline themselves (tests, custom worlds).
-type RelaxerBackend struct {
-	Relaxer      *core.Relaxer
-	Ing          *core.Ingestion
-	Conversation func() (*dialog.Conversation, error)
-}
-
-// Relax implements Backend.
-func (b *RelaxerBackend) Relax(ctx context.Context, term, qctx string, k int) ([]RelaxResult, error) {
-	var ctxPtr *ontology.Context
-	if qctx != "" {
-		parsed, err := ontology.ParseContext(qctx)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", core.ErrBadContext, err)
-		}
-		ctxPtr = &parsed
-	}
-	results, err := b.Relaxer.RelaxTermContext(ctx, term, ctxPtr, k)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]RelaxResult, 0, len(results))
-	for _, r := range results {
-		concept, _ := b.Ing.Graph.Concept(r.Concept)
-		rr := RelaxResult{Concept: concept.Name, Score: r.Score, Hops: r.Hops}
-		for _, iid := range r.Instances {
-			if inst, ok := b.Ing.Store.Instance(iid); ok {
-				rr.Instances = append(rr.Instances, inst.Name)
-			}
-		}
-		out = append(out, rr)
-	}
-	return out, nil
-}
-
-// NewConversation implements Backend.
-func (b *RelaxerBackend) NewConversation() (*dialog.Conversation, error) {
-	if b.Conversation == nil {
-		return nil, fmt.Errorf("no conversation factory configured")
-	}
-	return b.Conversation()
-}
-
-// Terms implements TermSampler: flagged concepts are exactly the ones
-// relaxation can answer from, so their names make a realistic query mix.
-func (b *RelaxerBackend) Terms(n int) []string {
-	ids := make([]eks.ConceptID, 0, len(b.Ing.Flagged))
-	for id := range b.Ing.Flagged {
-		ids = append(ids, id)
-	}
-	slices.Sort(ids)
-	if n < len(ids) {
-		ids = ids[:n]
-	}
-	out := make([]string, 0, len(ids))
-	for _, id := range ids {
-		if c, ok := b.Ing.Graph.Concept(id); ok {
-			out = append(out, c.Name)
-		}
-	}
-	return out
-}
-
-// Stats implements Backend.
-func (b *RelaxerBackend) Stats() map[string]any {
-	return map[string]any{
-		"eksConcepts":     b.Ing.Graph.Len(),
-		"eksEdges":        b.Ing.Graph.EdgeCount(),
-		"shortcutsAdded":  b.Ing.ShortcutsAdded,
-		"kbInstances":     b.Ing.Store.Len(),
-		"flaggedConcepts": len(b.Ing.Flagged),
-		"contexts":        len(b.Ing.Contexts),
-	}
 }

@@ -12,13 +12,14 @@ import (
 	"medrelax/internal/corpus"
 	"medrelax/internal/dialog"
 	"medrelax/internal/eks"
+	"medrelax/internal/engine"
 	"medrelax/internal/kb"
 	"medrelax/internal/ontology"
 )
 
 // testBackend builds a small world (the dialog package's Figure 7/8 shape)
-// behind a RelaxerBackend.
-func testBackend(t *testing.T) *RelaxerBackend {
+// behind an engine.Snapshot.
+func testBackend(t *testing.T) *engine.Snapshot {
 	t.Helper()
 	o := ontology.New()
 	for _, c := range []ontology.Concept{
@@ -84,19 +85,20 @@ func testBackend(t *testing.T) *RelaxerBackend {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim := core.NewSimilarity(ing.Graph, ing.Frequencies, ing.Ontology)
-	relaxer := core.NewRelaxer(ing, sim, mapper, core.RelaxOptions{Radius: 3, DynamicRadius: true})
-
-	conversation := func() (*dialog.Conversation, error) {
-		examples := dialog.GenerateTrainingExamples(o, store, 1, 8)
-		classifier, err := dialog.TrainIntentClassifier(examples)
-		if err != nil {
-			return nil, err
-		}
-		extractor := dialog.NewMentionExtractor(store, g.NameKeys())
-		return dialog.NewConversation(store, o, classifier, extractor, relaxer, ing), nil
-	}
-	return &RelaxerBackend{Relaxer: relaxer, Ing: ing, Conversation: conversation}
+	var snap *engine.Snapshot
+	snap = engine.New(ing, engine.Config{
+		Mapper: mapper,
+		Conversation: func() (*dialog.Conversation, error) {
+			examples := dialog.GenerateTrainingExamples(o, store, 1, 8)
+			classifier, err := dialog.TrainIntentClassifier(examples)
+			if err != nil {
+				return nil, err
+			}
+			extractor := dialog.NewMentionExtractor(store, g.NameKeys())
+			return dialog.NewConversation(store, o, classifier, extractor, snap.Relaxer(), ing), nil
+		},
+	})
+	return snap
 }
 
 type exactMapper struct{ g *eks.Graph }

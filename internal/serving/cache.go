@@ -211,6 +211,62 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]
 	return results, CacheMiss, err
 }
 
+// Epoch returns the current purge epoch, to be passed to Put by callers
+// that looked up before computing (the batch path).
+func (c *Cache) Epoch() uint64 { return c.gen.Load() }
+
+// Get probes the cache without computing: a live entry is returned (and
+// counted as a hit), anything else is a miss. Expired entries inside the
+// stale window are left in place as degraded-mode fallbacks but are not
+// returned — the caller is expected to recompute.
+func (c *Cache) Get(key string) ([]server.RelaxResult, bool) {
+	sh := c.shard(key)
+	now := time.Now().UnixNano()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		if ent.expires == 0 || now < ent.expires {
+			sh.lru.MoveToFront(el)
+			c.hits.Add(1)
+			return ent.results, true
+		}
+		if c.staleFor == 0 || now >= ent.expires+int64(c.staleFor) {
+			sh.lru.Remove(el)
+			delete(sh.entries, key)
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores a computed result, but only if no purge happened since the
+// caller read epoch (Epoch) — the same swapped-bundle guard GetOrCompute
+// applies to its own insertions.
+func (c *Cache) Put(key string, results []server.RelaxResult, epoch uint64) {
+	if c.gen.Load() != epoch {
+		return
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.entries[key]; ok {
+		sh.lru.Remove(el)
+		delete(sh.entries, key)
+	}
+	ent := &cacheEntry{key: key, results: results}
+	if c.ttl > 0 {
+		ent.expires = time.Now().Add(c.ttl).UnixNano()
+	}
+	sh.entries[key] = sh.lru.PushFront(ent)
+	for sh.lru.Len() > sh.cap {
+		old := sh.lru.Back()
+		sh.lru.Remove(old)
+		delete(sh.entries, old.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
 // Purge empties every shard and advances the epoch so in-progress
 // computations do not re-populate the cache with pre-purge results.
 // In-progress flights are left to finish — their waiters get a coherent

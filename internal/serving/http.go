@@ -14,7 +14,7 @@ import (
 // trackedEndpoints get per-endpoint latency histograms and request
 // counters; anything else is folded into "other" to keep label
 // cardinality bounded.
-var trackedEndpoints = []string{"/relax", "/chat", "/stats", "/healthz", "/terms"}
+var trackedEndpoints = []string{"/relax", "/relax/batch", "/chat", "/stats", "/healthz", "/terms"}
 
 const httpLatencyHelp = "HTTP request latency by endpoint"
 
@@ -65,17 +65,17 @@ func (r *statusRecorder) WriteHeader(code int) {
 // cap (shed with 429 + Retry-After), per-endpoint deadlines, chat
 // body-size and rate guards, latency histograms, and the slow-query log.
 func (e *Engine) instrument(next http.Handler) http.Handler {
-	inflight := e.reg.Gauge("medrelax_http_inflight", "requests currently being served", "")
+	inflight := e.reg.Gauge("medrelax_http_inflight", "requests currently being served", e.labels(""))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		endpoint := r.URL.Path
 		if !tracked(endpoint) {
 			endpoint = "other"
 		}
-		epLabel := metrics.Label("endpoint", endpoint)
+		epLabel := e.labels(metrics.Label("endpoint", endpoint))
 		inflight.Inc()
 		defer inflight.Dec()
 
-		limited := endpoint == "/relax" || endpoint == "/chat"
+		limited := endpoint == "/relax" || endpoint == "/relax/batch" || endpoint == "/chat"
 		if limited {
 			if !e.limiter.tryAcquire() {
 				e.shed(w, endpoint, "over concurrency limit")
@@ -85,7 +85,7 @@ func (e *Engine) instrument(next http.Handler) http.Handler {
 		}
 		var timeout time.Duration
 		switch endpoint {
-		case "/relax":
+		case "/relax", "/relax/batch":
 			timeout = e.opts.RelaxTimeout
 		case "/chat":
 			timeout = e.opts.ChatTimeout
@@ -138,7 +138,7 @@ func (e *Engine) shed(w http.ResponseWriter, endpoint, reason string) {
 	w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
 	writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "server overloaded: " + reason})
 	e.reg.Counter("medrelax_http_shed_total", "requests shed by admission control",
-		metrics.Label("endpoint", endpoint)).Inc()
+		e.labels(metrics.Label("endpoint", endpoint))).Inc()
 }
 
 // logSlow emits one structured line per slow request so tail-latency
@@ -155,7 +155,7 @@ func (e *Engine) logSlow(r *http.Request, endpoint string, status int, dur time.
 		return
 	}
 	e.reg.Counter("medrelax_http_slow_total", "requests over the slow-query threshold",
-		metrics.Label("endpoint", endpoint)).Inc()
+		e.labels(metrics.Label("endpoint", endpoint))).Inc()
 	if logger := e.opts.SlowLog; logger != nil {
 		logger.Print(string(line))
 	} else {

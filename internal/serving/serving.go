@@ -67,6 +67,15 @@ type Options struct {
 	// Loader builds a fresh backend for POST /admin/reload and SIGHUP;
 	// reload is disabled when nil.
 	Loader func() (server.Backend, error)
+
+	// Metrics is the registry series are written to. nil builds a private
+	// one; multi-tenant deployments pass one shared registry so a single
+	// /metrics scrape covers every tenant.
+	Metrics *metrics.Registry
+	// BaseLabels is prepended to every series this engine emits (e.g.
+	// `tenant="alpha"`); empty keeps the single-tenant series names
+	// unchanged.
+	BaseLabels string
 }
 
 // DefaultOptions are sane production defaults for a medium instance.
@@ -122,26 +131,47 @@ type Engine struct {
 
 // NewEngine wraps backend with the serving layer.
 func NewEngine(backend server.Backend, opts Options) *Engine {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	e := &Engine{
 		opts:     opts,
 		cache:    NewCache(opts.CacheCapacity, opts.CacheTTL, opts.CacheShards),
 		limiter:  newLimiter(opts.MaxConcurrent),
 		chatRate: newTokenBucket(opts.ChatRPS, opts.ChatBurst),
-		reg:      metrics.NewRegistry(),
+		reg:      reg,
 	}
 	e.cache.SetStaleWindow(opts.CacheStaleWindow)
 	e.cur.Store(&holder{b: backend, gen: e.gen.Add(1)})
-	e.mCacheHits = e.reg.Counter("medrelax_relax_cache_hits_total", "relax results served from cache", "")
-	e.mCacheMisses = e.reg.Counter("medrelax_relax_cache_misses_total", "relax results computed by the backend", "")
-	e.mCacheCollapsed = e.reg.Counter("medrelax_relax_cache_collapsed_total", "concurrent identical misses collapsed onto one computation", "")
-	e.mCacheStale = e.reg.Counter("medrelax_relax_cache_stale_total", "expired entries served because recomputation failed (degraded mode)", "")
-	e.mBackendRelax = e.reg.Histogram("medrelax_backend_relax_seconds", "uncached relaxation compute latency", "")
-	e.reg.Gauge("medrelax_bundle_generation", "monotonic bundle generation, bumped per reload", "").Set(1)
+	e.mCacheHits = e.reg.Counter("medrelax_relax_cache_hits_total", "relax results served from cache", e.labels(""))
+	e.mCacheMisses = e.reg.Counter("medrelax_relax_cache_misses_total", "relax results computed by the backend", e.labels(""))
+	e.mCacheCollapsed = e.reg.Counter("medrelax_relax_cache_collapsed_total", "concurrent identical misses collapsed onto one computation", e.labels(""))
+	e.mCacheStale = e.reg.Counter("medrelax_relax_cache_stale_total", "expired entries served because recomputation failed (degraded mode)", e.labels(""))
+	e.mBackendRelax = e.reg.Histogram("medrelax_backend_relax_seconds", "uncached relaxation compute latency", e.labels(""))
+	e.reg.Gauge("medrelax_bundle_generation", "monotonic bundle generation, bumped per reload", e.labels("")).Set(1)
 	// Register the failure counter up front so a scrape before the first
 	// failed reload still shows the series at 0.
-	e.reg.Counter("medrelax_reload_failures_total", "bundle reloads rejected (old generation kept serving)", "")
+	e.reg.Counter("medrelax_reload_failures_total", "bundle reloads rejected (old generation kept serving)", e.labels(""))
 	return e
 }
+
+// joinLabels composes two rendered label lists; either may be empty.
+func joinLabels(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	default:
+		return a + "," + b
+	}
+}
+
+// labels prepends the engine's base labels (the tenant partition) to a
+// series' own labels. With no base labels the single-tenant series names
+// come out unchanged.
+func (e *Engine) labels(extra string) string { return joinLabels(e.opts.BaseLabels, extra) }
 
 // Metrics exposes the registry (for tests and the /metrics handler).
 func (e *Engine) Metrics() *metrics.Registry { return e.reg }
@@ -225,6 +255,75 @@ func (e *Engine) computeRelax(ctx context.Context, h *holder, term, qctx string,
 	return results, err
 }
 
+// RelaxBatch implements server.BatchBackend: each item is first probed
+// against the result cache (counted as a hit exactly like a single
+// /relax), and only the misses travel to the backend — in one
+// shared-scratch batch call when the backend supports it, sequentially
+// otherwise. Successful miss results are inserted back unless a reload
+// purged the cache mid-batch (the epoch guard), so a batch never
+// repopulates the cache with a swapped-out bundle's answers. Batch misses
+// skip singleflight: the batch itself is already the collapse.
+func (e *Engine) RelaxBatch(ctx context.Context, items []server.BatchItem) []server.BatchOutcome {
+	out := make([]server.BatchOutcome, len(items))
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	h := e.acquire()
+	defer h.release()
+	if e.cache == nil {
+		return e.computeBatch(ctx, h, items)
+	}
+	epoch := e.cache.Epoch()
+	miss := make([]server.BatchItem, 0, len(items))
+	missIdx := make([]int, 0, len(items))
+	for i, it := range items {
+		if results, ok := e.cache.Get(cacheKey(it.Term, it.Context, it.K)); ok {
+			out[i].Results = results
+			e.mCacheHits.Inc()
+			continue
+		}
+		miss = append(miss, it)
+		missIdx = append(missIdx, i)
+	}
+	if len(miss) == 0 {
+		return out
+	}
+	outcomes := e.computeBatch(ctx, h, miss)
+	for j, o := range outcomes {
+		out[missIdx[j]] = o
+		e.mCacheMisses.Inc()
+		if o.Err == nil {
+			e.cache.Put(cacheKey(miss[j].Term, miss[j].Context, miss[j].K), o.Results, epoch)
+		}
+	}
+	return out
+}
+
+// computeBatch runs the uncached part of a batch against the backend,
+// through the same "backend.relax" fault site as single queries.
+func (e *Engine) computeBatch(ctx context.Context, h *holder, items []server.BatchItem) []server.BatchOutcome {
+	out := make([]server.BatchOutcome, len(items))
+	if err := fault.At("backend.relax").Inject(); err != nil {
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	start := time.Now()
+	if bb, ok := h.b.(server.BatchBackend); ok {
+		out = bb.RelaxBatch(ctx, items)
+	} else {
+		for i, it := range items {
+			out[i].Results, out[i].Err = h.b.Relax(ctx, it.Term, it.Context, it.K)
+		}
+	}
+	e.mBackendRelax.Observe(time.Since(start).Seconds())
+	return out
+}
+
 // NewConversation implements server.Backend.
 func (e *Engine) NewConversation() (*dialog.Conversation, error) {
 	h := e.acquire()
@@ -262,7 +361,7 @@ func (e *Engine) Stats() map[string]any {
 		serving["cacheStaleServed"] = e.cache.StaleServed()
 	}
 	for _, ep := range trackedEndpoints {
-		hist := e.reg.Histogram("medrelax_http_request_seconds", httpLatencyHelp, metrics.Label("endpoint", ep))
+		hist := e.reg.Histogram("medrelax_http_request_seconds", httpLatencyHelp, e.labels(metrics.Label("endpoint", ep)))
 		if hist.Count() == 0 {
 			continue
 		}
@@ -287,7 +386,7 @@ func (e *Engine) Swap(b server.Backend) {
 	if e.cache != nil {
 		e.cache.Purge()
 	}
-	e.reg.Gauge("medrelax_bundle_generation", "monotonic bundle generation, bumped per reload", "").Set(int64(gen))
+	e.reg.Gauge("medrelax_bundle_generation", "monotonic bundle generation, bumped per reload", e.labels("")).Set(int64(gen))
 	go func() {
 		for old.inflight.Load() > 0 {
 			time.Sleep(5 * time.Millisecond)
@@ -317,19 +416,19 @@ func (e *Engine) Reload() error {
 	start := time.Now()
 	b, err := e.opts.Loader()
 	if err != nil {
-		e.reg.Counter("medrelax_reload_failures_total", "bundle reloads rejected (old generation kept serving)", "").Inc()
-		e.reg.Counter("medrelax_reloads_total", "bundle reloads by result", metrics.Label("result", reloadFailureReason(err))).Inc()
+		e.reg.Counter("medrelax_reload_failures_total", "bundle reloads rejected (old generation kept serving)", e.labels("")).Inc()
+		e.reg.Counter("medrelax_reloads_total", "bundle reloads by result", e.labels(metrics.Label("result", reloadFailureReason(err)))).Inc()
 		return fmt.Errorf("serving: reload: %w", err)
 	}
 	e.Swap(b)
-	e.reg.Counter("medrelax_reloads_total", "bundle reloads by result", metrics.Label("result", "ok")).Inc()
+	e.reg.Counter("medrelax_reloads_total", "bundle reloads by result", e.labels(metrics.Label("result", "ok"))).Inc()
 	log.Printf("serving: reload complete in %s", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 
 // ReloadFailures reports how many reloads were rejected since start.
 func (e *Engine) ReloadFailures() uint64 {
-	return e.reg.Counter("medrelax_reload_failures_total", "bundle reloads rejected (old generation kept serving)", "").Value()
+	return e.reg.Counter("medrelax_reload_failures_total", "bundle reloads rejected (old generation kept serving)", e.labels("")).Value()
 }
 
 // reloadFailureReason buckets a loader error for the reloads_total label:

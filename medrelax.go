@@ -27,12 +27,12 @@ import (
 	"medrelax/internal/dialog"
 	"medrelax/internal/eks"
 	"medrelax/internal/embedding"
+	"medrelax/internal/engine"
 	"medrelax/internal/eval"
 	"medrelax/internal/kb"
 	"medrelax/internal/match"
 	"medrelax/internal/medkb"
 	"medrelax/internal/nlq"
-	"medrelax/internal/ontology"
 	"medrelax/internal/stringutil"
 	"medrelax/internal/synthkb"
 )
@@ -90,7 +90,10 @@ type BuildTimings struct {
 	Total time.Duration
 }
 
-// System is a fully built reproduction environment.
+// System is a fully built reproduction environment. The servable part —
+// frozen ingestion, relaxer, term index — lives in Engine, the one
+// immutable snapshot every serving layer consumes; System adds the
+// synthetic world, embedding models, and evaluation harness around it.
 type System struct {
 	Config        Config
 	World         *synthkb.World
@@ -104,6 +107,7 @@ type System struct {
 	Mappers       map[string]match.Mapper
 	Mapper        match.Mapper
 	Ingestion     *core.Ingestion
+	Engine        *engine.Snapshot
 	Relaxer       *core.Relaxer
 	Methods       []core.Method
 	Oracle        *eval.Oracle
@@ -184,8 +188,25 @@ func Build(cfg Config) (*System, error) {
 	timings.Ingest = time.Since(ingestStart)
 	timings.Total = time.Since(start)
 
-	sim := core.NewSimilarity(ing.Graph, ing.Frequencies, ing.Ontology)
-	relaxer := core.NewRelaxer(ing, sim, mapper, cfg.Relax)
+	// The servable assembly (freeze, similarity, relaxer, term index)
+	// happens in exactly one place: engine.New. The conversation factory
+	// and world stats close over sys, assigned below before any caller can
+	// invoke them.
+	var sys *System
+	snap := engine.New(ing, engine.Config{
+		Relax:  cfg.Relax,
+		Mapper: mapper,
+		Conversation: func() (*dialog.Conversation, error) {
+			return sys.NewConversation(true)
+		},
+		ExtraStats: func() map[string]any {
+			return map[string]any{
+				"corpusTokens":     sys.Corpus.TokenCount(),
+				"embeddingVocab":   sys.MedModel.VocabSize(),
+				"ontologyConcepts": sys.Med.Ontology.ConceptCount(),
+			}
+		},
+	})
 
 	methods := []core.Method{
 		core.NewQR(ing, mapper, cfg.Relax),
@@ -196,7 +217,7 @@ func Build(cfg Config) (*System, error) {
 		core.NewEmbeddingMethod("Embedding-trained", ing, medEnc),
 	}
 
-	return &System{
+	sys = &System{
 		Config:        cfg,
 		World:         world,
 		Med:           med,
@@ -209,11 +230,13 @@ func Build(cfg Config) (*System, error) {
 		Mappers:       mappers,
 		Mapper:        mapper,
 		Ingestion:     ing,
-		Relaxer:       relaxer,
+		Engine:        snap,
+		Relaxer:       snap.Relaxer(),
 		Methods:       methods,
 		Oracle:        eval.NewOracle(world, med),
 		Timings:       timings,
-	}, nil
+	}
+	return sys, nil
 }
 
 // Result is one relaxed answer resolved to surface names.
@@ -243,15 +266,7 @@ func (s *System) Relax(term, ctx string, k int) ([]Result, error) {
 // layer threads HTTP deadlines through here. Context-string parse
 // failures wrap core.ErrBadContext so servers can map them to 400.
 func (s *System) RelaxContext(cctx context.Context, term, ctx string, k int) ([]Result, error) {
-	var ctxPtr *ontology.Context
-	if ctx != "" {
-		parsed, err := ontology.ParseContext(ctx)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", core.ErrBadContext, err)
-		}
-		ctxPtr = &parsed
-	}
-	results, err := s.Relaxer.RelaxTermContext(cctx, term, ctxPtr, k)
+	results, err := s.Engine.RelaxIDs(cctx, term, ctx, k)
 	if err != nil {
 		return nil, err
 	}
@@ -301,8 +316,7 @@ func (s *System) NewConversation(withQR bool) (*dialog.Conversation, error) {
 	combined := match.NewCombined(s.Mappers["EXACT"], s.Mappers["EDIT"], s.Mappers["EMBEDDING"])
 	opts := s.Config.Relax
 	opts.IncludeSelf = true
-	sim := core.NewSimilarity(s.Ingestion.Graph, s.Ingestion.Frequencies, s.Ingestion.Ontology)
-	relaxer := core.NewRelaxer(s.Ingestion, sim, combined, opts)
+	relaxer := s.Engine.NewRelaxer(combined, opts)
 	return dialog.NewConversation(s.Med.Store, s.Med.Ontology, classifier, extractor, relaxer, s.Ingestion), nil
 }
 
@@ -315,8 +329,7 @@ func (s *System) NewNLQSystem(withQR bool) *nlq.System {
 	combined := match.NewCombined(s.Mappers["EXACT"], s.Mappers["EDIT"], s.Mappers["EMBEDDING"])
 	opts := s.Config.Relax
 	opts.IncludeSelf = true
-	sim := core.NewSimilarity(s.Ingestion.Graph, s.Ingestion.Frequencies, s.Ingestion.Ontology)
-	relaxer := core.NewRelaxer(s.Ingestion, sim, combined, opts)
+	relaxer := s.Engine.NewRelaxer(combined, opts)
 	return nlq.NewSystem(s.Med.Ontology, s.Med.Store, relaxer, s.Ingestion)
 }
 
