@@ -8,8 +8,10 @@ package medrelax
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
+	"medrelax/internal/core"
 	"medrelax/internal/eks"
 	"medrelax/internal/eval"
 	"medrelax/internal/synthkb"
@@ -54,6 +56,76 @@ func BenchmarkRelaxParallel(b *testing.B) {
 			i++
 		}
 	})
+}
+
+var (
+	accelOnce sync.Once
+	accelMatR *core.Relaxer
+	accelIdxR *core.Relaxer
+)
+
+// accelRelaxers builds (once) two relaxers over the shared system's
+// ingestion: one serving from a full-head materialized top-k store, one
+// through the posting-list candidate index. Both are byte-identical to
+// live traversal (TestAcceleratedPathsMatchGolden); here they are timed.
+func accelRelaxers(tb testing.TB) (*core.Relaxer, *core.Relaxer) {
+	tb.Helper()
+	sys := sharedSystem(tb)
+	accelOnce.Do(func() {
+		ing := sys.Ingestion
+		sim := core.NewSimilarity(ing.Graph, ing.Frequencies, ing.Ontology)
+		ropts := sys.Config.Relax
+		mat := core.MaterializeTopK(ing, sim, core.MaterializeOptions{
+			Enabled: true, Relax: ropts,
+			HeadFraction: 1, HeadMax: -1,
+			Contexts: ing.Contexts,
+		})
+		cidx := core.BuildCandidateIndex(ing, sim, core.CandidateIndexOptions{
+			Enabled: true, Radius: ropts.MaxRadius,
+		})
+		accelMatR = core.NewRelaxer(ing, sim, sys.Mapper, ropts)
+		if !accelMatR.SetMaterialized(mat) {
+			panic("bench: materialized store refused by a same-options relaxer")
+		}
+		accelIdxR = core.NewRelaxer(ing, sim, sys.Mapper, ropts)
+		if !accelIdxR.SetCandidateIndex(cidx) {
+			panic("bench: candidate index refused by a same-options relaxer")
+		}
+	})
+	return accelMatR, accelIdxR
+}
+
+// BenchmarkRelaxUncached measures the uncached request path through each
+// serving tier over the same query mix: pure live traversal, the
+// posting-list candidate index, and the materialized top-k store. The CI
+// benchmem smoke step pins the allocation profile of the accelerated
+// tiers — an alloc regression on the miss path fails the build before it
+// reaches a latency chart.
+func BenchmarkRelaxUncached(b *testing.B) {
+	sys := sharedSystem(b)
+	queries := eval.SelectQueries(sys.Med, sys.Oracle, 32)
+	if len(queries) == 0 {
+		b.Fatal("no queries selected")
+	}
+	matR, idxR := accelRelaxers(b)
+	cases := []struct {
+		name string
+		r    *core.Relaxer
+	}{
+		{"live", sys.Relaxer},
+		{"indexed", idxR},
+		{"materialized", matR},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				c.r.RelaxConcept(q.Concept, q.Ctx, 10)
+			}
+		})
+	}
 }
 
 // benchGraph builds a seeded synthetic world and grows it to the target

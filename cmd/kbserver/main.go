@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -73,6 +74,7 @@ func main() {
 		chatRPS    = flag.Float64("chat-rps", 200, "global /chat rate limit in requests/second (0: unlimited)")
 		slowQ      = flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold (0: disabled)")
 		faults     = flag.String("faults", "", "fault-injection spec (see internal/fault); overrides $"+fault.EnvVar)
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this separate address, e.g. 127.0.0.1:6060 (empty: disabled)")
 	)
 	flag.Func("bundle", "name=path: serve this bundle as tenant NAME (repeatable; first is the default tenant)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
@@ -176,6 +178,24 @@ func main() {
 			tm.Embeddings.Round(time.Millisecond), tm.Ingest.Round(time.Millisecond))
 		eng := serving.NewEngine(sys.Engine, opts)
 		tenants.Add("default", eng, server.New(eng).Handler())
+	}
+
+	// Profiling stays off the API address: pprof binds its own listener,
+	// only when asked, so the public surface never exposes the debug
+	// endpoints by accident.
+	if *pprofAddr != "" {
+		go func() {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			log.Printf("kbserver: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("kbserver: pprof server: %v", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{

@@ -43,6 +43,13 @@ type phaseStats struct {
 	P99Ms      float64 `json:"p99Ms"`
 	MeanMs     float64 `json:"meanMs"`
 	Throughput float64 `json:"requestsPerSecond"`
+
+	// P99LowMs/P99HighMs bound the p99 estimate: the latency stream is
+	// cut into arrival-order blocks, p99 is computed per block, and the
+	// spread across blocks is reported. A tail statistic from a few
+	// hundred samples is noise; the bound says how much.
+	P99LowMs  float64 `json:"p99LowMs,omitempty"`
+	P99HighMs float64 `json:"p99HighMs,omitempty"`
 }
 
 // retryPolicy is the client-side answer to admission control: capped
@@ -147,12 +154,15 @@ type report struct {
 	BurstWorkers  int     `json:"burstWorkers"`
 	GeneratededAt string  `json:"generatedAt"`
 
-	Cold  phaseStats `json:"cold"`
-	Warm  phaseStats `json:"warm"`
-	Burst burstStats `json:"burst"`
+	Cold      phaseStats `json:"cold"`
+	Warm      phaseStats `json:"warm"`
+	ColdSweep phaseStats `json:"coldSweep"`
+	Burst     burstStats `json:"burst"`
 
-	WarmSpeedupP95 float64 `json:"warmSpeedupP95"`
-	ByteIdentical  bool    `json:"cachedResponsesByteIdentical"`
+	WarmSpeedupP95        float64 `json:"warmSpeedupP95"`
+	UncachedBaselineP50Ms float64 `json:"uncachedBaselineP50Ms,omitempty"`
+	UncachedSpeedupP50    float64 `json:"uncachedSpeedupP50,omitempty"`
+	ByteIdentical         bool    `json:"cachedResponsesByteIdentical"`
 
 	Batch              []batchStats `json:"batch,omitempty"`
 	BatchByteIdentical bool         `json:"batchItemsByteIdenticalToSequential"`
@@ -186,6 +196,8 @@ func main() {
 		burstN   = flag.Int("burst", 128, "concurrent workers in the shed burst (0 skips)")
 		burstReq = flag.Int("burst-requests", 20, "requests per burst worker")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		coldN    = flag.Int("cold-samples", 2000, "uncached samples for the cold and coldsweep phases (one pass over the terms at minimum)")
+		baseP50  = flag.Float64("baseline-cold-p50-ms", 0, "prior uncached p50 in ms; >0 reports the coldsweep speedup against it")
 		retries  = flag.Int("retries", 2, "max client retries per request on 429/503 (cold+warm phases; 0 disables)")
 		retryLo  = flag.Duration("retry-base", 50*time.Millisecond, "exponential backoff base")
 		retryHi  = flag.Duration("retry-cap", 2*time.Second, "exponential backoff cap")
@@ -226,15 +238,28 @@ func main() {
 		GeneratededAt: time.Now().UTC().Format(time.RFC3339),
 	}
 
-	// Phase 1 — cold: every term exactly once against an empty cache.
-	log.Print("loadgen: cold phase (sequential, all misses)")
-	coldLat := make([]time.Duration, 0, len(termList))
+	// Phase 1 — cold: every term exactly once against an empty cache, then
+	// `Cache-Control: no-store` requests (still uncached computations, but
+	// without polluting the now-priming cache) until -cold-samples total.
+	// A p99 from one pass over a few hundred terms is mostly noise; the
+	// top-up gives the tail estimate enough data to mean something.
+	log.Printf("loadgen: cold phase (sequential, all misses, >=%d samples)", *coldN)
+	coldLat := make([]time.Duration, 0, *coldN)
 	coldErrs, coldRetries := 0, 0
 	coldRng := rand.New(rand.NewSource(*seed + 7919))
 	coldStart := time.Now()
 	for _, term := range termList {
 		d, code, r := relaxRetry(client, *addr, term, *k, pol, coldRng)
 		coldRetries += r
+		if code != http.StatusOK {
+			coldErrs++
+			continue
+		}
+		coldLat = append(coldLat, d)
+	}
+	for len(coldLat)+coldErrs < *coldN {
+		term := termList[coldRng.Intn(len(termList))]
+		d, code := timedRelaxNoStore(client, *addr, term, *k)
 		if code != http.StatusOK {
 			coldErrs++
 			continue
@@ -284,7 +309,32 @@ func main() {
 		rep.WarmSpeedupP95 = rep.Cold.P95Ms / rep.Warm.P95Ms
 	}
 
-	// Phase 3 — burst: cache-busting random k past the concurrency limit;
+	// Phase 3 — coldsweep: the uncached path on a warm server. Every
+	// request carries `Cache-Control: no-store`, so the result cache is
+	// out of the measurement entirely — this is the number the offline
+	// materialization and candidate index exist to move.
+	log.Printf("loadgen: coldsweep phase (sequential, no-store, %d samples)", *coldN)
+	sweepLat := make([]time.Duration, 0, *coldN)
+	sweepErrs := 0
+	sweepRng := rand.New(rand.NewSource(*seed + 104729))
+	sweepZipf := rand.NewZipf(sweepRng, *zipfS, 1, uint64(len(termList)-1))
+	sweepStart := time.Now()
+	for len(sweepLat)+sweepErrs < *coldN {
+		term := termList[sweepZipf.Uint64()]
+		d, code := timedRelaxNoStore(client, *addr, term, *k)
+		if code != http.StatusOK {
+			sweepErrs++
+			continue
+		}
+		sweepLat = append(sweepLat, d)
+	}
+	rep.ColdSweep = summarize(sweepLat, sweepErrs, time.Since(sweepStart))
+	if *baseP50 > 0 && rep.ColdSweep.P50Ms > 0 {
+		rep.UncachedBaselineP50Ms = *baseP50
+		rep.UncachedSpeedupP50 = *baseP50 / rep.ColdSweep.P50Ms
+	}
+
+	// Phase 4 — burst: cache-busting random k past the concurrency limit;
 	// the server must answer every request immediately with 200 or 429.
 	if *burstN > 0 {
 		log.Printf("loadgen: shed burst (%d workers x %d requests)", *burstN, *burstReq)
@@ -320,7 +370,7 @@ func main() {
 		rep.Burst = burstStats{Requests: *burstN * *burstReq, OK: ok, Shed: shed, Errors: errs}
 	}
 
-	// Phase 4 — cached responses must be byte-identical to uncached ones.
+	// Phase 5 — cached responses must be byte-identical to uncached ones.
 	rep.ByteIdentical = true
 	for i := 0; i < 5 && i < len(termList); i++ {
 		url := fmt.Sprintf("%s/relax?term=%s&k=%d", *addr, queryEscape(termList[i]), *k)
@@ -332,7 +382,7 @@ func main() {
 		}
 	}
 
-	// Phase 5 — batch: mixed sizes through POST /relax/batch with
+	// Phase 6 — batch: mixed sizes through POST /relax/batch with
 	// cache-busting random k, so batches measure shared-scratch
 	// computation, not cache lookups; then a byte-identity sweep and a
 	// same-size sequential control for the amortization claim.
@@ -406,7 +456,7 @@ func main() {
 		}
 	}
 
-	// Phase 6 — tenants: drive each named tenant through its /t/{name}/
+	// Phase 7 — tenants: drive each named tenant through its /t/{name}/
 	// prefix. Separate cache partitions mean each tenant pays its own
 	// cold misses and warms independently.
 	if *tenCSV != "" {
@@ -448,8 +498,8 @@ func main() {
 	if err := writeMarkdown(*outMD, rep); err != nil {
 		log.Fatalf("loadgen: %v", err)
 	}
-	log.Printf("loadgen: cold p95 %.2fms, warm p95 %.2fms (%.1fx), %d shed, wrote %s and %s",
-		rep.Cold.P95Ms, rep.Warm.P95Ms, rep.WarmSpeedupP95, rep.Burst.Shed, *outJSON, *outMD)
+	log.Printf("loadgen: cold p95 %.2fms, warm p95 %.2fms (%.1fx), uncached p50 %.3fms, %d shed, wrote %s and %s",
+		rep.Cold.P95Ms, rep.Warm.P95Ms, rep.WarmSpeedupP95, rep.ColdSweep.P50Ms, rep.Burst.Shed, *outJSON, *outMD)
 }
 
 func fetchTerms(client *http.Client, addr string, n int) []string {
@@ -521,6 +571,26 @@ func timedRelax(client *http.Client, addr, term string, k int) (time.Duration, i
 	return time.Since(start), resp.StatusCode
 }
 
+// timedRelaxNoStore is timedRelax with `Cache-Control: no-store`: the
+// serving layer skips its result cache (no read, no write), so the
+// measured latency is the uncached computation even on a warm server.
+func timedRelaxNoStore(client *http.Client, addr, term string, k int) (time.Duration, int) {
+	url := fmt.Sprintf("%s/relax?term=%s&k=%d", addr, queryEscape(term), k)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return 0, 0
+	}
+	req.Header.Set("Cache-Control", "no-store")
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return time.Since(start), resp.StatusCode
+}
+
 func fetchBody(client *http.Client, url string) string {
 	resp, err := client.Get(url)
 	if err != nil {
@@ -538,10 +608,31 @@ func queryEscape(s string) string {
 	return strings.ReplaceAll(s, " ", "+")
 }
 
+// p99Blocks is how many arrival-order blocks the p99 spread uses.
+const p99Blocks = 8
+
 func summarize(lat []time.Duration, errs int, elapsed time.Duration) phaseStats {
 	st := phaseStats{Requests: len(lat) + errs, Errors: errs}
 	if len(lat) == 0 {
 		return st
+	}
+	// Per-block p99 spread, computed before the global sort destroys
+	// arrival order. Skipped when blocks would be too small for a tail
+	// quantile to be anything but the block maximum.
+	if bs := len(lat) / p99Blocks; bs >= 25 {
+		var lo, hi float64
+		for b := 0; b < p99Blocks; b++ {
+			blk := append([]time.Duration(nil), lat[b*bs:(b+1)*bs]...)
+			slices.Sort(blk)
+			v := ms(quantile(blk, 0.99))
+			if b == 0 || v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		st.P99LowMs, st.P99HighMs = lo, hi
 	}
 	slices.Sort(lat)
 	var sum time.Duration
@@ -582,6 +673,10 @@ func scrapeMetrics(client *http.Client, addr string) map[string]float64 {
 		"medrelax_relax_cache_hits_total",
 		"medrelax_relax_cache_misses_total",
 		"medrelax_relax_cache_collapsed_total",
+		"medrelax_relax_cache_bypass_total",
+		"medrelax_relax_live_path_total",
+		"medrelax_relax_materialized_hit_total",
+		"medrelax_relax_index_path_total",
 		"medrelax_http_shed_total",
 		"medrelax_http_inflight",
 		"medrelax_bundle_generation",
@@ -636,6 +731,24 @@ func writeMarkdown(path string, rep *report) error {
 		rep.Warm.Requests, rep.Warm.Errors, rep.Warm.P50Ms, rep.Warm.P95Ms, rep.Warm.P99Ms, rep.Warm.MeanMs, rep.Warm.Throughput)
 	fmt.Fprintf(&b, "**Warm-cache p95 speedup: %.1fx.** Cached responses byte-identical to uncached: **%v**.\n\n",
 		rep.WarmSpeedupP95, rep.ByteIdentical)
+	if rep.Cold.P99HighMs > 0 {
+		fmt.Fprintf(&b, "Cold p99 spread over %d arrival-order blocks: %.3f–%.3f ms.\n\n",
+			p99Blocks, rep.Cold.P99LowMs, rep.Cold.P99HighMs)
+	}
+	if rep.ColdSweep.Requests > 0 {
+		fmt.Fprintf(&b, "## Uncached path on a warm server (coldsweep, `Cache-Control: no-store`)\n\n")
+		fmt.Fprintf(&b, "| requests | errors | p50 (ms) | p95 (ms) | p99 (ms) | p99 range (ms) | mean (ms) | req/s |\n")
+		fmt.Fprintf(&b, "|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+		fmt.Fprintf(&b, "| %d | %d | %.3f | %.3f | %.3f | %.3f–%.3f | %.3f | %.0f |\n\n",
+			rep.ColdSweep.Requests, rep.ColdSweep.Errors, rep.ColdSweep.P50Ms, rep.ColdSweep.P95Ms,
+			rep.ColdSweep.P99Ms, rep.ColdSweep.P99LowMs, rep.ColdSweep.P99HighMs,
+			rep.ColdSweep.MeanMs, rep.ColdSweep.Throughput)
+		fmt.Fprintf(&b, "Every coldsweep request bypasses the result cache (no read, no write), so this measures the miss path — the offline top-k materialization and the posting-list candidate index, falling back to live traversal.\n\n")
+		if rep.UncachedSpeedupP50 > 0 {
+			fmt.Fprintf(&b, "**Uncached p50 %.3f ms vs %.2f ms recorded baseline: %.1fx faster.**\n\n",
+				rep.ColdSweep.P50Ms, rep.UncachedBaselineP50Ms, rep.UncachedSpeedupP50)
+		}
+	}
 	if rep.Cold.Retries > 0 || rep.Warm.Retries > 0 {
 		fmt.Fprintf(&b, "Client retries (capped exponential backoff + jitter, honoring `Retry-After`): %d cold, %d warm.\n\n",
 			rep.Cold.Retries, rep.Warm.Retries)

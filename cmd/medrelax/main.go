@@ -32,10 +32,16 @@ func main() {
 		mapper  = flag.String("mapper", "EMBEDDING", "term mapping method: EXACT, EDIT or EMBEDDING")
 		quiet   = flag.Bool("quiet", false, "suppress build progress output")
 		save    = flag.String("save", "", "after building, save the ingestion bundle to this file")
-		format  = flag.String("format", "binary", "bundle format for -save: binary (v2, compact) or json (v1, inspectable)")
-		load    = flag.String("load", "", "serve from a saved ingestion bundle instead of rebuilding the world")
-		dot     = flag.String("dot", "", "write a Graphviz DOT neighbourhood of -term to this file and exit")
-		dotHops = flag.Int("dot-radius", 2, "hop radius of the -dot neighbourhood")
+		format  = flag.String("format", "binary", "bundle format for -save: binary (compact) or json (inspectable)")
+
+		materialize = flag.Bool("materialize", false, "precompute top-k relaxations for the head of the term distribution (persisted with -save)")
+		matHead     = flag.Float64("materialize-head", 0.25, "fraction of flagged concepts (by corpus frequency) to materialize")
+		matHeadMax  = flag.Int("materialize-head-max", 0, "cap on materialized head concepts (0: library default, -1: unlimited)")
+		index       = flag.Bool("index", false, "build the posting-list candidate index (persisted with -save)")
+		indexRadius = flag.Int("index-radius", 0, "candidate index hop radius (0: the serving MaxRadius, full dynamic-growth coverage)")
+		load        = flag.String("load", "", "serve from a saved ingestion bundle instead of rebuilding the world")
+		dot         = flag.String("dot", "", "write a Graphviz DOT neighbourhood of -term to this file and exit")
+		dotHops     = flag.Int("dot-radius", 2, "hop radius of the -dot neighbourhood")
 	)
 	flag.Parse()
 
@@ -51,6 +57,19 @@ func main() {
 	cfg.Seed = *seed
 	cfg.MapperName = *mapper
 	cfg.EKS.ConditionsPerPair = *scale
+	if *materialize {
+		cfg.Ingest.Materialize.Enabled = true
+		cfg.Ingest.Materialize.HeadFraction = *matHead
+		cfg.Ingest.Materialize.HeadMax = *matHeadMax
+	}
+	if *index {
+		cfg.Ingest.CandidateIndex.Enabled = true
+		r := *indexRadius
+		if r == 0 {
+			r = cfg.Relax.MaxRadius
+		}
+		cfg.Ingest.CandidateIndex.Radius = r
+	}
 	if !*quiet {
 		fmt.Fprintln(os.Stderr, "building synthetic world and running ingestion ...")
 	}
@@ -67,6 +86,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "build timing: worldgen %s, embeddings %s, ingest %s (total %s)\n",
 			tm.WorldGen.Round(time.Millisecond), tm.Embeddings.Round(time.Millisecond),
 			tm.Ingest.Round(time.Millisecond), tm.Total.Round(time.Millisecond))
+		if m := sys.Ingestion.Materialized; m != nil {
+			fmt.Fprintf(os.Stderr, "materialized top-k: %d entries over %d head concepts\n", m.Entries(), m.Concepts())
+		}
+		if c := sys.Ingestion.Candidates; c != nil {
+			fmt.Fprintf(os.Stderr, "candidate index: %d concepts, %d postings (radius %d, %d hubs skipped)\n",
+				c.Concepts(), c.Postings(), c.Radius(), c.Skipped())
+		}
 	}
 	if *save != "" {
 		bundleFormat, err := persist.ParseFormat(*format)

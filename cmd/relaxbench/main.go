@@ -19,11 +19,14 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"medrelax"
+	"medrelax/internal/core"
 	"medrelax/internal/eks"
 	"medrelax/internal/eval"
 	"medrelax/internal/synthkb"
@@ -44,6 +47,7 @@ type Report struct {
 	GOOS         string        `json:"goos"`
 	GOARCH       string        `json:"goarch"`
 	CPUs         int           `json:"cpus"`
+	GOMAXPROCS   int           `json:"gomaxprocs"`
 	GoVersion    string        `json:"goVersion"`
 	Measurements []Measurement `json:"measurements"`
 	// ParallelSpeedup is serialized ns/op over lock-free parallel ns/op:
@@ -83,9 +87,34 @@ func growGraph(w *synthkb.World, target int) error {
 	return nil
 }
 
+// parseCPUList splits a -cpu flag value into GOMAXPROCS settings; empty
+// means "just the current value", matching `go test -cpu` semantics.
+func parseCPUList(csv string) []int {
+	if strings.TrimSpace(csv) == "" {
+		return []int{runtime.GOMAXPROCS(0)}
+	}
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			log.Fatalf("relaxbench: bad -cpu entry %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return []int{runtime.GOMAXPROCS(0)}
+	}
+	return out
+}
+
 func main() {
 	out := flag.String("out", "BENCH_relax.json", "output JSON path")
 	large := flag.Bool("large", true, "include the 10^5-concept kernel benchmark")
+	cpuCSV := flag.String("cpu", "", "comma-separated GOMAXPROCS values for the parallel benchmarks (empty: current value only)")
 	flag.Parse()
 
 	log.Printf("building system (seed %d)...", medrelax.DefaultConfig().Seed)
@@ -116,38 +145,97 @@ func main() {
 	})
 	rep.Measurements = append(rep.Measurements, row("relax_latency", serial))
 
-	log.Print("measuring serialized (global-mutex) parallel throughput...")
-	var mu sync.Mutex
-	serialized := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		b.RunParallel(func(pb *testing.PB) {
-			i := 0
-			for pb.Next() {
-				q := queries[i%len(queries)]
-				mu.Lock()
-				sys.Relaxer.RelaxConcept(q.Concept, q.Ctx, 10)
-				mu.Unlock()
-				i++
-			}
-		})
+	// The same workload through each offline acceleration in isolation:
+	// the materialized top-k store (full head, so every query hits) and
+	// the posting-list candidate index. Both are byte-identity-checked in
+	// tests; here they are only timed.
+	log.Print("building offline accelerations (materialized top-k + candidate index)...")
+	ing := sys.Ingestion
+	sim := core.NewSimilarity(ing.Graph, ing.Frequencies, ing.Ontology)
+	ropts := sys.Config.Relax
+	mat := core.MaterializeTopK(ing, sim, core.MaterializeOptions{
+		Enabled: true, Relax: ropts, HeadFraction: 1, HeadMax: 1 << 20, Contexts: ing.Contexts,
 	})
-	rep.Measurements = append(rep.Measurements, row("relax_parallel_serialized_baseline", serialized))
+	cidx := core.BuildCandidateIndex(ing, sim, core.CandidateIndexOptions{
+		Enabled: true, Radius: ropts.MaxRadius,
+	})
+	matRelaxer := core.NewRelaxer(ing, sim, sys.Mapper, ropts)
+	if !matRelaxer.SetMaterialized(mat) {
+		log.Fatal("relaxbench: materialized store refused by the relaxer")
+	}
+	idxRelaxer := core.NewRelaxer(ing, sim, sys.Mapper, ropts)
+	if !idxRelaxer.SetCandidateIndex(cidx) {
+		log.Fatal("relaxbench: candidate index refused by the relaxer")
+	}
 
-	log.Print("measuring lock-free parallel throughput...")
-	parallel := testing.Benchmark(func(b *testing.B) {
+	log.Print("measuring serial latency through the materialized store...")
+	serialMat := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
-		b.RunParallel(func(pb *testing.PB) {
-			i := 0
-			for pb.Next() {
-				q := queries[i%len(queries)]
-				sys.Relaxer.RelaxConcept(q.Concept, q.Ctx, 10)
-				i++
-			}
-		})
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			matRelaxer.RelaxConcept(q.Concept, q.Ctx, 10)
+		}
 	})
-	rep.Measurements = append(rep.Measurements, row("relax_parallel_lockfree", parallel))
-	if p := parallel.NsPerOp(); p > 0 {
-		rep.ParallelSpeedup = float64(serialized.NsPerOp()) / float64(p)
+	rep.Measurements = append(rep.Measurements, row("relax_latency_materialized", serialMat))
+
+	log.Print("measuring serial latency through the candidate index...")
+	serialIdx := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			idxRelaxer.RelaxConcept(q.Concept, q.Ctx, 10)
+		}
+	})
+	rep.Measurements = append(rep.Measurements, row("relax_latency_indexed", serialIdx))
+	if _, m, _ := matRelaxer.PathCounts(); m == 0 {
+		log.Print("relaxbench: WARNING: no query hit the materialized store")
+	}
+	if _, _, ix := idxRelaxer.PathCounts(); ix == 0 {
+		log.Print("relaxbench: WARNING: no query used the candidate index")
+	}
+
+	baseProcs := runtime.GOMAXPROCS(0)
+	rep.GOMAXPROCS = baseProcs
+	for _, procs := range parseCPUList(*cpuCSV) {
+		prev := runtime.GOMAXPROCS(procs)
+		suffix := ""
+		if procs != baseProcs {
+			suffix = fmt.Sprintf("_cpu%d", procs)
+		}
+		log.Printf("measuring serialized (global-mutex) parallel throughput (GOMAXPROCS=%d)...", procs)
+		var mu sync.Mutex
+		serialized := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					q := queries[i%len(queries)]
+					mu.Lock()
+					sys.Relaxer.RelaxConcept(q.Concept, q.Ctx, 10)
+					mu.Unlock()
+					i++
+				}
+			})
+		})
+		rep.Measurements = append(rep.Measurements, row("relax_parallel_serialized_baseline"+suffix, serialized))
+
+		log.Printf("measuring lock-free parallel throughput (GOMAXPROCS=%d)...", procs)
+		parallel := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					q := queries[i%len(queries)]
+					sys.Relaxer.RelaxConcept(q.Concept, q.Ctx, 10)
+					i++
+				}
+			})
+		})
+		rep.Measurements = append(rep.Measurements, row("relax_parallel_lockfree"+suffix, parallel))
+		if p := parallel.NsPerOp(); p > 0 && rep.ParallelSpeedup == 0 {
+			rep.ParallelSpeedup = float64(serialized.NsPerOp()) / float64(p)
+		}
+		runtime.GOMAXPROCS(prev)
 	}
 
 	sizes := []int{1_000, 10_000}

@@ -29,6 +29,12 @@ type IngestOptions struct {
 	// is identical for every value — workers only reorder independent
 	// computations whose merges are deterministic.
 	Parallelism int
+	// Materialize optionally precomputes top-k relaxation answers for the
+	// frequency head of the flagged concepts (see MaterializeTopK).
+	Materialize MaterializeOptions
+	// CandidateIndex optionally precomputes per-concept posting lists for
+	// the online phase (see BuildCandidateIndex).
+	CandidateIndex CandidateIndexOptions
 }
 
 // Ingestion is the output of the offline phase (Algorithm 1): the set of
@@ -59,6 +65,12 @@ type Ingestion struct {
 	Ontology *ontology.Ontology
 	// ShortcutsAdded counts the application-specific edges introduced.
 	ShortcutsAdded int
+	// Materialized is the optional offline top-k store (nil unless
+	// IngestOptions.Materialize.Enabled or restored from a bundle).
+	Materialized *Materialized
+	// Candidates is the optional posting-list candidate index (nil unless
+	// IngestOptions.CandidateIndex.Enabled or restored from a bundle).
+	Candidates *CandidateIndex
 }
 
 // Ingest runs the offline external knowledge source ingestion (Algorithm 1)
@@ -152,6 +164,31 @@ func Ingest(o *ontology.Ontology, store *kb.Store, g *eks.Graph, corp *corpus.Co
 	// The graph's structure is final: freeze the dense traversal index now
 	// so the first online query does not pay the build.
 	g.Freeze()
+
+	// Optional offline accelerations run against the frozen graph with the
+	// same similarity construction the engine serves with (default weights,
+	// path weight on, frequencies as the IC source), so stored scores are
+	// bit-identical to the live traversal's.
+	if opts.Materialize.Enabled || opts.CandidateIndex.Enabled {
+		sim := NewSimilarity(g, ft, o)
+		if opts.CandidateIndex.Enabled {
+			copts := opts.CandidateIndex
+			if copts.Workers == 0 {
+				copts.Workers = workers
+			}
+			ing.Candidates = BuildCandidateIndex(ing, sim, copts)
+		}
+		if opts.Materialize.Enabled {
+			mopts := opts.Materialize
+			if mopts.Workers == 0 {
+				mopts.Workers = workers
+			}
+			if len(mopts.Contexts) == 0 {
+				mopts.Contexts = ing.Contexts
+			}
+			ing.Materialized = MaterializeTopK(ing, sim, mopts)
+		}
+	}
 	return ing, nil
 }
 

@@ -1,0 +1,394 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"medrelax/internal/eks"
+	"medrelax/internal/ontology"
+)
+
+// Materialized holds offline-computed relaxation answers for the head of
+// the (query concept, context) distribution — the zipfian head the corpus
+// frequency tables identify. Each entry stores the scored candidate set at
+// the maximum reachable radius, sorted by the final ranking order, plus the
+// per-radius distinct-instance counts that drive dynamic radius growth; at
+// query time the stopping radius is derived from the counts exactly as the
+// live traversal derives it, the stored order is filtered to that radius
+// (the comparator ignores hops, so a filtered sorted list is the sorted
+// filtered list), and candidates are consumed until k distinct instances —
+// byte-identical output with no traversal, no scoring, and no sort.
+//
+// Entries are valid only under the RelaxOptions they were built with;
+// SetMaterialized refuses a store whose options differ from the relaxer's.
+type Materialized struct {
+	opts    RelaxOptions
+	entries map[matKey]*matEntry
+}
+
+type matKey struct {
+	concept eks.ConceptID
+	ctx     string
+}
+
+type matEntry struct {
+	// complete is true when the full candidate set fit under MaxPerQuery;
+	// an incomplete entry can only serve queries whose k is satisfied
+	// within the stored prefix.
+	complete bool
+	// counts[i] is the number of distinct KB instances reachable through
+	// candidates within radius opts.Radius+i, computed over the full
+	// (untruncated) candidate set — the exact quantity the live traversal's
+	// instanceCount derives per growth round.
+	counts []int32
+	// cands is the candidate set at the maximum radius, sorted by
+	// (score descending, concept ascending) — the final ranking order.
+	cands []matCand
+}
+
+type matCand struct {
+	id    eks.ConceptID
+	score float64
+	hops  int32
+}
+
+// MaterializeOptions tunes the offline top-k materialization.
+type MaterializeOptions struct {
+	// Enabled turns the build on inside Ingest.
+	Enabled bool
+	// Relax must mirror the serving relaxer's options — radius growth and
+	// self-inclusion are baked into the stored entries. Zero values default
+	// like engine serving does (radius 3, dynamic growth to 8).
+	Relax RelaxOptions
+	// HeadFraction selects the top fraction of flagged concepts by
+	// aggregate corpus frequency (ties by ID). Default 0.25.
+	HeadFraction float64
+	// HeadMax caps the head size regardless of fraction. Default 1024;
+	// negative means unlimited.
+	HeadMax int
+	// MaxPerQuery caps each entry's stored candidate list; a truncated
+	// entry still serves any k it can prove satisfied and falls back to
+	// the index/live path otherwise. Default 256; negative means unlimited.
+	MaxPerQuery int
+	// Contexts are the query contexts materialized besides the
+	// context-free (nil) entry every head concept gets.
+	Contexts []ontology.Context
+	// Workers is the build parallelism; 0 follows GOMAXPROCS. Deterministic
+	// for every value.
+	Workers int
+}
+
+func (o MaterializeOptions) withDefaults() MaterializeOptions {
+	o.Relax = o.Relax.withDefaults()
+	if o.HeadFraction <= 0 {
+		o.HeadFraction = 0.25
+	}
+	if o.HeadFraction > 1 {
+		o.HeadFraction = 1
+	}
+	if o.HeadMax == 0 {
+		o.HeadMax = 1024
+	}
+	if o.MaxPerQuery == 0 {
+		o.MaxPerQuery = 256
+	}
+	return o
+}
+
+// headConcepts ranks the flagged concepts by aggregate corpus frequency
+// (descending, ties by ascending ID) and takes the configured head.
+func headConcepts(ing *Ingestion, opts MaterializeOptions) []eks.ConceptID {
+	ids := make([]eks.ConceptID, 0, len(ing.Flagged))
+	for id := range ing.Flagged {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		var fi, fj float64
+		if ing.Frequencies != nil {
+			fi, fj = ing.Frequencies.RawAggregate(ids[i]), ing.Frequencies.RawAggregate(ids[j])
+		}
+		if fi != fj {
+			return fi > fj
+		}
+		return ids[i] < ids[j]
+	})
+	n := int(math.Ceil(opts.HeadFraction * float64(len(ids))))
+	if opts.HeadMax > 0 && n > opts.HeadMax {
+		n = opts.HeadMax
+	}
+	if n > len(ids) {
+		n = len(ids)
+	}
+	return ids[:n]
+}
+
+// MaterializeTopK builds the store over the frequency head of the flagged
+// concepts. It runs once, offline, after Ingest; sim must evaluate over the
+// same frozen graph and frequency table the online phase will use.
+func MaterializeTopK(ing *Ingestion, sim *Similarity, opts MaterializeOptions) *Materialized {
+	opts = opts.withDefaults()
+	ropts := opts.Relax
+	head := headConcepts(ing, opts)
+
+	ctxs := make([]*ontology.Context, 0, len(opts.Contexts)+1)
+	ctxs = append(ctxs, nil)
+	for i := range opts.Contexts {
+		ctxs = append(ctxs, &opts.Contexts[i])
+	}
+
+	m := &Materialized{opts: ropts, entries: make(map[matKey]*matEntry, len(head)*len(ctxs))}
+	built := make([]map[string]*matEntry, len(head))
+
+	workers := resolveParallelism(opts.Workers)
+	if workers > len(head) {
+		workers = len(head)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	relaxer := NewRelaxer(ing, sim, nil, ropts)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := &relaxScratch{}
+			for i := range next {
+				built[i] = materializeConcept(relaxer, head[i], ctxs, opts, sc)
+			}
+		}()
+	}
+	for i := range head {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, q := range head {
+		for ctx, e := range built[i] {
+			m.entries[matKey{concept: q, ctx: ctx}] = e
+		}
+	}
+	return m
+}
+
+// materializeConcept builds one head concept's entries for every context:
+// the full candidate set at the maximum radius, per-radius instance counts,
+// and the per-context scored rankings.
+func materializeConcept(r *Relaxer, q eks.ConceptID, ctxs []*ontology.Context, opts MaterializeOptions, sc *relaxScratch) map[string]*matEntry {
+	ropts := opts.Relax
+	maxR := ropts.MaxRadius
+	if !ropts.DynamicRadius {
+		maxR = ropts.Radius
+	}
+	cands := r.flaggedWithin(q, maxR, sc)
+
+	// Per-radius distinct-instance counts over the full candidate set.
+	// flaggedWithin returns hop-ascending order (self first under
+	// IncludeSelf), so one sweep with a single dedup set suffices.
+	counts := make([]int32, maxR-ropts.Radius+1)
+	instSeen := sc.resetSeen()
+	ci := 0
+	for radius := ropts.Radius; radius <= maxR; radius++ {
+		for ci < len(cands) && cands[ci].Hops <= radius {
+			for _, iid := range r.ing.InstancesFor[cands[ci].ID] {
+				instSeen[iid] = true
+			}
+			ci++
+		}
+		counts[radius-ropts.Radius] = int32(len(instSeen))
+	}
+
+	out := make(map[string]*matEntry, len(ctxs))
+	for _, ctx := range ctxs {
+		e := &matEntry{complete: true, counts: counts, cands: make([]matCand, 0, len(cands))}
+		for _, nb := range cands {
+			e.cands = append(e.cands, matCand{
+				id:    nb.ID,
+				score: r.sim.Sim(q, nb.ID, ctx),
+				hops:  int32(nb.Hops),
+			})
+		}
+		sort.Slice(e.cands, func(i, j int) bool {
+			if e.cands[i].score != e.cands[j].score {
+				return e.cands[i].score > e.cands[j].score
+			}
+			return e.cands[i].id < e.cands[j].id
+		})
+		if opts.MaxPerQuery > 0 && len(e.cands) > opts.MaxPerQuery {
+			e.cands = e.cands[:opts.MaxPerQuery]
+			e.complete = false
+		}
+		out[ctxKey(ctx)] = e
+	}
+	return out
+}
+
+// materializedServe answers from the store when it can prove the answer
+// identical to the live traversal; ok=false declines (no entry, or a
+// truncated entry that cannot satisfy this k) and the caller falls through.
+// The stopping radius is derived from the stored per-radius instance counts
+// exactly as the live traversal's growth loop derives it; the stored
+// max-radius ranking filtered to that radius is the radius ranking because
+// the comparator ignores hops.
+func (r *Relaxer) materializedServe(ctx context.Context, q eks.ConceptID, qctx *ontology.Context, k, target int, sc *relaxScratch) ([]Result, bool, error) {
+	e, found := r.mat.entries[matKey{concept: q, ctx: ctxKey(qctx)}]
+	if !found {
+		return nil, false, nil
+	}
+	radius := r.opts.Radius
+	if r.opts.DynamicRadius {
+		for radius < r.opts.MaxRadius && int(e.counts[radius-r.opts.Radius]) < target {
+			radius++
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, fmt.Errorf("core: relaxation aborted at radius %d: %w", radius, err)
+	}
+	if k <= 0 {
+		// Full ranked list requested: only a complete entry holds it.
+		if !e.complete {
+			return nil, false, nil
+		}
+		out := make([]Result, 0, len(e.cands))
+		for i := range e.cands {
+			c := &e.cands[i]
+			if int(c.hops) > radius {
+				continue
+			}
+			out = append(out, Result{Concept: c.id, Score: c.score, Hops: int(c.hops), Instances: r.ing.InstancesFor[c.id]})
+		}
+		return out, true, nil
+	}
+	seen := sc.resetSeen()
+	var out []Result
+	for i := range e.cands {
+		c := &e.cands[i]
+		if int(c.hops) > radius {
+			continue
+		}
+		if len(seen) >= k {
+			return out, true, nil
+		}
+		out = append(out, Result{Concept: c.id, Score: c.score, Hops: int(c.hops), Instances: r.ing.InstancesFor[c.id]})
+		for _, iid := range r.ing.InstancesFor[c.id] {
+			seen[iid] = true
+		}
+	}
+	if len(seen) < k && !e.complete {
+		// The stored prefix ran out before k was satisfied and truncation
+		// hides whether more candidates exist — only a traversal can answer.
+		return nil, false, nil
+	}
+	return out, true, nil
+}
+
+// Options reports the RelaxOptions the store was built under.
+func (m *Materialized) Options() RelaxOptions { return m.opts }
+
+// Entries reports the number of (concept, context) entries.
+func (m *Materialized) Entries() int { return len(m.entries) }
+
+// Concepts reports the number of distinct materialized query concepts.
+func (m *Materialized) Concepts() int {
+	seen := map[eks.ConceptID]bool{}
+	for k := range m.entries {
+		seen[k.concept] = true
+	}
+	return len(seen)
+}
+
+// MaterializedSnapshot is the serializable form of a Materialized store.
+type MaterializedSnapshot struct {
+	Relax   RelaxOptions                `json:"relax"`
+	Entries []MaterializedEntrySnapshot `json:"entries"`
+}
+
+// MaterializedEntrySnapshot is one (concept, context) entry.
+type MaterializedEntrySnapshot struct {
+	Concept  eks.ConceptID           `json:"concept"`
+	Ctx      string                  `json:"ctx,omitempty"`
+	Complete bool                    `json:"complete"`
+	Counts   []int32                 `json:"counts"`
+	Cands    []MaterializedCandidate `json:"cands"`
+}
+
+// MaterializedCandidate is one stored ranked candidate.
+type MaterializedCandidate struct {
+	Concept eks.ConceptID `json:"concept"`
+	Score   float64       `json:"score"`
+	Hops    int           `json:"hops"`
+}
+
+// Snapshot extracts the serializable form, entries sorted by (concept,
+// context) so bundle bytes are deterministic.
+func (m *Materialized) Snapshot() *MaterializedSnapshot {
+	keys := make([]matKey, 0, len(m.entries))
+	for k := range m.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].concept != keys[j].concept {
+			return keys[i].concept < keys[j].concept
+		}
+		return keys[i].ctx < keys[j].ctx
+	})
+	snap := &MaterializedSnapshot{Relax: m.opts, Entries: make([]MaterializedEntrySnapshot, 0, len(keys))}
+	for _, k := range keys {
+		e := m.entries[k]
+		es := MaterializedEntrySnapshot{
+			Concept:  k.concept,
+			Ctx:      k.ctx,
+			Complete: e.complete,
+			Counts:   append([]int32(nil), e.counts...),
+			Cands:    make([]MaterializedCandidate, 0, len(e.cands)),
+		}
+		for _, c := range e.cands {
+			es.Cands = append(es.Cands, MaterializedCandidate{Concept: c.id, Score: c.score, Hops: int(c.hops)})
+		}
+		snap.Entries = append(snap.Entries, es)
+	}
+	return snap
+}
+
+// RestoreMaterialized rebuilds a store from its snapshot, validating the
+// invariants serving relies on: counts span the dynamic radius range,
+// candidates are in final ranking order within the max radius.
+func RestoreMaterialized(snap *MaterializedSnapshot) (*Materialized, error) {
+	opts := snap.Relax.withDefaults()
+	if snap.Relax != opts {
+		return nil, fmt.Errorf("core: materialized store has non-normalized relax options %+v", snap.Relax)
+	}
+	wantCounts := opts.MaxRadius - opts.Radius + 1
+	if !opts.DynamicRadius {
+		wantCounts = 1
+	}
+	m := &Materialized{opts: opts, entries: make(map[matKey]*matEntry, len(snap.Entries))}
+	for _, es := range snap.Entries {
+		k := matKey{concept: es.Concept, ctx: es.Ctx}
+		if _, dup := m.entries[k]; dup {
+			return nil, fmt.Errorf("core: materialized entry (%d, %q) appears twice", es.Concept, es.Ctx)
+		}
+		if len(es.Counts) != wantCounts {
+			return nil, fmt.Errorf("core: materialized entry (%d, %q) has %d radius counts, want %d", es.Concept, es.Ctx, len(es.Counts), wantCounts)
+		}
+		e := &matEntry{complete: es.Complete, counts: append([]int32(nil), es.Counts...), cands: make([]matCand, 0, len(es.Cands))}
+		for i, c := range es.Cands {
+			if c.Hops < 0 || c.Hops > opts.MaxRadius {
+				return nil, fmt.Errorf("core: materialized candidate %d of (%d, %q) at %d hops exceeds max radius %d", c.Concept, es.Concept, es.Ctx, c.Hops, opts.MaxRadius)
+			}
+			if i > 0 {
+				prev := es.Cands[i-1]
+				if c.Score > prev.Score || (c.Score == prev.Score && c.Concept <= prev.Concept) {
+					return nil, fmt.Errorf("core: materialized entry (%d, %q) not in ranking order at %d", es.Concept, es.Ctx, i)
+				}
+			}
+			e.cands = append(e.cands, matCand{id: c.Concept, score: c.Score, hops: int32(c.Hops)})
+		}
+		m.entries[k] = e
+	}
+	return m, nil
+}

@@ -1,0 +1,424 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"medrelax/internal/eks"
+	"medrelax/internal/ontology"
+)
+
+// CandidateIndex is the posting-list side of the offline acceleration pair
+// (the other being Materialized): for every eligible query concept it keeps
+// the flagged candidates within a fixed hop radius together with the
+// canonical-meet geometry Equation 5 needs — the generalization and
+// specialization hop counts and the tied least-common-subsumer set. The
+// online phase then scores a bounded, pre-gathered posting list instead of
+// traversing flaggedWithin neighborhoods and re-deriving each candidate's
+// subsumer meet per query. Scores come out bit-identical to the live
+// traversal because the stored geometry feeds the exact same arithmetic
+// (canonicalPathWeight × simICFromLCS, LCS set iterated in the same
+// ascending order) and the final ranking comparator is a total order, so
+// gathering order cannot leak into the output.
+//
+// Postings are stored in flat shared pools (one postings array, one LCS id
+// array) with per-concept spans, sorted by (hops ascending, build-time
+// partial similarity descending, id ascending); the hop-major order lets a
+// radius-r candidate set be cut out of the list with one binary search, so
+// dynamic-radius growth never re-gathers.
+type CandidateIndex struct {
+	radius int
+	lists  map[eks.ConceptID]postingSpan
+	posts  []idxPosting
+	lcs    []eks.ConceptID
+	// skipped counts concepts left out because their neighborhood exceeded
+	// MaxPostings; queries anchored there fall back to the live traversal.
+	skipped int
+}
+
+// postingSpan is one concept's slice of the shared posting pool.
+type postingSpan struct{ lo, hi int32 }
+
+// idxPosting is one precomputed candidate: identity, minimal hop distance,
+// and the canonical-meet geometry (gen/spec hop counts plus a span into the
+// shared LCS pool; an empty span means no common subsumer, score 0).
+type idxPosting struct {
+	id           eks.ConceptID
+	hops         int32
+	gen, spec    int32
+	lcsLo, lcsHi int32
+}
+
+// CandidateIndexOptions tunes the offline build.
+type CandidateIndexOptions struct {
+	// Enabled turns the build on inside Ingest.
+	Enabled bool
+	// Radius is the hop radius postings are gathered in. It must cover the
+	// serving radius for the index to be used at all, and each extra hop of
+	// headroom lets one more dynamic-radius growth step stay on the index
+	// before falling back to live traversal. Default 4.
+	Radius int
+	// MaxPostings skips concepts whose in-radius flagged neighborhood
+	// exceeds this bound (they fall back to the live traversal), keeping
+	// hub concepts from dominating build time and bundle size. Default
+	// 4096; negative means unlimited.
+	MaxPostings int
+	// Workers is the build parallelism; 0 follows GOMAXPROCS. The index is
+	// deterministic for every value: workers own disjoint concepts and the
+	// pools are assembled in ascending concept order after the barrier.
+	Workers int
+}
+
+func (o CandidateIndexOptions) withDefaults() CandidateIndexOptions {
+	if o.Radius <= 0 {
+		o.Radius = 4
+	}
+	if o.MaxPostings == 0 {
+		o.MaxPostings = 4096
+	}
+	return o
+}
+
+// builtList is one worker's output for a concept before pool assembly.
+type builtList struct {
+	indexed bool
+	posts   []idxPosting
+	lcs     []eks.ConceptID
+}
+
+// BuildCandidateIndex gathers and precomputes posting lists for every
+// concept of the ingestion's graph. It runs once, offline, after the graph
+// is frozen; sim must evaluate over the same frozen graph and frequency
+// table the online phase will use.
+func BuildCandidateIndex(ing *Ingestion, sim *Similarity, opts CandidateIndexOptions) *CandidateIndex {
+	opts = opts.withDefaults()
+	ids := ing.Graph.ConceptIDs()
+	built := make([]builtList, len(ids))
+
+	workers := resolveParallelism(opts.Workers)
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := &meetScratch{}
+			for i := range next {
+				built[i] = buildPostings(ing, sim, ids[i], opts, scratch)
+			}
+		}()
+	}
+	for i := range ids {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	idx := &CandidateIndex{radius: opts.Radius, lists: make(map[eks.ConceptID]postingSpan, len(ids))}
+	for i, q := range ids {
+		b := &built[i]
+		if !b.indexed {
+			idx.skipped++
+			continue
+		}
+		lo := int32(len(idx.posts))
+		lcsBase := int32(len(idx.lcs))
+		for _, p := range b.posts {
+			p.lcsLo += lcsBase
+			p.lcsHi += lcsBase
+			idx.posts = append(idx.posts, p)
+		}
+		idx.lcs = append(idx.lcs, b.lcs...)
+		idx.lists[q] = postingSpan{lo: lo, hi: int32(len(idx.posts))}
+	}
+	return idx
+}
+
+// buildPostings computes one concept's posting list: flagged neighbors
+// within the index radius, each with its canonical-meet geometry, ordered
+// by (hops, partial similarity under the build weights, id).
+func buildPostings(ing *Ingestion, sim *Similarity, q eks.ConceptID, opts CandidateIndexOptions, scratch *meetScratch) builtList {
+	nbs := ing.Graph.NeighborsWithinHops(q, opts.Radius)
+	flagged := nbs[:0]
+	for _, nb := range nbs {
+		if ing.Flagged[nb.ID] {
+			flagged = append(flagged, nb)
+		}
+	}
+	if opts.MaxPostings > 0 && len(flagged) > opts.MaxPostings {
+		return builtList{}
+	}
+	out := builtList{indexed: true, posts: make([]idxPosting, 0, len(flagged))}
+	partials := make([]float64, 0, len(flagged))
+	for _, nb := range flagged {
+		p := idxPosting{id: nb.ID, hops: int32(nb.Hops)}
+		partial := 0.0
+		if lcs, gen, spec, ok := sim.canonicalMeet(q, nb.ID, scratch); ok {
+			p.gen, p.spec = int32(gen), int32(spec)
+			p.lcsLo = int32(len(out.lcs))
+			out.lcs = append(out.lcs, lcs...)
+			p.lcsHi = int32(len(out.lcs))
+			partial = canonicalPathWeight(sim.Weights, gen, spec)
+		}
+		out.posts = append(out.posts, p)
+		partials = append(partials, partial)
+	}
+	order := make([]int, len(out.posts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := &out.posts[order[a]], &out.posts[order[b]]
+		if pa.hops != pb.hops {
+			return pa.hops < pb.hops
+		}
+		if partials[order[a]] != partials[order[b]] {
+			return partials[order[a]] > partials[order[b]]
+		}
+		return pa.id < pb.id
+	})
+	sorted := make([]idxPosting, len(out.posts))
+	for i, j := range order {
+		sorted[i] = out.posts[j]
+	}
+	out.posts = sorted
+	return out
+}
+
+// lookup returns q's posting list; ok is false when q was not indexed
+// (skipped hub or unknown concept) and the caller must traverse live.
+func (x *CandidateIndex) lookup(q eks.ConceptID) ([]idxPosting, bool) {
+	s, ok := x.lists[q]
+	if !ok {
+		return nil, false
+	}
+	return x.posts[s.lo:s.hi], true
+}
+
+// hopCut returns the end of the prefix of posts with hops <= radius; posts
+// are hop-major sorted so the radius-r candidate set is posts[:cut].
+func hopCut(posts []idxPosting, radius int) int {
+	return sort.Search(len(posts), func(i int) bool { return int(posts[i].hops) > radius })
+}
+
+// indexedCandidates is rankedCandidatesTarget over the posting list:
+// identical candidate set, identical scores, identical ordering. ok=false
+// declines (unindexed concept, or dynamic growth outrunning the index
+// radius) and the caller runs the live traversal.
+func (r *Relaxer) indexedCandidates(ctx context.Context, q eks.ConceptID, qctx *ontology.Context, target int, sc *relaxScratch) ([]Result, bool, error) {
+	idx := r.cidx
+	if r.opts.Radius > idx.radius {
+		return nil, false, nil
+	}
+	posts, found := idx.lookup(q)
+	if !found {
+		return nil, false, nil
+	}
+	radius := r.opts.Radius
+	var cut int
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, fmt.Errorf("core: relaxation aborted at radius %d: %w", radius, err)
+		}
+		cut = hopCut(posts, radius)
+		if !r.opts.DynamicRadius || radius >= r.opts.MaxRadius || r.postingInstanceCount(posts[:cut], q, sc) >= target {
+			break
+		}
+		if radius+1 > idx.radius {
+			// The next growth round would look past the indexed horizon;
+			// only the live traversal can see further.
+			return nil, false, nil
+		}
+		radius++
+	}
+	includeSelf := r.opts.IncludeSelf && r.ing.Flagged[q]
+	total := cut
+	if includeSelf {
+		total++
+	}
+	out := make([]Result, 0, total)
+	if includeSelf {
+		out = append(out, Result{Concept: q, Score: 1, Hops: 0, Instances: r.ing.InstancesFor[q]})
+	}
+	for i := 0; i < cut; i++ {
+		if i%scoreCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, false, fmt.Errorf("core: relaxation aborted scoring candidate %d/%d: %w", i, cut, err)
+			}
+		}
+		p := &posts[i]
+		score := 0.0
+		if p.lcsHi > p.lcsLo {
+			ic := r.sim.simICFromLCS(q, p.id, idx.lcs[p.lcsLo:p.lcsHi], qctx)
+			if r.sim.UsePathWeight {
+				score = r.pw[p.gen][p.spec] * ic
+			} else {
+				score = ic
+			}
+		}
+		out = append(out, Result{Concept: p.id, Score: score, Hops: int(p.hops), Instances: r.ing.InstancesFor[p.id]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Concept < out[j].Concept
+	})
+	return out, true, nil
+}
+
+// postingInstanceCount mirrors instanceCount over a posting prefix,
+// including the self instances flaggedWithin would have contributed.
+func (r *Relaxer) postingInstanceCount(posts []idxPosting, q eks.ConceptID, sc *relaxScratch) int {
+	seen := sc.resetSeen()
+	if r.opts.IncludeSelf && r.ing.Flagged[q] {
+		for _, iid := range r.ing.InstancesFor[q] {
+			seen[iid] = true
+		}
+	}
+	for i := range posts {
+		for _, iid := range r.ing.InstancesFor[posts[i].id] {
+			seen[iid] = true
+		}
+	}
+	return len(seen)
+}
+
+// Radius reports the hop radius the index was built with.
+func (x *CandidateIndex) Radius() int { return x.radius }
+
+// Concepts reports how many concepts have a posting list.
+func (x *CandidateIndex) Concepts() int { return len(x.lists) }
+
+// Postings reports the total posting count across all lists.
+func (x *CandidateIndex) Postings() int { return len(x.posts) }
+
+// Skipped reports how many concepts were left unindexed by MaxPostings.
+func (x *CandidateIndex) Skipped() int { return x.skipped }
+
+// maxGeometry scans the pool for the largest gen/spec hop counts, sizing
+// the path-weight table SetCandidateIndex precomputes.
+func (x *CandidateIndex) maxGeometry() (maxGen, maxSpec int) {
+	for i := range x.posts {
+		if g := int(x.posts[i].gen); g > maxGen {
+			maxGen = g
+		}
+		if s := int(x.posts[i].spec); s > maxSpec {
+			maxSpec = s
+		}
+	}
+	return maxGen, maxSpec
+}
+
+// pathWeightTable precomputes canonicalPathWeight for every (gen, spec)
+// pair occurring in the index. Entries are computed by the same function
+// the live path multiplies through, so table lookups are bit-identical.
+func (x *CandidateIndex) pathWeightTable(w PathWeights) [][]float64 {
+	maxGen, maxSpec := x.maxGeometry()
+	table := make([][]float64, maxGen+1)
+	for g := range table {
+		row := make([]float64, maxSpec+1)
+		for s := range row {
+			row[s] = canonicalPathWeight(w, g, s)
+		}
+		table[g] = row
+	}
+	return table
+}
+
+// CandidateIndexSnapshot is the serializable form of a CandidateIndex.
+type CandidateIndexSnapshot struct {
+	Radius int                     `json:"radius"`
+	Lists  []CandidateListSnapshot `json:"lists"`
+}
+
+// CandidateListSnapshot is one concept's posting list.
+type CandidateListSnapshot struct {
+	Concept  eks.ConceptID     `json:"concept"`
+	Postings []PostingSnapshot `json:"postings"`
+}
+
+// PostingSnapshot is one serialized posting.
+type PostingSnapshot struct {
+	Concept eks.ConceptID   `json:"concept"`
+	Hops    int             `json:"hops"`
+	Gen     int             `json:"gen"`
+	Spec    int             `json:"spec"`
+	LCS     []eks.ConceptID `json:"lcs,omitempty"`
+}
+
+// Snapshot extracts the serializable form, lists in ascending concept
+// order so bundle bytes are deterministic.
+func (x *CandidateIndex) Snapshot() *CandidateIndexSnapshot {
+	snap := &CandidateIndexSnapshot{Radius: x.radius, Lists: make([]CandidateListSnapshot, 0, len(x.lists))}
+	ids := make([]eks.ConceptID, 0, len(x.lists))
+	for id := range x.lists {
+		ids = append(ids, id)
+	}
+	sortConceptIDs(ids)
+	for _, id := range ids {
+		posts, _ := x.lookup(id)
+		ls := CandidateListSnapshot{Concept: id, Postings: make([]PostingSnapshot, 0, len(posts))}
+		for i := range posts {
+			p := &posts[i]
+			ps := PostingSnapshot{Concept: p.id, Hops: int(p.hops), Gen: int(p.gen), Spec: int(p.spec)}
+			if p.lcsHi > p.lcsLo {
+				ps.LCS = append(ps.LCS, x.lcs[p.lcsLo:p.lcsHi]...)
+			}
+			ls.Postings = append(ls.Postings, ps)
+		}
+		snap.Lists = append(snap.Lists, ls)
+	}
+	return snap
+}
+
+// RestoreCandidateIndex rebuilds an index from its snapshot, validating
+// the structural invariants the online phase relies on (hop-major posting
+// order within the radius, ascending LCS sets, non-negative geometry).
+func RestoreCandidateIndex(snap *CandidateIndexSnapshot) (*CandidateIndex, error) {
+	if snap.Radius < 1 {
+		return nil, fmt.Errorf("core: candidate index radius %d < 1", snap.Radius)
+	}
+	x := &CandidateIndex{radius: snap.Radius, lists: make(map[eks.ConceptID]postingSpan, len(snap.Lists))}
+	for _, ls := range snap.Lists {
+		if _, dup := x.lists[ls.Concept]; dup {
+			return nil, fmt.Errorf("core: candidate index lists concept %d twice", ls.Concept)
+		}
+		lo := int32(len(x.posts))
+		prevHops := 0
+		for _, ps := range ls.Postings {
+			if ps.Hops < 1 || ps.Hops > snap.Radius {
+				return nil, fmt.Errorf("core: posting %d->%d hops %d outside [1,%d]", ls.Concept, ps.Concept, ps.Hops, snap.Radius)
+			}
+			if ps.Hops < prevHops {
+				return nil, fmt.Errorf("core: concept %d posting list not hop-sorted", ls.Concept)
+			}
+			prevHops = ps.Hops
+			if ps.Gen < 0 || ps.Spec < 0 {
+				return nil, fmt.Errorf("core: posting %d->%d has negative meet geometry", ls.Concept, ps.Concept)
+			}
+			p := idxPosting{id: ps.Concept, hops: int32(ps.Hops), gen: int32(ps.Gen), spec: int32(ps.Spec)}
+			if len(ps.LCS) > 0 {
+				for i := 1; i < len(ps.LCS); i++ {
+					if ps.LCS[i] <= ps.LCS[i-1] {
+						return nil, fmt.Errorf("core: posting %d->%d LCS set not strictly ascending", ls.Concept, ps.Concept)
+					}
+				}
+				p.lcsLo = int32(len(x.lcs))
+				x.lcs = append(x.lcs, ps.LCS...)
+				p.lcsHi = int32(len(x.lcs))
+			}
+			x.posts = append(x.posts, p)
+		}
+		x.lists[ls.Concept] = postingSpan{lo: lo, hi: int32(len(x.posts))}
+	}
+	return x, nil
+}

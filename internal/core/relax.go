@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"medrelax/internal/eks"
 	"medrelax/internal/kb"
@@ -64,6 +65,33 @@ func (o RelaxOptions) withDefaults() RelaxOptions {
 	return o
 }
 
+// ServePath identifies which compute path produced a relaxation answer.
+// All paths are byte-identical in output; the distinction is purely
+// observability (metrics, stats) and latency.
+type ServePath uint8
+
+const (
+	// PathLive is the full Algorithm 2 traversal: gather flaggedWithin,
+	// derive each candidate's canonical meet, score, rank.
+	PathLive ServePath = iota
+	// PathMaterialized served a precomputed offline top-k entry.
+	PathMaterialized
+	// PathIndexed scored a precomputed posting list instead of traversing.
+	PathIndexed
+)
+
+// String names the path for metrics labels and stats maps.
+func (p ServePath) String() string {
+	switch p {
+	case PathMaterialized:
+		return "materialized"
+	case PathIndexed:
+		return "indexed"
+	default:
+		return "live"
+	}
+}
+
 // Relaxer executes the online query relaxation (Algorithm 2) over an
 // ingestion.
 type Relaxer struct {
@@ -71,6 +99,47 @@ type Relaxer struct {
 	sim    *Similarity
 	mapper match.Mapper
 	opts   RelaxOptions
+
+	// Optional offline accelerations (SetMaterialized, SetCandidateIndex);
+	// nil keeps the pure live traversal.
+	mat  *Materialized
+	cidx *CandidateIndex
+	// pw caches canonicalPathWeight for every (gen, spec) pair occurring
+	// in cidx, so the indexed path skips the per-candidate hop product.
+	pw [][]float64
+
+	pathLive, pathMaterialized, pathIndexed atomic.Uint64
+}
+
+// SetMaterialized attaches an offline top-k store. It refuses (returning
+// false) a store built under different RelaxOptions, whose entries would
+// not reproduce this relaxer's answers.
+func (r *Relaxer) SetMaterialized(m *Materialized) bool {
+	if m == nil || m.opts != r.opts {
+		return false
+	}
+	r.mat = m
+	return true
+}
+
+// SetCandidateIndex attaches a posting-list candidate index. It refuses
+// (returning false) an index whose radius cannot cover the base search
+// radius.
+func (r *Relaxer) SetCandidateIndex(idx *CandidateIndex) bool {
+	if idx == nil || idx.radius < r.opts.Radius {
+		return false
+	}
+	r.cidx = idx
+	if r.sim.UsePathWeight {
+		r.pw = idx.pathWeightTable(r.sim.Weights)
+	}
+	return true
+}
+
+// PathCounts reports how many queries each compute path has answered since
+// the relaxer was built.
+func (r *Relaxer) PathCounts() (live, materialized, indexed uint64) {
+	return r.pathLive.Load(), r.pathMaterialized.Load(), r.pathIndexed.Load()
 }
 
 // NewRelaxer builds the online phase. sim decides which variant runs (full
@@ -93,11 +162,24 @@ func (r *Relaxer) RelaxTerm(term string, ctx *ontology.Context, k int) ([]Result
 // on an answer nobody will receive. The returned error wraps
 // context.DeadlineExceeded / context.Canceled when the context fired.
 func (r *Relaxer) RelaxTermContext(ctx context.Context, term string, qctx *ontology.Context, k int) ([]Result, error) {
+	out, _, err := r.RelaxTermContextTraced(ctx, term, qctx, k)
+	return out, err
+}
+
+// RelaxTermContextTraced is RelaxTermContext plus the compute path that
+// answered, for serving-layer metrics.
+func (r *Relaxer) RelaxTermContextTraced(ctx context.Context, term string, qctx *ontology.Context, k int) ([]Result, ServePath, error) {
 	q, ok := r.mapper.Map(term)
 	if !ok {
-		return nil, fmt.Errorf("core: query term %q: %w", term, ErrUnknownTerm)
+		return nil, PathLive, fmt.Errorf("core: query term %q: %w", term, ErrUnknownTerm)
 	}
-	return r.RelaxConceptContext(ctx, q, qctx, k)
+	return r.relaxConceptPath(ctx, q, qctx, k, &relaxScratch{})
+}
+
+// Options returns the relaxer's effective (defaulted) options — the
+// fingerprint a Materialized store must match to be attachable.
+func (r *Relaxer) Options() RelaxOptions {
+	return r.opts
 }
 
 // RelaxConcept runs Algorithm 2 from an already-mapped query concept:
@@ -141,18 +223,58 @@ func (s *relaxScratch) resetSeen() map[kb.InstanceID]bool {
 
 // relaxConceptScratch is the scratch-threaded core of RelaxConceptContext.
 func (r *Relaxer) relaxConceptScratch(ctx context.Context, q eks.ConceptID, qctx *ontology.Context, k int, sc *relaxScratch) ([]Result, error) {
+	out, _, err := r.relaxConceptPath(ctx, q, qctx, k, sc)
+	return out, err
+}
+
+// relaxConceptPath dispatches materialized -> indexed -> live and reports
+// which path answered. All three paths produce byte-identical results; a
+// path that cannot prove identity for this query declines and the next one
+// runs.
+func (r *Relaxer) relaxConceptPath(ctx context.Context, q eks.ConceptID, qctx *ontology.Context, k int, sc *relaxScratch) ([]Result, ServePath, error) {
 	target := k
 	if target <= 0 {
 		target = defaultCandidateTarget
 	}
-	ranked, err := r.rankedCandidatesTarget(ctx, q, qctx, target, sc)
+	if r.mat != nil {
+		out, ok, err := r.materializedServe(ctx, q, qctx, k, target, sc)
+		if err != nil {
+			return nil, PathMaterialized, err
+		}
+		if ok {
+			r.pathMaterialized.Add(1)
+			return out, PathMaterialized, nil
+		}
+	}
+	ranked, path, err := r.rankedCandidatesPath(ctx, q, qctx, target, sc)
 	if err != nil {
-		return nil, err
+		return nil, path, err
+	}
+	if path == PathIndexed {
+		r.pathIndexed.Add(1)
+	} else {
+		r.pathLive.Add(1)
 	}
 	if k <= 0 {
-		return ranked, nil
+		return ranked, path, nil
 	}
-	return takeForKInstances(ranked, k, sc), nil
+	return takeForKInstances(ranked, k, sc), path, nil
+}
+
+// rankedCandidatesPath tries the posting-list index before falling back to
+// the live traversal.
+func (r *Relaxer) rankedCandidatesPath(ctx context.Context, q eks.ConceptID, qctx *ontology.Context, target int, sc *relaxScratch) ([]Result, ServePath, error) {
+	if r.cidx != nil {
+		out, ok, err := r.indexedCandidates(ctx, q, qctx, target, sc)
+		if err != nil {
+			return nil, PathIndexed, err
+		}
+		if ok {
+			return out, PathIndexed, nil
+		}
+	}
+	out, err := r.rankedCandidatesTarget(ctx, q, qctx, target, sc)
+	return out, PathLive, err
 }
 
 // takeForKInstances keeps consuming ranked candidates until at least k
@@ -200,7 +322,16 @@ type BatchQuery struct {
 // and inside each item's traversal; once ctx fires, every remaining item
 // reports the context error.
 func (r *Relaxer) RelaxBatchContext(ctx context.Context, queries []BatchQuery) (results [][]Result, errs []error) {
+	results, _, errs = r.RelaxBatchContextTraced(ctx, queries)
+	return results, errs
+}
+
+// RelaxBatchContextTraced is RelaxBatchContext plus the compute path that
+// answered each item, for serving-layer metrics. paths[i] is meaningful
+// only when errs[i] is nil.
+func (r *Relaxer) RelaxBatchContextTraced(ctx context.Context, queries []BatchQuery) (results [][]Result, paths []ServePath, errs []error) {
 	results = make([][]Result, len(queries))
+	paths = make([]ServePath, len(queries))
 	errs = make([]error, len(queries))
 	sc := &relaxScratch{}
 	for i, q := range queries {
@@ -208,7 +339,7 @@ func (r *Relaxer) RelaxBatchContext(ctx context.Context, queries []BatchQuery) (
 			for j := i; j < len(queries); j++ {
 				errs[j] = fmt.Errorf("core: batch aborted at item %d/%d: %w", j, len(queries), err)
 			}
-			return results, errs
+			return results, paths, errs
 		}
 		concept := q.Concept
 		if !q.UseConcept {
@@ -219,16 +350,16 @@ func (r *Relaxer) RelaxBatchContext(ctx context.Context, queries []BatchQuery) (
 			}
 			concept = mapped
 		}
-		results[i], errs[i] = r.relaxConceptScratch(ctx, concept, q.Ctx, q.K, sc)
+		results[i], paths[i], errs[i] = r.relaxConceptPath(ctx, concept, q.Ctx, q.K, sc)
 	}
-	return results, errs
+	return results, paths, errs
 }
 
 // RankedCandidates returns every flagged concept within the (possibly
 // dynamically grown) radius of q, ranked by similarity to q, best first.
 // Ties break by concept ID for determinism.
 func (r *Relaxer) RankedCandidates(q eks.ConceptID, ctx *ontology.Context) []Result {
-	out, _ := r.rankedCandidatesTarget(context.Background(), q, ctx, defaultCandidateTarget, &relaxScratch{})
+	out, _, _ := r.rankedCandidatesPath(context.Background(), q, ctx, defaultCandidateTarget, &relaxScratch{})
 	return out
 }
 

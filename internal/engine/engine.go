@@ -42,9 +42,11 @@ type BatchItem struct {
 }
 
 // BatchOutcome is one item's answer: Results on success, Err otherwise.
-// Outcomes are positional — outcome i always answers item i.
+// Outcomes are positional — outcome i always answers item i. Path reports
+// which compute path answered (meaningful only when Err is nil).
 type BatchOutcome struct {
 	Results []RelaxResult
+	Path    core.ServePath
 	Err     error
 }
 
@@ -79,6 +81,10 @@ type Snapshot struct {
 	// terms is the precomputed term index: flagged-concept names in
 	// deterministic (ID) order, the realistic query mix GET /terms serves.
 	terms []string
+	// matActive / idxActive record whether the ingestion's offline
+	// accelerations were attached to the relaxer (they are refused when
+	// their build options cannot reproduce the serving configuration).
+	matActive, idxActive bool
 }
 
 // New assembles a Snapshot over an ingestion: freezes the dense graph
@@ -87,7 +93,17 @@ type Snapshot struct {
 // owns it.
 func New(ing *core.Ingestion, cfg Config) *Snapshot {
 	if cfg.Relax.Radius == 0 {
-		cfg.Relax = core.RelaxOptions{Radius: 3, DynamicRadius: true}
+		// A bundle that carries a materialized store records the exact
+		// serving shape it was built for; adopting it keeps a CLI-built
+		// accelerated bundle servable after a plain -load, instead of the
+		// store being refused over a defaults mismatch. An explicit
+		// cfg.Relax always wins — the store is then attached only if it
+		// matches, as below.
+		if ing.Materialized != nil {
+			cfg.Relax = ing.Materialized.Options()
+		} else {
+			cfg.Relax = core.RelaxOptions{Radius: 3, DynamicRadius: true}
+		}
 	}
 	if cfg.Mapper == nil {
 		cfg.Mapper = match.NewCombined(
@@ -95,12 +111,30 @@ func New(ing *core.Ingestion, cfg Config) *Snapshot {
 	}
 	ing.Graph.Freeze()
 	sim := core.NewSimilarity(ing.Graph, ing.Frequencies, ing.Ontology)
-	return &Snapshot{
+	s := &Snapshot{
 		ing:     ing,
 		relaxer: core.NewRelaxer(ing, sim, cfg.Mapper, cfg.Relax),
 		cfg:     cfg,
 		terms:   flaggedTerms(ing),
 	}
+	// Attach the ingestion's offline accelerations when their build options
+	// match the serving configuration; a mismatched store is left unused
+	// (the relaxer refuses it) and every query takes the live path.
+	if ing.Materialized != nil {
+		s.matActive = s.relaxer.SetMaterialized(ing.Materialized)
+		if !s.matActive {
+			log.Printf("engine: materialized store built under %+v does not match serving options %+v; ignoring",
+				ing.Materialized.Options(), s.relaxer.Options())
+		}
+	}
+	if ing.Candidates != nil {
+		s.idxActive = s.relaxer.SetCandidateIndex(ing.Candidates)
+		if !s.idxActive {
+			log.Printf("engine: candidate index radius %d does not cover serving radius %d; ignoring",
+				ing.Candidates.Radius(), s.relaxer.Options().Radius)
+		}
+	}
+	return s
 }
 
 // flaggedTerms resolves the flagged concepts to names in ID order — the
@@ -156,6 +190,13 @@ func LoadSnapshot(path string) (*Snapshot, error) {
 // directly (golden pinning, benchmarks, the evaluation suite).
 func (s *Snapshot) Relaxer() *core.Relaxer { return s.relaxer }
 
+// AccelActive reports whether the ingestion's offline accelerations were
+// attached to the serving relaxer (false also when the bundle simply does
+// not carry them).
+func (s *Snapshot) AccelActive() (materialized, indexed bool) {
+	return s.matActive, s.idxActive
+}
+
 // NewRelaxer derives an alternative online phase over the same frozen
 // ingestion — different mapper or options (e.g. dialogue repair wants
 // IncludeSelf and the combined mapper) — keeping relaxer assembly inside
@@ -209,6 +250,21 @@ func (s *Snapshot) Relax(ctx context.Context, term, qctx string, k int) ([]Relax
 	return s.resolve(results), nil
 }
 
+// RelaxTraced is Relax plus the compute path that answered — the HTTP
+// server's TracedBackend contract, feeding the materialized/index/live
+// serving metrics.
+func (s *Snapshot) RelaxTraced(ctx context.Context, term, qctx string, k int) ([]RelaxResult, core.ServePath, error) {
+	ctxPtr, err := parseContext(qctx)
+	if err != nil {
+		return nil, core.PathLive, err
+	}
+	results, path, err := s.relaxer.RelaxTermContextTraced(ctx, term, ctxPtr, k)
+	if err != nil {
+		return nil, path, err
+	}
+	return s.resolve(results), path, nil
+}
+
 // resolve maps core results to surface names.
 func (s *Snapshot) resolve(results []core.Result) []RelaxResult {
 	out := make([]RelaxResult, 0, len(results))
@@ -247,7 +303,7 @@ func (s *Snapshot) RelaxBatch(ctx context.Context, items []BatchItem) []BatchOut
 			queries[i] = core.BatchQuery{UseConcept: true, K: -1} // placeholder, never used
 		}
 	}
-	results, errs := s.relaxer.RelaxBatchContext(ctx, queries)
+	results, paths, errs := s.relaxer.RelaxBatchContextTraced(ctx, queries)
 	for i := range items {
 		if out[i].Err != nil {
 			continue
@@ -257,6 +313,7 @@ func (s *Snapshot) RelaxBatch(ctx context.Context, items []BatchItem) []BatchOut
 			continue
 		}
 		out[i].Results = s.resolve(results[i])
+		out[i].Path = paths[i]
 	}
 	return out
 }
@@ -288,6 +345,17 @@ func (s *Snapshot) Stats() map[string]any {
 		"kbInstances":     s.ing.Store.Len(),
 		"flaggedConcepts": len(s.ing.Flagged),
 		"contexts":        len(s.ing.Contexts),
+	}
+	live, mat, idx := s.relaxer.PathCounts()
+	stats["relaxPaths"] = map[string]uint64{"live": live, "materialized": mat, "indexed": idx}
+	if s.matActive {
+		stats["materializedEntries"] = s.ing.Materialized.Entries()
+		stats["materializedConcepts"] = s.ing.Materialized.Concepts()
+	}
+	if s.idxActive {
+		stats["candidateIndexConcepts"] = s.ing.Candidates.Concepts()
+		stats["candidateIndexPostings"] = s.ing.Candidates.Postings()
+		stats["candidateIndexSkipped"] = s.ing.Candidates.Skipped()
 	}
 	if s.cfg.Source != "" {
 		stats["source"] = s.cfg.Source

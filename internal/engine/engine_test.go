@@ -295,3 +295,36 @@ func TestSnapshotConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestSnapshotAdoptsMaterializedOptions covers the defaults handshake
+// between an accelerated bundle and snapshot assembly: a store built under
+// explicit (non-default) RelaxOptions must make a zero-Config snapshot
+// serve under exactly those options — otherwise a CLI-built accelerated
+// bundle would have its store refused over a defaults mismatch after a
+// plain -load. An explicit Config.Relax still wins, refusing the store.
+func TestSnapshotAdoptsMaterializedOptions(t *testing.T) {
+	ing := testIngestion(t)
+	ing.Graph.Freeze()
+	sim := core.NewSimilarity(ing.Graph, ing.Frequencies, ing.Ontology)
+	ropts := core.RelaxOptions{Radius: 3, DynamicRadius: true, MaxRadius: 6}
+	ing.Materialized = core.MaterializeTopK(ing, sim, core.MaterializeOptions{
+		Enabled: true, Relax: ropts, HeadFraction: 1, HeadMax: -1, Contexts: ing.Contexts,
+	})
+
+	snap := New(ing, Config{})
+	if got := snap.Relaxer().Options(); got != ropts {
+		t.Fatalf("zero-Config snapshot serves under %+v, want the store's %+v", got, ropts)
+	}
+	if mat, _ := snap.AccelActive(); !mat {
+		t.Fatal("store built under its own options was not attached")
+	}
+
+	explicit := core.RelaxOptions{Radius: 2, DynamicRadius: true, MaxRadius: 8}
+	snap = New(ing, Config{Relax: explicit})
+	if got := snap.Relaxer().Options(); got != explicit {
+		t.Fatalf("explicit options overridden: got %+v, want %+v", got, explicit)
+	}
+	if mat, _ := snap.AccelActive(); mat {
+		t.Fatal("mismatched store must be refused under explicit options")
+	}
+}

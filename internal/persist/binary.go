@@ -14,11 +14,11 @@ import (
 	"medrelax/internal/ontology"
 )
 
-// Binary bundle (v2) layout. Everything after the fixed header is a single
-// length-prefixed payload protected by a CRC-32 checksum:
+// Binary bundle (v2/v3) layout. Everything after the fixed header is a
+// single length-prefixed payload protected by a CRC-32 checksum:
 //
 //	magic   "MRXB"                      4 bytes
-//	version 2                           1 byte
+//	version 2 or 3                      1 byte
 //	crc32   IEEE(payload)               4 bytes, little-endian
 //	length  uvarint(len(payload))
 //	payload
@@ -37,29 +37,49 @@ import (
 // checksum, the declared length, every string reference, and that the
 // payload is consumed exactly — a truncated, corrupted or trailing-garbage
 // bundle fails loudly.
+//
+// Version 3 appends two presence-flagged sections after the shortcut
+// count — the materialized top-k store and the posting-list candidate
+// index (see core.MaterializedSnapshot / core.CandidateIndexSnapshot).
+// SaveBinary only emits version 3 when at least one section is present,
+// so acceleration-free bundles stay byte-identical to v2 and older
+// readers keep loading them; the decoder accepts both versions.
 
-// binaryMagic marks a v2 bundle. Load sniffs it to pick the decoder.
+// binaryMagic marks a binary bundle. Load sniffs it to pick the decoder.
 const binaryMagic = "MRXB"
 
-// SaveBinary writes the ingestion as a binary (v2) bundle.
+// versionBinaryAccel is the binary version carrying the optional offline
+// acceleration sections.
+const versionBinaryAccel = 3
+
+// SaveBinary writes the ingestion as a binary bundle — version 2, or
+// version 3 when the ingestion carries offline accelerations.
 func SaveBinary(w io.Writer, ing *core.Ingestion) error {
 	b, err := buildBundle(ing)
 	if err != nil {
 		return err
 	}
-	payload := encodeBinary(b)
-	head := make([]byte, 0, len(binaryMagic)+1+4+binary.MaxVarintLen64)
-	head = append(head, binaryMagic...)
-	head = append(head, VersionBinary)
-	head = binary.LittleEndian.AppendUint32(head, crc32.ChecksumIEEE(payload))
-	head = binary.AppendUvarint(head, uint64(len(payload)))
-	if _, err := w.Write(head); err != nil {
-		return fmt.Errorf("persist: writing binary header: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("persist: writing binary payload: %w", err)
+	if _, err := w.Write(encodeBinaryStream(b)); err != nil {
+		return fmt.Errorf("persist: writing binary bundle: %w", err)
 	}
 	return nil
+}
+
+// encodeBinaryStream frames the payload with the version-aware header:
+// version 3 only when an acceleration section is present, so
+// acceleration-free bundles remain readable by pre-v3 code.
+func encodeBinaryStream(b *Bundle) []byte {
+	version := byte(VersionBinary)
+	if b.Materialized != nil || b.Candidates != nil {
+		version = versionBinaryAccel
+	}
+	payload := encodeBinary(b)
+	out := make([]byte, 0, len(binaryMagic)+1+4+binary.MaxVarintLen64+len(payload))
+	out = append(out, binaryMagic...)
+	out = append(out, version)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	out = binary.AppendUvarint(out, uint64(len(payload)))
+	return append(out, payload...)
 }
 
 // binWriter accumulates the payload and interns strings.
@@ -164,6 +184,72 @@ func encodeBinary(b *Bundle) []byte {
 	w.varint(int64(b.Frequencies.Root))
 	w.float64(b.Frequencies.Smooth)
 	w.uvarint(uint64(b.Shortcuts))
+
+	// v3 acceleration sections, each behind a presence flag. Omitted
+	// entirely when neither is present, keeping the v2 byte stream intact.
+	if b.Materialized != nil || b.Candidates != nil {
+		if m := b.Materialized; m != nil {
+			w.uvarint(1)
+			w.uvarint(uint64(m.Relax.Radius))
+			w.uvarint(uint64(m.Relax.MaxRadius))
+			bits := uint64(0)
+			if m.Relax.DynamicRadius {
+				bits |= 1
+			}
+			if m.Relax.IncludeSelf {
+				bits |= 2
+			}
+			w.uvarint(bits)
+			w.uvarint(uint64(len(m.Entries)))
+			prevConcept := int64(0)
+			for _, e := range m.Entries {
+				// Entries are sorted by (concept, ctx): concepts are
+				// non-decreasing, so the delta stays tiny.
+				w.delta(int64(e.Concept), &prevConcept)
+				w.str(e.Ctx)
+				complete := uint64(0)
+				if e.Complete {
+					complete = 1
+				}
+				w.uvarint(complete)
+				w.uvarint(uint64(len(e.Counts)))
+				for _, c := range e.Counts {
+					w.uvarint(uint64(c))
+				}
+				w.uvarint(uint64(len(e.Cands)))
+				for _, c := range e.Cands {
+					w.varint(int64(c.Concept))
+					w.float64(c.Score)
+					w.uvarint(uint64(c.Hops))
+				}
+			}
+		} else {
+			w.uvarint(0)
+		}
+		if x := b.Candidates; x != nil {
+			w.uvarint(1)
+			w.uvarint(uint64(x.Radius))
+			w.uvarint(uint64(len(x.Lists)))
+			prevConcept := int64(0)
+			for _, ls := range x.Lists {
+				w.delta(int64(ls.Concept), &prevConcept)
+				w.uvarint(uint64(len(ls.Postings)))
+				for _, p := range ls.Postings {
+					w.varint(int64(p.Concept))
+					w.uvarint(uint64(p.Hops))
+					w.uvarint(uint64(p.Gen))
+					w.uvarint(uint64(p.Spec))
+					w.uvarint(uint64(len(p.LCS)))
+					prevLCS := int64(0)
+					for _, id := range p.LCS {
+						w.delta(int64(id), &prevLCS)
+					}
+				}
+			}
+		} else {
+			w.uvarint(0)
+		}
+	}
 
 	// The string table heads the payload so the decoder resolves references
 	// in one pass.
@@ -274,8 +360,9 @@ func decodeBinary(rd io.Reader) (*Bundle, error) {
 	if string(head[:len(binaryMagic)]) != binaryMagic {
 		return nil, corruptf("binary v2", "bad magic")
 	}
-	if v := head[len(binaryMagic)]; v != VersionBinary {
-		return nil, corruptf("binary v2", "bundle version %d, want %d", v, VersionBinary)
+	version := head[len(binaryMagic)]
+	if version != VersionBinary && version != versionBinaryAccel {
+		return nil, corruptf("binary v2", "bundle version %d, want %d or %d", version, VersionBinary, versionBinaryAccel)
 	}
 	wantCRC := binary.LittleEndian.Uint32(head[len(binaryMagic)+1:])
 	length, err := binary.ReadUvarint(br)
@@ -374,6 +461,65 @@ func decodeBinary(rd io.Reader) (*Bundle, error) {
 	b.Frequencies.Root = eks.ConceptID(r.varint())
 	b.Frequencies.Smooth = r.float64()
 	b.Shortcuts = int(r.uvarint())
+
+	if version >= versionBinaryAccel {
+		if r.uvarint() == 1 && r.err == nil {
+			m := &core.MaterializedSnapshot{}
+			m.Relax.Radius = int(r.uvarint())
+			m.Relax.MaxRadius = int(r.uvarint())
+			bits := r.uvarint()
+			m.Relax.DynamicRadius = bits&1 != 0
+			m.Relax.IncludeSelf = bits&2 != 0
+			nE := r.count(4)
+			prev = 0
+			for i := 0; i < nE && r.err == nil; i++ {
+				e := core.MaterializedEntrySnapshot{
+					Concept:  eks.ConceptID(r.delta(&prev)),
+					Ctx:      r.str(),
+					Complete: r.uvarint() == 1,
+				}
+				nC := r.count(1)
+				for j := 0; j < nC && r.err == nil; j++ {
+					e.Counts = append(e.Counts, int32(r.uvarint()))
+				}
+				nCand := r.count(10) // id + 8 score bytes + hops, minimum
+				for j := 0; j < nCand && r.err == nil; j++ {
+					e.Cands = append(e.Cands, core.MaterializedCandidate{
+						Concept: eks.ConceptID(r.varint()),
+						Score:   r.float64(),
+						Hops:    int(r.uvarint()),
+					})
+				}
+				m.Entries = append(m.Entries, e)
+			}
+			b.Materialized = m
+		}
+		if r.uvarint() == 1 && r.err == nil {
+			x := &core.CandidateIndexSnapshot{Radius: int(r.uvarint())}
+			nL := r.count(2)
+			prev = 0
+			for i := 0; i < nL && r.err == nil; i++ {
+				ls := core.CandidateListSnapshot{Concept: eks.ConceptID(r.delta(&prev))}
+				nP := r.count(5)
+				for j := 0; j < nP && r.err == nil; j++ {
+					p := core.PostingSnapshot{
+						Concept: eks.ConceptID(r.varint()),
+						Hops:    int(r.uvarint()),
+						Gen:     int(r.uvarint()),
+						Spec:    int(r.uvarint()),
+					}
+					nLCS := r.count(1)
+					prevLCS := int64(0)
+					for l := 0; l < nLCS && r.err == nil; l++ {
+						p.LCS = append(p.LCS, eks.ConceptID(r.delta(&prevLCS)))
+					}
+					ls.Postings = append(ls.Postings, p)
+				}
+				x.Lists = append(x.Lists, ls)
+			}
+			b.Candidates = x
+		}
+	}
 
 	if r.err != nil {
 		return nil, r.err

@@ -28,6 +28,19 @@ func FuzzLoadBundle(f *testing.F) {
 	f.Add([]byte(`{"version":1}`))
 	f.Add([]byte{})
 
+	// v3 seeds: bundles carrying the acceleration sections, whole and torn.
+	accel := buildAccelIngestion(f)
+	var ja, ba bytes.Buffer
+	if err := Save(&ja, accel); err != nil {
+		f.Fatal(err)
+	}
+	if err := SaveBinary(&ba, accel); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ja.Bytes())
+	f.Add(ba.Bytes())
+	f.Add(ba.Bytes()[:len(ba.Bytes())*3/4])
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		restored, err := Load(bytes.NewReader(data))
 		if err != nil {

@@ -84,6 +84,13 @@ type Bundle struct {
 	Mappings    []mappingDump          `json:"mappings"`
 	Frequencies core.FrequencySnapshot `json:"frequencies"`
 	Shortcuts   int                    `json:"shortcutsAdded"`
+
+	// Materialized and Candidates carry the optional offline accelerations
+	// (omitted when the ingestion was built without them, which keeps the
+	// encodings of older bundles byte-stable: a v1/v2 bundle without the
+	// sections loads exactly as before).
+	Materialized *core.MaterializedSnapshot   `json:"materialized,omitempty"`
+	Candidates   *core.CandidateIndexSnapshot `json:"candidateIndex,omitempty"`
 }
 
 type edgeDump struct {
@@ -135,6 +142,12 @@ func buildBundle(ing *core.Ingestion) (*Bundle, error) {
 	}
 
 	b.Frequencies = ing.Frequencies.Snapshot()
+	if ing.Materialized != nil {
+		b.Materialized = ing.Materialized.Snapshot()
+	}
+	if ing.Candidates != nil {
+		b.Candidates = ing.Candidates.Snapshot()
+	}
 	return b, nil
 }
 
@@ -374,6 +387,20 @@ func restore(b *Bundle) (*core.Ingestion, error) {
 		ing.Mappings[m.Instance] = m.Concept
 		ing.InstancesFor[m.Concept] = append(ing.InstancesFor[m.Concept], m.Instance)
 		ing.Flagged[m.Concept] = true
+	}
+	if b.Materialized != nil {
+		m, err := core.RestoreMaterialized(b.Materialized)
+		if err != nil {
+			return nil, fmt.Errorf("persist: materialized section: %w", err)
+		}
+		ing.Materialized = m
+	}
+	if b.Candidates != nil {
+		idx, err := core.RestoreCandidateIndex(b.Candidates)
+		if err != nil {
+			return nil, fmt.Errorf("persist: candidate index section: %w", err)
+		}
+		ing.Candidates = idx
 	}
 	return ing, nil
 }

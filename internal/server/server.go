@@ -44,6 +44,14 @@ type BatchBackend interface {
 	RelaxBatch(ctx context.Context, items []BatchItem) []BatchOutcome
 }
 
+// TracedBackend is an optional Backend extension: backends that can report
+// which compute path (live traversal, materialized store, posting-list
+// index) answered a relaxation expose it here, so the serving layer's
+// metrics can split the miss path by source. engine.Snapshot implements it.
+type TracedBackend interface {
+	RelaxTraced(ctx context.Context, term, qctx string, k int) ([]RelaxResult, core.ServePath, error)
+}
+
 // TermSampler is an optional Backend extension: backends that can
 // enumerate relaxable terms expose them at GET /terms, which load
 // generators (cmd/loadgen) use to build realistic query mixes.

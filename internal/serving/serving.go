@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"medrelax/internal/core"
 	"medrelax/internal/dialog"
 	"medrelax/internal/fault"
 	"medrelax/internal/persist"
@@ -126,7 +127,11 @@ type Engine struct {
 	mCacheMisses    *metrics.Counter
 	mCacheCollapsed *metrics.Counter
 	mCacheStale     *metrics.Counter
+	mCacheBypass    *metrics.Counter
 	mBackendRelax   *metrics.Histogram
+	mPathLive       *metrics.Counter
+	mPathMat        *metrics.Counter
+	mPathIdx        *metrics.Counter
 }
 
 // NewEngine wraps backend with the serving layer.
@@ -148,7 +153,11 @@ func NewEngine(backend server.Backend, opts Options) *Engine {
 	e.mCacheMisses = e.reg.Counter("medrelax_relax_cache_misses_total", "relax results computed by the backend", e.labels(""))
 	e.mCacheCollapsed = e.reg.Counter("medrelax_relax_cache_collapsed_total", "concurrent identical misses collapsed onto one computation", e.labels(""))
 	e.mCacheStale = e.reg.Counter("medrelax_relax_cache_stale_total", "expired entries served because recomputation failed (degraded mode)", e.labels(""))
+	e.mCacheBypass = e.reg.Counter("medrelax_relax_cache_bypass_total", "requests that skipped the result cache (Cache-Control: no-store)", e.labels(""))
 	e.mBackendRelax = e.reg.Histogram("medrelax_backend_relax_seconds", "uncached relaxation compute latency", e.labels(""))
+	e.mPathLive = e.reg.Counter("medrelax_relax_live_path_total", "uncached relaxations answered by live graph traversal", e.labels(""))
+	e.mPathMat = e.reg.Counter("medrelax_relax_materialized_hit_total", "uncached relaxations answered from the materialized top-k store", e.labels(""))
+	e.mPathIdx = e.reg.Counter("medrelax_relax_index_path_total", "uncached relaxations answered via the posting-list candidate index", e.labels(""))
 	e.reg.Gauge("medrelax_bundle_generation", "monotonic bundle generation, bumped per reload", e.labels("")).Set(1)
 	// Register the failure counter up front so a scrape before the first
 	// failed reload still shows the series at 0.
@@ -201,6 +210,38 @@ func cacheKey(term, qctx string, k int) string {
 	return stringutil.Normalize(term) + "\x1f" + qctx + "\x1f" + strconv.Itoa(k)
 }
 
+// cacheBypassKey marks a request context as cache-exempt.
+type cacheBypassKey struct{}
+
+// WithCacheBypass marks ctx so Relax and RelaxBatch skip the result cache
+// entirely — no read AND no write — computing fresh against the backend.
+// The HTTP layer sets it for requests carrying `Cache-Control: no-store`,
+// which is how benchmark harnesses measure the uncached path on a warm
+// server without polluting the cache.
+func WithCacheBypass(ctx context.Context) context.Context {
+	return context.WithValue(ctx, cacheBypassKey{}, true)
+}
+
+// cacheBypassed reports whether WithCacheBypass marked this context.
+func cacheBypassed(ctx context.Context) bool {
+	v, _ := ctx.Value(cacheBypassKey{}).(bool)
+	return v
+}
+
+// countPath attributes one uncached relaxation to the serving path that
+// answered it. Live is the default: a backend that doesn't trace (or an
+// accelerator-free bundle) is indistinguishable from pure traversal.
+func (e *Engine) countPath(p core.ServePath) {
+	switch p {
+	case core.PathMaterialized:
+		e.mPathMat.Inc()
+	case core.PathIndexed:
+		e.mPathIdx.Inc()
+	default:
+		e.mPathLive.Inc()
+	}
+}
+
 // Relax implements server.Backend with caching and singleflight. Cached
 // responses are the same slice the backend returned, so an encoded cached
 // response is byte-identical to the uncached one.
@@ -211,6 +252,10 @@ func (e *Engine) Relax(ctx context.Context, term, qctx string, k int) ([]server.
 	h := e.acquire()
 	defer h.release()
 	if e.cache == nil {
+		return e.computeRelax(ctx, h, term, qctx, k)
+	}
+	if cacheBypassed(ctx) {
+		e.mCacheBypass.Inc()
 		return e.computeRelax(ctx, h, term, qctx, k)
 	}
 	results, status, err := e.cache.GetOrCompute(ctx, cacheKey(term, qctx, k), func() ([]server.RelaxResult, error) {
@@ -242,13 +287,26 @@ func (e *Engine) Relax(ctx context.Context, term, qctx string, k int) ([]server.
 // computeRelax runs the backend computation. The "backend.relax" fault
 // site injects latency or errors here — after admission, before the
 // backend — so chaos runs exercise the degradation paths (503 mapping,
-// stale-on-error) without a special backend.
+// stale-on-error) without a special backend. When the backend traces its
+// serving path the per-path counters attribute the computation.
 func (e *Engine) computeRelax(ctx context.Context, h *holder, term, qctx string, k int) ([]server.RelaxResult, error) {
 	if err := fault.At("backend.relax").Inject(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	results, err := h.b.Relax(ctx, term, qctx, k)
+	var (
+		results []server.RelaxResult
+		err     error
+	)
+	if tb, ok := h.b.(server.TracedBackend); ok {
+		var path core.ServePath
+		results, path, err = tb.RelaxTraced(ctx, term, qctx, k)
+		if err == nil {
+			e.countPath(path)
+		}
+	} else {
+		results, err = h.b.Relax(ctx, term, qctx, k)
+	}
 	if err == nil {
 		e.mBackendRelax.Observe(time.Since(start).Seconds())
 	}
@@ -274,6 +332,10 @@ func (e *Engine) RelaxBatch(ctx context.Context, items []server.BatchItem) []ser
 	h := e.acquire()
 	defer h.release()
 	if e.cache == nil {
+		return e.computeBatch(ctx, h, items)
+	}
+	if cacheBypassed(ctx) {
+		e.mCacheBypass.Inc()
 		return e.computeBatch(ctx, h, items)
 	}
 	epoch := e.cache.Epoch()
@@ -320,6 +382,11 @@ func (e *Engine) computeBatch(ctx context.Context, h *holder, items []server.Bat
 			out[i].Results, out[i].Err = h.b.Relax(ctx, it.Term, it.Context, it.K)
 		}
 	}
+	for i := range out {
+		if out[i].Err == nil {
+			e.countPath(out[i].Path)
+		}
+	}
 	e.mBackendRelax.Observe(time.Since(start).Seconds())
 	return out
 }
@@ -356,6 +423,12 @@ func (e *Engine) Stats() map[string]any {
 		"cacheCollapsed":   collapsed,
 		"inflightLimited":  e.limiter.inUse(),
 		"reloadFailures":   e.ReloadFailures(),
+		"cacheBypassed":    e.mCacheBypass.Value(),
+		"servePaths": map[string]uint64{
+			"live":         e.mPathLive.Value(),
+			"materialized": e.mPathMat.Value(),
+			"indexed":      e.mPathIdx.Value(),
+		},
 	}
 	if e.cache != nil {
 		serving["cacheStaleServed"] = e.cache.StaleServed()

@@ -549,3 +549,128 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// tracedBackend is fakeBackend plus path tracing: every relaxation
+// reports whichever ServePath the test pinned, exercising the engine's
+// per-path attribution without a real accelerated bundle.
+type tracedBackend struct {
+	fakeBackend
+	path core.ServePath
+}
+
+func (tb *tracedBackend) RelaxTraced(ctx context.Context, term, qctx string, k int) ([]server.RelaxResult, core.ServePath, error) {
+	results, err := tb.Relax(ctx, term, qctx, k)
+	return results, tb.path, err
+}
+
+func (tb *tracedBackend) RelaxBatch(ctx context.Context, items []server.BatchItem) []server.BatchOutcome {
+	out := make([]server.BatchOutcome, len(items))
+	for i, it := range items {
+		out[i].Results, out[i].Err = tb.Relax(ctx, it.Term, it.Context, it.K)
+		out[i].Path = tb.path
+	}
+	return out
+}
+
+func TestCacheBypassHeader(t *testing.T) {
+	fb := &fakeBackend{label: "A"}
+	e, ts := newStack(t, fb, Options{CacheCapacity: 128, CacheTTL: time.Minute})
+
+	// Prime the cache, then bypass: the backend must answer again.
+	get(t, ts.URL+"/relax?term=fever&k=3")
+	if fb.calls.Load() != 1 {
+		t.Fatalf("backend calls = %d, want 1", fb.calls.Load())
+	}
+	req, err := http.NewRequest("GET", ts.URL+"/relax?term=fever&k=3", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Cache-Control", "no-store")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bypassed request status = %d", resp.StatusCode)
+	}
+	if fb.calls.Load() != 2 {
+		t.Fatalf("backend calls = %d after no-store, want 2 (cache skipped)", fb.calls.Load())
+	}
+
+	// The entry primed before the bypass still serves plain requests.
+	get(t, ts.URL+"/relax?term=fever&k=3")
+	if fb.calls.Load() != 2 {
+		t.Fatalf("backend calls = %d, want 2 (cached entry survived the bypass)", fb.calls.Load())
+	}
+
+	// A bypassed computation must not populate the cache either: a fresh
+	// term queried with no-store stays a miss for the next plain request.
+	req2, err := http.NewRequest("GET", ts.URL+"/relax?term=cough&k=3", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.Header.Set("Cache-Control", "no-store")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	get(t, ts.URL+"/relax?term=cough&k=3")
+	if fb.calls.Load() != 4 {
+		t.Fatalf("backend calls = %d, want 4 (no-store must not write the cache)", fb.calls.Load())
+	}
+	if got := e.mCacheBypass.Value(); got != 2 {
+		t.Errorf("cache bypass counter = %d, want 2", got)
+	}
+}
+
+func TestServePathCounters(t *testing.T) {
+	tb := &tracedBackend{fakeBackend: fakeBackend{label: "A"}, path: core.PathMaterialized}
+	e := NewEngine(tb, Options{CacheCapacity: 128, CacheTTL: time.Minute})
+	ctx := context.Background()
+
+	// Miss computes and attributes; the following hit attributes nothing.
+	if _, err := e.Relax(ctx, "fever", "c", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Relax(ctx, "fever", "c", 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.mPathMat.Value(); got != 1 {
+		t.Fatalf("materialized hit counter = %d, want 1 (hits must not re-count)", got)
+	}
+
+	// Batch outcomes attribute per successful item; errors are not counted.
+	tb.path = core.PathIndexed
+	out := e.RelaxBatch(WithCacheBypass(ctx), []server.BatchItem{
+		{Term: "a", K: 3}, {Term: "b", K: 3}, {Term: "missing", K: 3},
+	})
+	if out[2].Err == nil {
+		t.Fatal("expected the missing term to fail")
+	}
+	if got := e.mPathIdx.Value(); got != 2 {
+		t.Fatalf("index path counter = %d, want 2", got)
+	}
+	if got := e.mPathLive.Value(); got != 0 {
+		t.Fatalf("live path counter = %d, want 0", got)
+	}
+	if got := e.mCacheBypass.Value(); got != 1 {
+		t.Fatalf("cache bypass counter = %d, want 1", got)
+	}
+
+	serving, ok := e.Stats()["serving"].(map[string]any)
+	if !ok {
+		t.Fatal("stats missing serving section")
+	}
+	paths, ok := serving["servePaths"].(map[string]uint64)
+	if !ok {
+		t.Fatalf("serving stats missing servePaths: %v", serving)
+	}
+	if paths["materialized"] != 1 || paths["indexed"] != 2 || paths["live"] != 0 {
+		t.Fatalf("servePaths = %v", paths)
+	}
+	if serving["cacheBypassed"].(uint64) != 1 {
+		t.Fatalf("cacheBypassed = %v", serving["cacheBypassed"])
+	}
+}

@@ -180,6 +180,15 @@ func Build(cfg Config) (*System, error) {
 	}
 	timings.Embeddings = time.Since(embedStart)
 
+	// An enabled materialization with no explicit relaxation options
+	// inherits the serving options: the stored top-k answers are only
+	// servable when they were computed under the exact options the online
+	// relaxer runs with, so defaulting to anything else would build a
+	// store the engine refuses to attach.
+	if cfg.Ingest.Materialize.Enabled && cfg.Ingest.Materialize.Relax == (core.RelaxOptions{}) {
+		cfg.Ingest.Materialize.Relax = cfg.Relax
+	}
+
 	ingestStart := time.Now()
 	ing, err := core.Ingest(med.Ontology, med.Store, world.Graph, corp, mapper, cfg.Ingest)
 	if err != nil {
