@@ -9,6 +9,7 @@ package medrelax
 import (
 	"bytes"
 	"fmt"
+	"path/filepath"
 	"testing"
 
 	"medrelax/internal/core"
@@ -109,6 +110,47 @@ func BenchmarkBundleLoad(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := persist.Load(bytes.NewReader(enc.data)); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkColdStart measures the from-file serving-start path: LoadFile on
+// a v2 binary bundle (decode + full restore onto the heap) against the v4
+// flat bundle (header/CRC validation over an mmap, columns served in
+// place). The gap between the two sub-benchmarks — wall time and
+// allocs/op — is what CI gates on; cmd/ingestbench records the full-size
+// numbers in BENCH_ingest.json.
+func BenchmarkColdStart(b *testing.B) {
+	med, g, corp := benchWorld(b, 10_000)
+	ing, err := core.Ingest(med.Ontology, med.Store, g, corp, match.NewExact(g), core.IngestOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	paths := map[persist.Format]string{
+		persist.FormatBinary: filepath.Join(dir, "world.bundle"),
+		persist.FormatFlat:   filepath.Join(dir, "world.flat"),
+	}
+	for format, path := range paths {
+		if err := persist.SaveFileAtomic(path, ing, format); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, enc := range []struct {
+		name   string
+		format persist.Format
+	}{{"v2-file", persist.FormatBinary}, {"flat-file", persist.FormatFlat}} {
+		b.Run(enc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				restored, err := persist.LoadFile(paths[enc.format])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if restored.Graph.Len() != ing.Graph.Len() {
+					b.Fatalf("restored %d concepts, want %d", restored.Graph.Len(), ing.Graph.Len())
 				}
 			}
 		})

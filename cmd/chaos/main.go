@@ -293,13 +293,18 @@ func (h *harness) run() {
 	h.trafficPhase("backend-latency", latSpec)
 
 	// Phase 3: torn writes. Publishing a new bundle through a torn
-	// writer must fail without disturbing the live file or leaving temp
-	// litter, and the live file must still load.
+	// writer — in either on-disk encoding — must fail without disturbing
+	// the live file or leaving temp litter, and the live file must still
+	// load.
 	h.tornWritePhase()
 
-	// Phase 4: faults cleared — every term must serve byte-identical
-	// golden results again, and the metrics must account for exactly the
-	// chaos we caused.
+	// Phase 4: hot-swap onto the zero-copy flat encoding, so recovery
+	// traffic and the golden checks serve from a memory-mapped bundle.
+	h.flatSwapPhase()
+
+	// Phase 5: faults cleared — every term must serve byte-identical
+	// golden results again (now from the mapped bundle), and the metrics
+	// must account for exactly the chaos we caused.
 	fault.SetDefault(nil)
 	h.trafficPhase("recovery", "")
 	h.finalChecks()
@@ -553,43 +558,87 @@ func (h *harness) adminReload() (int, int) {
 // bundle must be untouched and still loadable, and no temp file may
 // survive.
 func (h *harness) tornWritePhase() {
-	spec := fmt.Sprintf("persist.write:torn,bytes=%d,count=1,seed=%d", len(h.goodBytes)/3, h.seed+2)
-	reg, err := fault.Parse(spec)
-	if err != nil {
-		h.violatef("torn-write phase: bad spec: %v", err)
-		return
-	}
-	fault.SetDefault(reg)
-	log.Printf("chaos: phase torn-write: faults=%q", spec)
-
 	ing, err := buildIngestion(h.seed)
 	if err != nil {
 		h.violatef("torn-write phase: rebuilding ingestion: %v", err)
 		return
 	}
-	if err := persist.SaveFileAtomic(h.bundle, ing, persist.FormatBinary); err == nil {
-		h.violatef("torn-write phase: SaveFileAtomic succeeded through a torn writer")
+	// Both on-disk encodings go through the same crash-safe writer; a torn
+	// write must leave the live bundle untouched either way — including the
+	// flat (v4) encoding, whose reader maps the published file directly.
+	formats := []struct {
+		name   string
+		format persist.Format
+	}{
+		{"binary", persist.FormatBinary},
+		{"flat", persist.FormatFlat},
 	}
-	fault.SetDefault(nil)
+	for i, f := range formats {
+		name := "torn-write-" + f.name
+		spec := fmt.Sprintf("persist.write:torn,bytes=%d,count=1,seed=%d", len(h.goodBytes)/3, h.seed+2+int64(i))
+		reg, err := fault.Parse(spec)
+		if err != nil {
+			h.violatef("%s phase: bad spec: %v", name, err)
+			return
+		}
+		fault.SetDefault(reg)
+		log.Printf("chaos: phase %s: faults=%q", name, spec)
 
-	if got, err := os.ReadFile(h.bundle); err != nil {
-		h.violatef("torn-write phase: live bundle unreadable after torn save: %v", err)
-	} else if string(got) != string(h.goodBytes) {
-		h.violatef("torn-write phase: live bundle changed by a failed save")
+		if err := persist.SaveFileAtomic(h.bundle, ing, f.format); err == nil {
+			h.violatef("%s phase: SaveFileAtomic succeeded through a torn writer", name)
+		}
+		fault.SetDefault(nil)
+
+		if got, err := os.ReadFile(h.bundle); err != nil {
+			h.violatef("%s phase: live bundle unreadable after torn save: %v", name, err)
+		} else if string(got) != string(h.goodBytes) {
+			h.violatef("%s phase: live bundle changed by a failed save", name)
+		}
+		if litter, _ := filepath.Glob(filepath.Join(h.dir, ".bundle-*.tmp")); len(litter) > 0 {
+			h.violatef("%s phase: temp litter left behind: %v", name, litter)
+		}
+		if status, _ := h.adminReload(); status != http.StatusOK {
+			h.violatef("%s phase: reload of untouched bundle failed with status %d", name, status)
+		} else {
+			h.mu.Lock()
+			h.expectedGen++
+			h.report.ReloadsOK++
+			h.mu.Unlock()
+		}
+		h.mu.Lock()
+		h.report.Phases = append(h.report.Phases, phaseReport{Name: name, Faults: spec, Sites: reg.Snapshot()})
+		h.mu.Unlock()
 	}
-	if litter, _ := filepath.Glob(filepath.Join(h.dir, ".bundle-*.tmp")); len(litter) > 0 {
-		h.violatef("torn-write phase: temp litter left behind: %v", litter)
+}
+
+// flatSwapPhase republishes the world as a flat (v4) bundle and hot-reloads
+// onto it, so the recovery phase and the final golden byte-identity checks
+// run against a memory-mapped snapshot instead of the heap-decoded one.
+func (h *harness) flatSwapPhase() {
+	ing, err := buildIngestion(h.seed)
+	if err != nil {
+		h.violatef("flat-swap phase: rebuilding ingestion: %v", err)
+		return
 	}
-	if status, _ := h.adminReload(); status != http.StatusOK {
-		h.violatef("torn-write phase: reload of untouched bundle failed with status %d", status)
+	if err := persist.SaveFileAtomic(h.bundle, ing, persist.FormatFlat); err != nil {
+		h.violatef("flat-swap phase: saving flat bundle: %v", err)
+		return
+	}
+	log.Printf("chaos: phase flat-swap: bundle republished as flat v4")
+	if status, gen := h.adminReload(); status != http.StatusOK {
+		h.violatef("flat-swap phase: reload of flat bundle failed with status %d", status)
 	} else {
 		h.mu.Lock()
 		h.expectedGen++
+		want := h.expectedGen
 		h.report.ReloadsOK++
 		h.mu.Unlock()
+		if gen != want {
+			h.violatef("flat-swap phase: generation %d after flat reload, want %d", gen, want)
+		}
 	}
 	h.mu.Lock()
-	h.report.Phases = append(h.report.Phases, phaseReport{Name: "torn-write", Faults: spec, Sites: reg.Snapshot()})
+	h.report.Phases = append(h.report.Phases, phaseReport{Name: "flat-swap"})
 	h.mu.Unlock()
 }
 

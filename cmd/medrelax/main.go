@@ -32,7 +32,7 @@ func main() {
 		mapper  = flag.String("mapper", "EMBEDDING", "term mapping method: EXACT, EDIT or EMBEDDING")
 		quiet   = flag.Bool("quiet", false, "suppress build progress output")
 		save    = flag.String("save", "", "after building, save the ingestion bundle to this file")
-		format  = flag.String("format", "binary", "bundle format for -save: binary (compact) or json (inspectable)")
+		format  = flag.String("format", "binary", "bundle format for -save: binary (compact), json (inspectable) or flat (zero-copy mmap)")
 
 		materialize = flag.Bool("materialize", false, "precompute top-k relaxations for the head of the term distribution (persisted with -save)")
 		matHead     = flag.Float64("materialize-head", 0.25, "fraction of flagged concepts (by corpus frequency) to materialize")
@@ -81,7 +81,7 @@ func main() {
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "EKS: %d concepts, %d edges (%d shortcuts added); MED: %d instances; flagged concepts: %d\n",
 			sys.World.Graph.Len(), sys.World.Graph.EdgeCount(), sys.Ingestion.ShortcutsAdded,
-			sys.Med.Store.Len(), len(sys.Ingestion.Flagged))
+			sys.Med.Store.Len(), sys.Ingestion.FlaggedCount())
 		tm := sys.Timings
 		fmt.Fprintf(os.Stderr, "build timing: worldgen %s, embeddings %s, ingest %s (total %s)\n",
 			tm.WorldGen.Round(time.Millisecond), tm.Embeddings.Round(time.Millisecond),
@@ -177,7 +177,7 @@ func serveFromBundle(path, term, qctx string, k int, quiet bool) error {
 	if !quiet {
 		ing := snap.Ingestion()
 		fmt.Fprintf(os.Stderr, "loaded bundle: %d EKS concepts, %d instances, %d flagged, %d contexts\n",
-			ing.Graph.Len(), ing.Store.Len(), len(ing.Flagged), len(ing.Contexts))
+			ing.Graph.Len(), ing.Store.Len(), ing.FlaggedCount(), len(ing.Contexts))
 	}
 
 	relax := func(q string) error {

@@ -69,6 +69,11 @@ type FrequencyTable struct {
 	aggregate map[eks.ConceptID]float64
 	rootID    eks.ConceptID
 	smoothing float64
+
+	// flat, when set, backs the table with sorted flat-bundle sections
+	// (usually a memory mapping) instead of the maps above; see
+	// OpenFlatFrequencyTable.
+	flat *flatFrequency
 }
 
 // BuildFrequencyTable computes per-context concept frequencies for every
@@ -206,16 +211,27 @@ func lookupStats(stats map[string]corpus.TermStats, name string) (corpus.TermSta
 // Raw returns the propagated (un-normalized) frequency of a concept under a
 // single corpus context label, 0 when never mentioned.
 func (t *FrequencyTable) Raw(id eks.ConceptID, label string) float64 {
+	if t.flat != nil {
+		return t.flat.raw(id, label)
+	}
 	return t.raw[label][id]
 }
 
 // RawAggregate returns the propagated frequency summed over all labels.
 func (t *FrequencyTable) RawAggregate(id eks.ConceptID) float64 {
+	if t.flat != nil {
+		return t.flat.rawAggregate(id)
+	}
 	return t.aggregate[id]
 }
 
 // Labels returns the number of distinct context labels with any counts.
-func (t *FrequencyTable) Labels() int { return len(t.raw) }
+func (t *FrequencyTable) Labels() int {
+	if t.flat != nil {
+		return len(t.flat.labels)
+	}
+	return len(t.raw)
+}
 
 // normalized maps a raw frequency to the smoothed probability of the
 // concept under the root's total for the same slice of the table; the root
@@ -234,6 +250,9 @@ func (t *FrequencyTable) normalized(f, rootF float64) float64 {
 // A nil ctx — no contextual information available — aggregates every label,
 // which is the paper's stated fallback and the behaviour of QR-no-context.
 func (t *FrequencyTable) NormalizedForContext(id eks.ConceptID, ctx *ontology.Context, o *ontology.Ontology) float64 {
+	if t.flat != nil {
+		return t.flat.normalizedForContext(t, id, ctx, o)
+	}
 	if ctx == nil || o == nil {
 		return t.normalized(t.aggregate[id], t.aggregate[t.rootID])
 	}
@@ -282,6 +301,9 @@ type FrequencyLabelSnapshot struct {
 // Snapshot exports the table's state deterministically (labels and IDs
 // sorted).
 func (t *FrequencyTable) Snapshot() FrequencySnapshot {
+	if t.flat != nil {
+		return t.flat.snapshot(t.rootID, t.smoothing)
+	}
 	snap := FrequencySnapshot{Root: t.rootID, Smooth: t.smoothing}
 	var labels []string
 	for l := range t.raw {

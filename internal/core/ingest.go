@@ -71,6 +71,15 @@ type Ingestion struct {
 	// Candidates is the optional posting-list candidate index (nil unless
 	// IngestOptions.CandidateIndex.Enabled or restored from a bundle).
 	Candidates *CandidateIndex
+	// Backing describes (and pins through liveness) the memory a flat-mapped
+	// ingestion reads from; nil for heap-backed ingestions.
+	Backing SnapshotBacking
+
+	// flatMap, when set, backs Mappings/InstancesFor/Flagged with flat-bundle
+	// sections instead of the maps (which stay nil); use the accessor methods
+	// IsFlagged, FlaggedCount, FlaggedIDs, InstancesForConcept, MappingCount,
+	// and MappingPairs to stay backing-agnostic. See NewFlatIngestion.
+	flatMap *flatMappings
 }
 
 // Ingest runs the offline external knowledge source ingestion (Algorithm 1)
@@ -254,7 +263,7 @@ func (ing *Ingestion) InstanceResults(conceptIDs []eks.ConceptID) []kb.InstanceI
 	var out []kb.InstanceID
 	seen := map[kb.InstanceID]bool{}
 	for _, cid := range conceptIDs {
-		for _, iid := range ing.InstancesFor[cid] {
+		for _, iid := range ing.InstancesForConcept(cid) {
 			if !seen[iid] {
 				seen[iid] = true
 				out = append(out, iid)

@@ -27,6 +27,11 @@ import (
 type Materialized struct {
 	opts    RelaxOptions
 	entries map[matKey]*matEntry
+
+	// flat, when set, backs the store with sorted flat-bundle sections
+	// (usually a memory mapping) instead of the entries map; see
+	// OpenFlatMaterialized.
+	flat *flatMaterialized
 }
 
 type matKey struct {
@@ -49,11 +54,9 @@ type matEntry struct {
 	cands []matCand
 }
 
-type matCand struct {
-	id    eks.ConceptID
-	score float64
-	hops  int32
-}
+// matCand aliases the exported fixed-layout record so map-built and
+// flat-mapped stores share one candidate representation.
+type matCand = MatCand
 
 // MaterializeOptions tunes the offline top-k materialization.
 type MaterializeOptions struct {
@@ -101,10 +104,7 @@ func (o MaterializeOptions) withDefaults() MaterializeOptions {
 // headConcepts ranks the flagged concepts by aggregate corpus frequency
 // (descending, ties by ascending ID) and takes the configured head.
 func headConcepts(ing *Ingestion, opts MaterializeOptions) []eks.ConceptID {
-	ids := make([]eks.ConceptID, 0, len(ing.Flagged))
-	for id := range ing.Flagged {
-		ids = append(ids, id)
-	}
+	ids := ing.FlaggedIDs()
 	sort.Slice(ids, func(i, j int) bool {
 		var fi, fj float64
 		if ing.Frequencies != nil {
@@ -194,7 +194,7 @@ func materializeConcept(r *Relaxer, q eks.ConceptID, ctxs []*ontology.Context, o
 	ci := 0
 	for radius := ropts.Radius; radius <= maxR; radius++ {
 		for ci < len(cands) && cands[ci].Hops <= radius {
-			for _, iid := range r.ing.InstancesFor[cands[ci].ID] {
+			for _, iid := range r.ing.InstancesForConcept(cands[ci].ID) {
 				instSeen[iid] = true
 			}
 			ci++
@@ -207,16 +207,16 @@ func materializeConcept(r *Relaxer, q eks.ConceptID, ctxs []*ontology.Context, o
 		e := &matEntry{complete: true, counts: counts, cands: make([]matCand, 0, len(cands))}
 		for _, nb := range cands {
 			e.cands = append(e.cands, matCand{
-				id:    nb.ID,
-				score: r.sim.Sim(q, nb.ID, ctx),
-				hops:  int32(nb.Hops),
+				Concept: nb.ID,
+				Score:   r.sim.Sim(q, nb.ID, ctx),
+				Hops:    int32(nb.Hops),
 			})
 		}
 		sort.Slice(e.cands, func(i, j int) bool {
-			if e.cands[i].score != e.cands[j].score {
-				return e.cands[i].score > e.cands[j].score
+			if e.cands[i].Score != e.cands[j].Score {
+				return e.cands[i].Score > e.cands[j].Score
 			}
-			return e.cands[i].id < e.cands[j].id
+			return e.cands[i].Concept < e.cands[j].Concept
 		})
 		if opts.MaxPerQuery > 0 && len(e.cands) > opts.MaxPerQuery {
 			e.cands = e.cands[:opts.MaxPerQuery]
@@ -235,7 +235,7 @@ func materializeConcept(r *Relaxer, q eks.ConceptID, ctxs []*ontology.Context, o
 // max-radius ranking filtered to that radius is the radius ranking because
 // the comparator ignores hops.
 func (r *Relaxer) materializedServe(ctx context.Context, q eks.ConceptID, qctx *ontology.Context, k, target int, sc *relaxScratch) ([]Result, bool, error) {
-	e, found := r.mat.entries[matKey{concept: q, ctx: ctxKey(qctx)}]
+	e, found := r.mat.get(q, ctxKey(qctx))
 	if !found {
 		return nil, false, nil
 	}
@@ -256,10 +256,10 @@ func (r *Relaxer) materializedServe(ctx context.Context, q eks.ConceptID, qctx *
 		out := make([]Result, 0, len(e.cands))
 		for i := range e.cands {
 			c := &e.cands[i]
-			if int(c.hops) > radius {
+			if int(c.Hops) > radius {
 				continue
 			}
-			out = append(out, Result{Concept: c.id, Score: c.score, Hops: int(c.hops), Instances: r.ing.InstancesFor[c.id]})
+			out = append(out, Result{Concept: c.Concept, Score: c.Score, Hops: int(c.Hops), Instances: r.ing.InstancesForConcept(c.Concept)})
 		}
 		return out, true, nil
 	}
@@ -267,14 +267,15 @@ func (r *Relaxer) materializedServe(ctx context.Context, q eks.ConceptID, qctx *
 	var out []Result
 	for i := range e.cands {
 		c := &e.cands[i]
-		if int(c.hops) > radius {
+		if int(c.Hops) > radius {
 			continue
 		}
 		if len(seen) >= k {
 			return out, true, nil
 		}
-		out = append(out, Result{Concept: c.id, Score: c.score, Hops: int(c.hops), Instances: r.ing.InstancesFor[c.id]})
-		for _, iid := range r.ing.InstancesFor[c.id] {
+		instances := r.ing.InstancesForConcept(c.Concept)
+		out = append(out, Result{Concept: c.Concept, Score: c.Score, Hops: int(c.Hops), Instances: instances})
+		for _, iid := range instances {
 			seen[iid] = true
 		}
 	}
@@ -286,14 +287,35 @@ func (r *Relaxer) materializedServe(ctx context.Context, q eks.ConceptID, qctx *
 	return out, true, nil
 }
 
+// get returns one entry as a value view under either backing; the slices of
+// the returned entry are shared with the store and must not be mutated.
+func (m *Materialized) get(concept eks.ConceptID, ctx string) (matEntry, bool) {
+	if m.flat != nil {
+		return m.flat.get(concept, ctx)
+	}
+	e, ok := m.entries[matKey{concept: concept, ctx: ctx}]
+	if !ok {
+		return matEntry{}, false
+	}
+	return *e, true
+}
+
 // Options reports the RelaxOptions the store was built under.
 func (m *Materialized) Options() RelaxOptions { return m.opts }
 
 // Entries reports the number of (concept, context) entries.
-func (m *Materialized) Entries() int { return len(m.entries) }
+func (m *Materialized) Entries() int {
+	if m.flat != nil {
+		return len(m.flat.concepts)
+	}
+	return len(m.entries)
+}
 
 // Concepts reports the number of distinct materialized query concepts.
 func (m *Materialized) Concepts() int {
+	if m.flat != nil {
+		return m.flat.distinctConcepts()
+	}
 	seen := map[eks.ConceptID]bool{}
 	for k := range m.entries {
 		seen[k.concept] = true
@@ -326,19 +348,26 @@ type MaterializedCandidate struct {
 // Snapshot extracts the serializable form, entries sorted by (concept,
 // context) so bundle bytes are deterministic.
 func (m *Materialized) Snapshot() *MaterializedSnapshot {
-	keys := make([]matKey, 0, len(m.entries))
-	for k := range m.entries {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].concept != keys[j].concept {
-			return keys[i].concept < keys[j].concept
+	keys := make([]matKey, 0, m.Entries())
+	if m.flat != nil {
+		// Flat entries are stored in (concept, ctx) order already.
+		for i := range m.flat.concepts {
+			keys = append(keys, matKey{concept: m.flat.concepts[i], ctx: m.flat.ctxs[i]})
 		}
-		return keys[i].ctx < keys[j].ctx
-	})
+	} else {
+		for k := range m.entries {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].concept != keys[j].concept {
+				return keys[i].concept < keys[j].concept
+			}
+			return keys[i].ctx < keys[j].ctx
+		})
+	}
 	snap := &MaterializedSnapshot{Relax: m.opts, Entries: make([]MaterializedEntrySnapshot, 0, len(keys))}
 	for _, k := range keys {
-		e := m.entries[k]
+		e, _ := m.get(k.concept, k.ctx)
 		es := MaterializedEntrySnapshot{
 			Concept:  k.concept,
 			Ctx:      k.ctx,
@@ -347,7 +376,7 @@ func (m *Materialized) Snapshot() *MaterializedSnapshot {
 			Cands:    make([]MaterializedCandidate, 0, len(e.cands)),
 		}
 		for _, c := range e.cands {
-			es.Cands = append(es.Cands, MaterializedCandidate{Concept: c.id, Score: c.score, Hops: int(c.hops)})
+			es.Cands = append(es.Cands, MaterializedCandidate{Concept: c.Concept, Score: c.Score, Hops: int(c.Hops)})
 		}
 		snap.Entries = append(snap.Entries, es)
 	}
@@ -386,7 +415,7 @@ func RestoreMaterialized(snap *MaterializedSnapshot) (*Materialized, error) {
 					return nil, fmt.Errorf("core: materialized entry (%d, %q) not in ranking order at %d", es.Concept, es.Ctx, i)
 				}
 			}
-			e.cands = append(e.cands, matCand{id: c.Concept, score: c.Score, hops: int32(c.Hops)})
+			e.cands = append(e.cands, matCand{Concept: c.Concept, Score: c.Score, Hops: int32(c.Hops)})
 		}
 		m.entries[k] = e
 	}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"medrelax/internal/eks"
 	"medrelax/internal/embedding"
 	"medrelax/internal/match"
@@ -97,11 +95,7 @@ func NewEmbeddingMethod(name string, ing *Ingestion, enc *embedding.SIFEncoder) 
 		encoder: enc,
 		byKey:   make(map[string][]eks.ConceptID),
 	}
-	var flagged []eks.ConceptID
-	for id := range ing.Flagged {
-		flagged = append(flagged, id)
-	}
-	sort.Slice(flagged, func(i, j int) bool { return flagged[i] < flagged[j] })
+	flagged := ing.FlaggedIDs()
 	type entry struct {
 		key string
 		vec embedding.Vector

@@ -36,20 +36,21 @@ type CandidateIndex struct {
 	// skipped counts concepts left out because their neighborhood exceeded
 	// MaxPostings; queries anchored there fall back to the live traversal.
 	skipped int
+
+	// flatIDs/flatOff, when set, replace lists: the indexed concepts in
+	// ascending order with CSR spans into posts (usually aliasing a memory
+	// mapping); see OpenFlatCandidateIndex.
+	flatIDs []eks.ConceptID
+	flatOff []int32
 }
 
 // postingSpan is one concept's slice of the shared posting pool.
 type postingSpan struct{ lo, hi int32 }
 
-// idxPosting is one precomputed candidate: identity, minimal hop distance,
-// and the canonical-meet geometry (gen/spec hop counts plus a span into the
-// shared LCS pool; an empty span means no common subsumer, score 0).
-type idxPosting struct {
-	id           eks.ConceptID
-	hops         int32
-	gen, spec    int32
-	lcsLo, lcsHi int32
-}
+// idxPosting aliases the exported fixed-layout record so map-built and
+// flat-mapped indexes share one posting representation; an empty LCS span
+// means no common subsumer, score 0.
+type idxPosting = Posting
 
 // CandidateIndexOptions tunes the offline build.
 type CandidateIndexOptions struct {
@@ -132,8 +133,8 @@ func BuildCandidateIndex(ing *Ingestion, sim *Similarity, opts CandidateIndexOpt
 		lo := int32(len(idx.posts))
 		lcsBase := int32(len(idx.lcs))
 		for _, p := range b.posts {
-			p.lcsLo += lcsBase
-			p.lcsHi += lcsBase
+			p.LCSLo += lcsBase
+			p.LCSHi += lcsBase
 			idx.posts = append(idx.posts, p)
 		}
 		idx.lcs = append(idx.lcs, b.lcs...)
@@ -149,7 +150,7 @@ func buildPostings(ing *Ingestion, sim *Similarity, q eks.ConceptID, opts Candid
 	nbs := ing.Graph.NeighborsWithinHops(q, opts.Radius)
 	flagged := nbs[:0]
 	for _, nb := range nbs {
-		if ing.Flagged[nb.ID] {
+		if ing.IsFlagged(nb.ID) {
 			flagged = append(flagged, nb)
 		}
 	}
@@ -159,13 +160,13 @@ func buildPostings(ing *Ingestion, sim *Similarity, q eks.ConceptID, opts Candid
 	out := builtList{indexed: true, posts: make([]idxPosting, 0, len(flagged))}
 	partials := make([]float64, 0, len(flagged))
 	for _, nb := range flagged {
-		p := idxPosting{id: nb.ID, hops: int32(nb.Hops)}
+		p := idxPosting{Concept: nb.ID, Hops: int32(nb.Hops)}
 		partial := 0.0
 		if lcs, gen, spec, ok := sim.canonicalMeet(q, nb.ID, scratch); ok {
-			p.gen, p.spec = int32(gen), int32(spec)
-			p.lcsLo = int32(len(out.lcs))
+			p.Gen, p.Spec = int32(gen), int32(spec)
+			p.LCSLo = int32(len(out.lcs))
 			out.lcs = append(out.lcs, lcs...)
-			p.lcsHi = int32(len(out.lcs))
+			p.LCSHi = int32(len(out.lcs))
 			partial = canonicalPathWeight(sim.Weights, gen, spec)
 		}
 		out.posts = append(out.posts, p)
@@ -177,13 +178,13 @@ func buildPostings(ing *Ingestion, sim *Similarity, q eks.ConceptID, opts Candid
 	}
 	sort.Slice(order, func(a, b int) bool {
 		pa, pb := &out.posts[order[a]], &out.posts[order[b]]
-		if pa.hops != pb.hops {
-			return pa.hops < pb.hops
+		if pa.Hops != pb.Hops {
+			return pa.Hops < pb.Hops
 		}
 		if partials[order[a]] != partials[order[b]] {
 			return partials[order[a]] > partials[order[b]]
 		}
-		return pa.id < pb.id
+		return pa.Concept < pb.Concept
 	})
 	sorted := make([]idxPosting, len(out.posts))
 	for i, j := range order {
@@ -196,6 +197,13 @@ func buildPostings(ing *Ingestion, sim *Similarity, q eks.ConceptID, opts Candid
 // lookup returns q's posting list; ok is false when q was not indexed
 // (skipped hub or unknown concept) and the caller must traverse live.
 func (x *CandidateIndex) lookup(q eks.ConceptID) ([]idxPosting, bool) {
+	if x.flatIDs != nil {
+		i := sort.Search(len(x.flatIDs), func(i int) bool { return x.flatIDs[i] >= q })
+		if i >= len(x.flatIDs) || x.flatIDs[i] != q {
+			return nil, false
+		}
+		return x.posts[x.flatOff[i]:x.flatOff[i+1]], true
+	}
 	s, ok := x.lists[q]
 	if !ok {
 		return nil, false
@@ -206,7 +214,7 @@ func (x *CandidateIndex) lookup(q eks.ConceptID) ([]idxPosting, bool) {
 // hopCut returns the end of the prefix of posts with hops <= radius; posts
 // are hop-major sorted so the radius-r candidate set is posts[:cut].
 func hopCut(posts []idxPosting, radius int) int {
-	return sort.Search(len(posts), func(i int) bool { return int(posts[i].hops) > radius })
+	return sort.Search(len(posts), func(i int) bool { return int(posts[i].Hops) > radius })
 }
 
 // indexedCandidates is rankedCandidatesTarget over the posting list:
@@ -239,14 +247,14 @@ func (r *Relaxer) indexedCandidates(ctx context.Context, q eks.ConceptID, qctx *
 		}
 		radius++
 	}
-	includeSelf := r.opts.IncludeSelf && r.ing.Flagged[q]
+	includeSelf := r.opts.IncludeSelf && r.ing.IsFlagged(q)
 	total := cut
 	if includeSelf {
 		total++
 	}
 	out := make([]Result, 0, total)
 	if includeSelf {
-		out = append(out, Result{Concept: q, Score: 1, Hops: 0, Instances: r.ing.InstancesFor[q]})
+		out = append(out, Result{Concept: q, Score: 1, Hops: 0, Instances: r.ing.InstancesForConcept(q)})
 	}
 	for i := 0; i < cut; i++ {
 		if i%scoreCheckInterval == 0 {
@@ -256,15 +264,15 @@ func (r *Relaxer) indexedCandidates(ctx context.Context, q eks.ConceptID, qctx *
 		}
 		p := &posts[i]
 		score := 0.0
-		if p.lcsHi > p.lcsLo {
-			ic := r.sim.simICFromLCS(q, p.id, idx.lcs[p.lcsLo:p.lcsHi], qctx)
+		if p.LCSHi > p.LCSLo {
+			ic := r.sim.simICFromLCS(q, p.Concept, idx.lcs[p.LCSLo:p.LCSHi], qctx)
 			if r.sim.UsePathWeight {
-				score = r.pw[p.gen][p.spec] * ic
+				score = r.pw[p.Gen][p.Spec] * ic
 			} else {
 				score = ic
 			}
 		}
-		out = append(out, Result{Concept: p.id, Score: score, Hops: int(p.hops), Instances: r.ing.InstancesFor[p.id]})
+		out = append(out, Result{Concept: p.Concept, Score: score, Hops: int(p.Hops), Instances: r.ing.InstancesForConcept(p.Concept)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
@@ -279,13 +287,13 @@ func (r *Relaxer) indexedCandidates(ctx context.Context, q eks.ConceptID, qctx *
 // including the self instances flaggedWithin would have contributed.
 func (r *Relaxer) postingInstanceCount(posts []idxPosting, q eks.ConceptID, sc *relaxScratch) int {
 	seen := sc.resetSeen()
-	if r.opts.IncludeSelf && r.ing.Flagged[q] {
-		for _, iid := range r.ing.InstancesFor[q] {
+	if r.opts.IncludeSelf && r.ing.IsFlagged(q) {
+		for _, iid := range r.ing.InstancesForConcept(q) {
 			seen[iid] = true
 		}
 	}
 	for i := range posts {
-		for _, iid := range r.ing.InstancesFor[posts[i].id] {
+		for _, iid := range r.ing.InstancesForConcept(posts[i].Concept) {
 			seen[iid] = true
 		}
 	}
@@ -296,7 +304,12 @@ func (r *Relaxer) postingInstanceCount(posts []idxPosting, q eks.ConceptID, sc *
 func (x *CandidateIndex) Radius() int { return x.radius }
 
 // Concepts reports how many concepts have a posting list.
-func (x *CandidateIndex) Concepts() int { return len(x.lists) }
+func (x *CandidateIndex) Concepts() int {
+	if x.flatIDs != nil {
+		return len(x.flatIDs)
+	}
+	return len(x.lists)
+}
 
 // Postings reports the total posting count across all lists.
 func (x *CandidateIndex) Postings() int { return len(x.posts) }
@@ -308,10 +321,10 @@ func (x *CandidateIndex) Skipped() int { return x.skipped }
 // the path-weight table SetCandidateIndex precomputes.
 func (x *CandidateIndex) maxGeometry() (maxGen, maxSpec int) {
 	for i := range x.posts {
-		if g := int(x.posts[i].gen); g > maxGen {
+		if g := int(x.posts[i].Gen); g > maxGen {
 			maxGen = g
 		}
-		if s := int(x.posts[i].spec); s > maxSpec {
+		if s := int(x.posts[i].Spec); s > maxSpec {
 			maxSpec = s
 		}
 	}
@@ -358,20 +371,25 @@ type PostingSnapshot struct {
 // Snapshot extracts the serializable form, lists in ascending concept
 // order so bundle bytes are deterministic.
 func (x *CandidateIndex) Snapshot() *CandidateIndexSnapshot {
-	snap := &CandidateIndexSnapshot{Radius: x.radius, Lists: make([]CandidateListSnapshot, 0, len(x.lists))}
-	ids := make([]eks.ConceptID, 0, len(x.lists))
-	for id := range x.lists {
-		ids = append(ids, id)
+	snap := &CandidateIndexSnapshot{Radius: x.radius, Lists: make([]CandidateListSnapshot, 0, x.Concepts())}
+	var ids []eks.ConceptID
+	if x.flatIDs != nil {
+		ids = x.flatIDs // stored ascending already
+	} else {
+		ids = make([]eks.ConceptID, 0, len(x.lists))
+		for id := range x.lists {
+			ids = append(ids, id)
+		}
+		sortConceptIDs(ids)
 	}
-	sortConceptIDs(ids)
 	for _, id := range ids {
 		posts, _ := x.lookup(id)
 		ls := CandidateListSnapshot{Concept: id, Postings: make([]PostingSnapshot, 0, len(posts))}
 		for i := range posts {
 			p := &posts[i]
-			ps := PostingSnapshot{Concept: p.id, Hops: int(p.hops), Gen: int(p.gen), Spec: int(p.spec)}
-			if p.lcsHi > p.lcsLo {
-				ps.LCS = append(ps.LCS, x.lcs[p.lcsLo:p.lcsHi]...)
+			ps := PostingSnapshot{Concept: p.Concept, Hops: int(p.Hops), Gen: int(p.Gen), Spec: int(p.Spec)}
+			if p.LCSHi > p.LCSLo {
+				ps.LCS = append(ps.LCS, x.lcs[p.LCSLo:p.LCSHi]...)
 			}
 			ls.Postings = append(ls.Postings, ps)
 		}
@@ -405,16 +423,16 @@ func RestoreCandidateIndex(snap *CandidateIndexSnapshot) (*CandidateIndex, error
 			if ps.Gen < 0 || ps.Spec < 0 {
 				return nil, fmt.Errorf("core: posting %d->%d has negative meet geometry", ls.Concept, ps.Concept)
 			}
-			p := idxPosting{id: ps.Concept, hops: int32(ps.Hops), gen: int32(ps.Gen), spec: int32(ps.Spec)}
+			p := idxPosting{Concept: ps.Concept, Hops: int32(ps.Hops), Gen: int32(ps.Gen), Spec: int32(ps.Spec)}
 			if len(ps.LCS) > 0 {
 				for i := 1; i < len(ps.LCS); i++ {
 					if ps.LCS[i] <= ps.LCS[i-1] {
 						return nil, fmt.Errorf("core: posting %d->%d LCS set not strictly ascending", ls.Concept, ps.Concept)
 					}
 				}
-				p.lcsLo = int32(len(x.lcs))
+				p.LCSLo = int32(len(x.lcs))
 				x.lcs = append(x.lcs, ps.LCS...)
-				p.lcsHi = int32(len(x.lcs))
+				p.LCSHi = int32(len(x.lcs))
 			}
 			x.posts = append(x.posts, p)
 		}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"runtime"
-	"sort"
 	"sync"
 
 	"medrelax/internal/eks"
@@ -63,16 +62,12 @@ func ctxKey(ctx *ontology.Context) string {
 func Precompute(ing *Ingestion, sim *Similarity, opts PrecomputeOptions) *PrecomputedSimilarity {
 	opts = opts.withDefaults()
 	p := &PrecomputedSimilarity{
-		entries: make(map[eks.ConceptID]map[string][]Result, len(ing.Flagged)),
+		entries: make(map[eks.ConceptID]map[string][]Result, ing.FlaggedCount()),
 		radius:  opts.Radius,
 	}
 	relaxer := NewRelaxer(ing, sim, nil, RelaxOptions{Radius: opts.Radius})
 
-	var queries []eks.ConceptID
-	for q := range ing.Flagged {
-		queries = append(queries, q)
-	}
-	sort.Slice(queries, func(i, j int) bool { return queries[i] < queries[j] })
+	queries := ing.FlaggedIDs()
 
 	ctxs := make([]*ontology.Context, 0, len(opts.Contexts)+1)
 	ctxs = append(ctxs, nil)

@@ -395,7 +395,7 @@ func (r *Relaxer) rankedCandidatesTarget(ctx context.Context, q eks.ConceptID, q
 			Concept:   nb.ID,
 			Score:     r.sim.Sim(q, nb.ID, qctx),
 			Hops:      nb.Hops,
-			Instances: r.ing.InstancesFor[nb.ID],
+			Instances: r.ing.InstancesForConcept(nb.ID),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -414,7 +414,7 @@ func (r *Relaxer) rankedCandidatesTarget(ctx context.Context, q eks.ConceptID, q
 func (r *Relaxer) instanceCount(cands []eks.Neighbor, sc *relaxScratch) int {
 	seen := sc.resetSeen()
 	for _, nb := range cands {
-		for _, id := range r.ing.InstancesFor[nb.ID] {
+		for _, id := range r.ing.InstancesForConcept(nb.ID) {
 			seen[id] = true
 		}
 	}
@@ -429,11 +429,11 @@ const defaultCandidateTarget = 10
 func (r *Relaxer) flaggedWithin(q eks.ConceptID, radius int, sc *relaxScratch) []eks.Neighbor {
 	nbs := r.ing.Graph.NeighborsWithinHops(q, radius)
 	out := sc.nbuf[:0]
-	if r.opts.IncludeSelf && r.ing.Flagged[q] {
+	if r.opts.IncludeSelf && r.ing.IsFlagged(q) {
 		out = append(out, eks.Neighbor{ID: q, Hops: 0})
 	}
 	for _, nb := range nbs {
-		if r.ing.Flagged[nb.ID] {
+		if r.ing.IsFlagged(nb.ID) {
 			out = append(out, nb)
 		}
 	}

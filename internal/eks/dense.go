@@ -75,7 +75,12 @@ func (g *Graph) denseIdx() *denseIndex {
 	if d := g.dense.Load(); d != nil {
 		return d
 	}
-	d := buildDenseIndex(g)
+	var d *denseIndex
+	if g.flat != nil {
+		d = g.flat.denseIndex()
+	} else {
+		d = buildDenseIndex(g)
+	}
 	g.dense.Store(d)
 	return d
 }
@@ -142,6 +147,30 @@ func buildDenseIndex(g *Graph) *denseIndex {
 		}
 	}
 	return d
+}
+
+// lookup maps a ConceptID to its dense node index. Map-built indexes use
+// the hash; flat-mapped indexes carry no map and binary-search the
+// ascending ID slice instead, so opening a flat bundle never materializes
+// a per-concept map.
+func (d *denseIndex) lookup(id ConceptID) (int32, bool) {
+	if d.idx != nil {
+		i, ok := d.idx[id]
+		return i, ok
+	}
+	lo, hi := 0, len(d.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if d.ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(d.ids) && d.ids[lo] == id {
+		return int32(lo), true
+	}
+	return 0, false
 }
 
 func (d *denseIndex) getScratch() *denseScratch {
@@ -295,7 +324,7 @@ func (v SubsumerVec) At(i int) (ConceptID, int) { return v.ids[i], int(v.dist[i]
 // an unknown concept.
 func (g *Graph) SubsumerVec(id ConceptID) (SubsumerVec, bool) {
 	d := g.denseIdx()
-	src, ok := d.idx[id]
+	src, ok := d.lookup(id)
 	if !ok {
 		return SubsumerVec{}, false
 	}

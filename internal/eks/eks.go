@@ -57,11 +57,19 @@ type Graph struct {
 	hasRoot  bool
 	nameIdx  map[string][]ConceptID
 
+	// flat, when set, backs the graph with read-only flat-bundle sections
+	// (usually a memory mapping) instead of the maps above; see
+	// NewFlatGraph. Mutating methods fail on a flat graph.
+	flat *flatGraph
+
 	// dense is the frozen CSR traversal index, built lazily on first use
 	// and dropped by structural mutations. denseMu serializes the build.
 	denseMu sync.Mutex
 	dense   atomic.Pointer[denseIndex]
 }
+
+// errFlatMutate is returned by every mutating method on a flat-backed graph.
+var errFlatMutate = fmt.Errorf("eks: graph is a read-only flat snapshot view")
 
 // New returns an empty graph.
 func New() *Graph {
@@ -83,6 +91,9 @@ func NewSized(n int) *Graph {
 // AddConcept inserts a concept. It returns an error if the ID is already
 // present or the name is empty.
 func (g *Graph) AddConcept(c Concept) error {
+	if g.flat != nil {
+		return errFlatMutate
+	}
 	if c.Name == "" {
 		return fmt.Errorf("eks: concept %d has empty name", c.ID)
 	}
@@ -116,6 +127,9 @@ func (g *Graph) indexName(name string, id ConceptID) {
 // indexes it for LookupName. Unknown concepts and blank synonyms are
 // ignored.
 func (g *Graph) AddSynonym(id ConceptID, synonym string) {
+	if g.flat != nil {
+		return
+	}
 	c, ok := g.concepts[id]
 	if !ok || stringutil.Normalize(synonym) == "" {
 		return
@@ -127,6 +141,9 @@ func (g *Graph) AddSynonym(id ConceptID, synonym string) {
 // SetRoot declares the top concept (owl:Thing). Validate checks that every
 // concept is a descendant of the root.
 func (g *Graph) SetRoot(id ConceptID) error {
+	if g.flat != nil {
+		return errFlatMutate
+	}
 	if _, ok := g.concepts[id]; !ok {
 		return fmt.Errorf("eks: root %d not a concept", id)
 	}
@@ -153,6 +170,9 @@ func (g *Graph) AddShortcutEdge(child, parent ConceptID, dist int) error {
 }
 
 func (g *Graph) addEdge(e Edge) error {
+	if g.flat != nil {
+		return errFlatMutate
+	}
 	if e.From == e.To {
 		return fmt.Errorf("eks: self edge on %d", e.From)
 	}
@@ -175,6 +195,9 @@ func (g *Graph) addEdge(e Edge) error {
 
 // Concept returns the concept with the given ID.
 func (g *Graph) Concept(id ConceptID) (Concept, bool) {
+	if g.flat != nil {
+		return g.flat.concept(id)
+	}
 	c, ok := g.concepts[id]
 	if !ok {
 		return Concept{}, false
@@ -183,10 +206,18 @@ func (g *Graph) Concept(id ConceptID) (Concept, bool) {
 }
 
 // Len returns the number of concepts.
-func (g *Graph) Len() int { return len(g.concepts) }
+func (g *Graph) Len() int {
+	if g.flat != nil {
+		return len(g.flat.ids)
+	}
+	return len(g.concepts)
+}
 
 // EdgeCount returns the number of edges, counting shortcuts.
 func (g *Graph) EdgeCount() int {
+	if g.flat != nil {
+		return g.flat.edgeCount()
+	}
 	n := 0
 	for _, es := range g.up {
 		n += len(es)
@@ -196,6 +227,9 @@ func (g *Graph) EdgeCount() int {
 
 // ShortcutCount returns the number of shortcut edges.
 func (g *Graph) ShortcutCount() int {
+	if g.flat != nil {
+		return g.flat.shortcutCount()
+	}
 	n := 0
 	for _, es := range g.up {
 		for _, e := range es {
@@ -209,6 +243,11 @@ func (g *Graph) ShortcutCount() int {
 
 // ConceptIDs returns all concept IDs in ascending order.
 func (g *Graph) ConceptIDs() []ConceptID {
+	if g.flat != nil {
+		ids := make([]ConceptID, len(g.flat.ids))
+		copy(ids, g.flat.ids)
+		return ids
+	}
 	ids := make([]ConceptID, 0, len(g.concepts))
 	for id := range g.concepts {
 		ids = append(ids, id)
@@ -220,6 +259,9 @@ func (g *Graph) ConceptIDs() []ConceptID {
 // LookupName returns the concepts whose preferred name or any synonym
 // normalizes to the same form as name, in ascending ID order.
 func (g *Graph) LookupName(name string) []ConceptID {
+	if g.flat != nil {
+		return g.flat.lookupName(name)
+	}
 	ids := g.nameIdx[stringutil.Normalize(name)]
 	out := make([]ConceptID, len(ids))
 	copy(out, ids)
@@ -230,6 +272,11 @@ func (g *Graph) LookupName(name string) []ConceptID {
 // NameKeys returns every normalized name key in the index. The order is
 // unspecified. It is intended for matchers that scan the lexicon.
 func (g *Graph) NameKeys() []string {
+	if g.flat != nil {
+		keys := make([]string, len(g.flat.nameKeys))
+		copy(keys, g.flat.nameKeys)
+		return keys
+	}
 	keys := make([]string, 0, len(g.nameIdx))
 	for k := range g.nameIdx {
 		keys = append(keys, k)
@@ -240,6 +287,9 @@ func (g *Graph) NameKeys() []string {
 // IDsForNameKey returns the concept IDs indexed under an already-normalized
 // key, or nil.
 func (g *Graph) IDsForNameKey(key string) []ConceptID {
+	if g.flat != nil {
+		return g.flat.idsForNameKey(key)
+	}
 	ids := g.nameIdx[key]
 	out := make([]ConceptID, len(ids))
 	copy(out, ids)
@@ -248,6 +298,9 @@ func (g *Graph) IDsForNameKey(key string) []ConceptID {
 
 // Parents returns the native (non-shortcut) direct parents of id.
 func (g *Graph) Parents(id ConceptID) []ConceptID {
+	if g.flat != nil {
+		return g.flat.nativeNeighbors(id, true)
+	}
 	var out []ConceptID
 	for _, e := range g.up[id] {
 		if !e.Shortcut {
@@ -260,6 +313,9 @@ func (g *Graph) Parents(id ConceptID) []ConceptID {
 
 // Children returns the native (non-shortcut) direct children of id.
 func (g *Graph) Children(id ConceptID) []ConceptID {
+	if g.flat != nil {
+		return g.flat.nativeNeighbors(id, false)
+	}
 	var out []ConceptID
 	for _, e := range g.down[id] {
 		if !e.Shortcut {
@@ -273,6 +329,9 @@ func (g *Graph) Children(id ConceptID) []ConceptID {
 // UpEdges returns all edges (native and shortcut) from id toward its
 // generalizations.
 func (g *Graph) UpEdges(id ConceptID) []Edge {
+	if g.flat != nil {
+		return g.flat.edges(id, true)
+	}
 	es := g.up[id]
 	out := make([]Edge, len(es))
 	copy(out, es)
@@ -282,6 +341,9 @@ func (g *Graph) UpEdges(id ConceptID) []Edge {
 // DownEdges returns all edges (native and shortcut) from id toward its
 // specializations.
 func (g *Graph) DownEdges(id ConceptID) []Edge {
+	if g.flat != nil {
+		return g.flat.edges(id, false)
+	}
 	es := g.down[id]
 	out := make([]Edge, len(es))
 	copy(out, es)
@@ -291,6 +353,9 @@ func (g *Graph) DownEdges(id ConceptID) []Edge {
 // Ancestors returns the set of all concepts reachable from id by following
 // native subsumption edges upward, excluding id itself.
 func (g *Graph) Ancestors(id ConceptID) map[ConceptID]bool {
+	if g.flat != nil {
+		return g.flat.reachNative(id, true)
+	}
 	out := make(map[ConceptID]bool)
 	stack := []ConceptID{id}
 	for len(stack) > 0 {
@@ -312,6 +377,9 @@ func (g *Graph) Ancestors(id ConceptID) map[ConceptID]bool {
 // Descendants returns the set of all concepts reachable from id by
 // following native subsumption edges downward, excluding id itself.
 func (g *Graph) Descendants(id ConceptID) map[ConceptID]bool {
+	if g.flat != nil {
+		return g.flat.reachNative(id, false)
+	}
 	out := make(map[ConceptID]bool)
 	stack := []ConceptID{id}
 	for len(stack) > 0 {
@@ -335,7 +403,7 @@ func (g *Graph) Descendants(id ConceptID) map[ConceptID]bool {
 // index, so counting does not materialize the descendant set.
 func (g *Graph) DescendantCount(id ConceptID) int {
 	d := g.denseIdx()
-	src, ok := d.idx[id]
+	src, ok := d.lookup(id)
 	if !ok {
 		return 0
 	}
@@ -349,6 +417,9 @@ func (g *Graph) DescendantCount(id ConceptID) int {
 // (Algorithm 1, line 12), considering native edges only. It returns an
 // error if the native subsumption graph has a cycle.
 func (g *Graph) TopologicalOrder() ([]ConceptID, error) {
+	if g.flat != nil {
+		return g.flat.topologicalOrder()
+	}
 	// Kahn's algorithm over the child→parent direction: indegree counts
 	// native down-edges (children not yet emitted). Always popping the
 	// smallest ready ID keeps the order deterministic; a binary min-heap
@@ -447,6 +518,9 @@ func (h idHeap) down(i int) {
 func (g *Graph) Validate() error {
 	if !g.hasRoot {
 		return fmt.Errorf("eks: no root set")
+	}
+	if g.flat != nil {
+		return g.flat.validate(g.root)
 	}
 	if _, err := g.TopologicalOrder(); err != nil {
 		return err

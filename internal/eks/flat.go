@@ -1,0 +1,445 @@
+package eks
+
+import (
+	"fmt"
+	"sort"
+
+	"medrelax/internal/stringutil"
+)
+
+// flatGraph is a read-only graph backing built from the flat (v4) bundle
+// sections: the CSR adjacency and the ascending concept-ID slice are used
+// directly as stored — typically aliasing a memory-mapped file — so opening
+// a snapshot materializes no per-concept structs or maps. Lookups that the
+// map-backed graph answers by hashing are answered here by binary search
+// over the ascending slices.
+type flatGraph struct {
+	ids    []ConceptID // ascending, one per concept
+	names  []string    // preferred name per concept
+	synOff []int32     // len n+1; concept i's synonyms are syns[synOff[i]:synOff[i+1]]
+	syns   []string
+
+	// CSR adjacency over dense node indexes (position in ids), same layout
+	// as denseIndex: native edges precede shortcut edges within each node's
+	// range, with the boundary at upNativeEnd/downNativeEnd.
+	upOff, downOff             []int32 // len n+1
+	upTo, downTo               []int32
+	upDist, downDist           []int32
+	upNativeEnd, downNativeEnd []int32 // absolute positions, len n
+
+	// Normalized-name index: sorted unique keys with CSR spans into keyIDs.
+	// Per-key ID order is the insertion order the writer recorded.
+	nameKeys []string
+	keyOff   []int32 // len(nameKeys)+1
+	keyIDs   []ConceptID
+}
+
+// FlatGraphData carries the decoded flat-bundle sections into NewFlatGraph.
+// Slices may alias a memory mapping; the graph never mutates them.
+type FlatGraphData struct {
+	IDs    []ConceptID // ascending
+	Names  []string    // one per concept, non-empty
+	SynOff []int32     // len(IDs)+1, CSR into Syns
+	Syns   []string
+	Root   ConceptID
+
+	UpOff, DownOff             []int32 // len(IDs)+1
+	UpTo, DownTo               []int32 // dense node targets
+	UpDist, DownDist           []int32
+	UpNativeEnd, DownNativeEnd []int32 // len(IDs), absolute positions
+
+	NameKeys []string // sorted ascending, unique, normalized
+	KeyOff   []int32  // len(NameKeys)+1, CSR into KeyIDs
+	KeyIDs   []ConceptID
+}
+
+// NewFlatGraph wraps flat-bundle sections in a read-only *Graph. It
+// validates the structural invariants the mutating API enforces piecewise —
+// ascending IDs, monotonic in-bounds CSR offsets, native/shortcut distance
+// floors — so traversals over a hostile bundle stay memory-safe. Mutating
+// methods on the returned graph fail.
+func NewFlatGraph(d FlatGraphData) (*Graph, error) {
+	n := len(d.IDs)
+	if len(d.Names) != n {
+		return nil, fmt.Errorf("eks: flat graph: %d names for %d concepts", len(d.Names), n)
+	}
+	for i := 1; i < n; i++ {
+		if d.IDs[i] <= d.IDs[i-1] {
+			return nil, fmt.Errorf("eks: flat graph: concept ids not strictly ascending at %d", i)
+		}
+	}
+	for i, name := range d.Names {
+		if name == "" {
+			return nil, fmt.Errorf("eks: flat graph: concept %d has empty name", d.IDs[i])
+		}
+	}
+	if err := checkCSR("synonyms", n, d.SynOff, len(d.Syns)); err != nil {
+		return nil, err
+	}
+	if err := checkAdjacency("up", n, d.UpOff, d.UpTo, d.UpDist, d.UpNativeEnd); err != nil {
+		return nil, err
+	}
+	if err := checkAdjacency("down", n, d.DownOff, d.DownTo, d.DownDist, d.DownNativeEnd); err != nil {
+		return nil, err
+	}
+	if err := checkCSR("name index", len(d.NameKeys), d.KeyOff, len(d.KeyIDs)); err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(d.NameKeys); i++ {
+		if d.NameKeys[i] <= d.NameKeys[i-1] {
+			return nil, fmt.Errorf("eks: flat graph: name keys not strictly ascending at %d", i)
+		}
+	}
+	f := &flatGraph{
+		ids: d.IDs, names: d.Names, synOff: d.SynOff, syns: d.Syns,
+		upOff: d.UpOff, downOff: d.DownOff,
+		upTo: d.UpTo, downTo: d.DownTo,
+		upDist: d.UpDist, downDist: d.DownDist,
+		upNativeEnd: d.UpNativeEnd, downNativeEnd: d.DownNativeEnd,
+		nameKeys: d.NameKeys, keyOff: d.KeyOff, keyIDs: d.KeyIDs,
+	}
+	for _, id := range d.KeyIDs {
+		if _, ok := f.node(id); !ok {
+			return nil, fmt.Errorf("eks: flat graph: name index references unknown concept %d", id)
+		}
+	}
+	if _, ok := f.node(d.Root); !ok {
+		return nil, fmt.Errorf("eks: flat graph: root %d not a concept", d.Root)
+	}
+	return &Graph{flat: f, root: d.Root, hasRoot: true}, nil
+}
+
+// checkCSR validates a CSR offset slice: length n+1, starts at 0, ends at
+// the pool length, and never decreases.
+func checkCSR(what string, n int, off []int32, pool int) error {
+	if len(off) != n+1 {
+		return fmt.Errorf("eks: flat graph: %s offsets have length %d, want %d", what, len(off), n+1)
+	}
+	if n >= 0 && len(off) > 0 {
+		if off[0] != 0 {
+			return fmt.Errorf("eks: flat graph: %s offsets start at %d", what, off[0])
+		}
+		if int(off[n]) != pool {
+			return fmt.Errorf("eks: flat graph: %s offsets end at %d, pool has %d", what, off[n], pool)
+		}
+	}
+	for i := 1; i < len(off); i++ {
+		if off[i] < off[i-1] {
+			return fmt.Errorf("eks: flat graph: %s offsets decrease at %d", what, i)
+		}
+	}
+	return nil
+}
+
+// checkAdjacency validates one CSR direction: offsets, in-range targets, no
+// self edges, distance floors (1 native, 2 shortcut), and a native/shortcut
+// boundary inside each node's range.
+func checkAdjacency(dir string, n int, off, to, dist, nativeEnd []int32) error {
+	if len(to) != len(dist) {
+		return fmt.Errorf("eks: flat graph: %s edges have %d targets, %d distances", dir, len(to), len(dist))
+	}
+	if err := checkCSR(dir+" edges", n, off, len(to)); err != nil {
+		return err
+	}
+	if len(nativeEnd) != n {
+		return fmt.Errorf("eks: flat graph: %s native boundaries have length %d, want %d", dir, len(nativeEnd), n)
+	}
+	for i := 0; i < n; i++ {
+		lo, hi, ne := off[i], off[i+1], nativeEnd[i]
+		if ne < lo || ne > hi {
+			return fmt.Errorf("eks: flat graph: %s native boundary %d outside [%d,%d] for node %d", dir, ne, lo, hi, i)
+		}
+		for k := lo; k < hi; k++ {
+			if to[k] < 0 || int(to[k]) >= n {
+				return fmt.Errorf("eks: flat graph: %s edge target %d out of range for node %d", dir, to[k], i)
+			}
+			if int(to[k]) == i {
+				return fmt.Errorf("eks: flat graph: self edge on node %d", i)
+			}
+			floor := int32(1)
+			if k >= ne {
+				floor = 2 // shortcut edges stand for at least two hops
+			}
+			if dist[k] < floor {
+				return fmt.Errorf("eks: flat graph: %s edge %d->%d has distance %d, floor %d", dir, i, to[k], dist[k], floor)
+			}
+		}
+	}
+	return nil
+}
+
+// node maps a ConceptID to its dense index by binary search.
+func (f *flatGraph) node(id ConceptID) (int32, bool) {
+	lo, hi := 0, len(f.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if f.ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(f.ids) && f.ids[lo] == id {
+		return int32(lo), true
+	}
+	return 0, false
+}
+
+func (f *flatGraph) concept(id ConceptID) (Concept, bool) {
+	i, ok := f.node(id)
+	if !ok {
+		return Concept{}, false
+	}
+	c := Concept{ID: id, Name: f.names[i]}
+	if s := f.syns[f.synOff[i]:f.synOff[i+1]]; len(s) > 0 {
+		c.Synonyms = s
+	}
+	return c, true
+}
+
+// edges reconstructs one node's []Edge view from the CSR arrays. Shortcut
+// status is positional: entries at or past the native boundary.
+func (f *flatGraph) edges(id ConceptID, up bool) []Edge {
+	i, ok := f.node(id)
+	if !ok {
+		return nil
+	}
+	off, to, dist, nativeEnd := f.downOff, f.downTo, f.downDist, f.downNativeEnd
+	if up {
+		off, to, dist, nativeEnd = f.upOff, f.upTo, f.upDist, f.upNativeEnd
+	}
+	lo, hi := off[i], off[i+1]
+	if lo == hi {
+		return nil
+	}
+	out := make([]Edge, 0, hi-lo)
+	for k := lo; k < hi; k++ {
+		e := Edge{Dist: int(dist[k]), Shortcut: k >= nativeEnd[i]}
+		if up {
+			e.From, e.To = id, f.ids[to[k]]
+		} else {
+			e.From, e.To = f.ids[to[k]], id
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// nativeNeighbors returns the sorted concept IDs across one node's native
+// edge segment (Parents/Children).
+func (f *flatGraph) nativeNeighbors(id ConceptID, up bool) []ConceptID {
+	i, ok := f.node(id)
+	if !ok {
+		return nil
+	}
+	off, to, nativeEnd := f.downOff, f.downTo, f.downNativeEnd
+	if up {
+		off, to, nativeEnd = f.upOff, f.upTo, f.upNativeEnd
+	}
+	lo, hi := off[i], nativeEnd[i]
+	if lo == hi {
+		return nil
+	}
+	out := make([]ConceptID, 0, hi-lo)
+	for k := lo; k < hi; k++ {
+		out = append(out, f.ids[to[k]])
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// reachNative collects the native-edge closure of id in one direction,
+// excluding id, as a ConceptID set (Ancestors/Descendants).
+func (f *flatGraph) reachNative(id ConceptID, up bool) map[ConceptID]bool {
+	i, ok := f.node(id)
+	if !ok {
+		return map[ConceptID]bool{}
+	}
+	off, to, nativeEnd := f.downOff, f.downTo, f.downNativeEnd
+	if up {
+		off, to, nativeEnd = f.upOff, f.upTo, f.upNativeEnd
+	}
+	out := make(map[ConceptID]bool)
+	stack := []int32{i}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for k := off[cur]; k < nativeEnd[cur]; k++ {
+			nb := to[k]
+			if !out[f.ids[nb]] {
+				out[f.ids[nb]] = true
+				stack = append(stack, nb)
+			}
+		}
+	}
+	return out
+}
+
+func (f *flatGraph) edgeCount() int { return len(f.upTo) }
+
+func (f *flatGraph) shortcutCount() int {
+	n := 0
+	for i := range f.upNativeEnd {
+		n += int(f.upOff[i+1] - f.upNativeEnd[i])
+	}
+	return n
+}
+
+func (f *flatGraph) lookupName(name string) []ConceptID {
+	out := f.idsForNameKey(stringutil.Normalize(name))
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (f *flatGraph) idsForNameKey(key string) []ConceptID {
+	lo, hi := 0, len(f.nameKeys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if f.nameKeys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(f.nameKeys) || f.nameKeys[lo] != key {
+		return []ConceptID{}
+	}
+	span := f.keyIDs[f.keyOff[lo]:f.keyOff[lo+1]]
+	out := make([]ConceptID, len(span))
+	copy(out, span)
+	return out
+}
+
+// topologicalOrder is the flat counterpart of Graph.TopologicalOrder: Kahn
+// over native down-edge indegrees. Dense node order coincides with
+// ascending ConceptID order, so a min-heap of node indexes reproduces the
+// map-backed deterministic order exactly.
+func (f *flatGraph) topologicalOrder() ([]ConceptID, error) {
+	n := len(f.ids)
+	indeg := make([]int32, n)
+	heap := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = f.downNativeEnd[i] - f.downOff[i]
+		if indeg[i] == 0 {
+			heap = append(heap, int32(i))
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		nodeHeapDown(heap, i)
+	}
+	order := make([]ConceptID, 0, n)
+	for len(heap) > 0 {
+		node := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		nodeHeapDown(heap, 0)
+		order = append(order, f.ids[node])
+		for k := f.upOff[node]; k < f.upNativeEnd[node]; k++ {
+			parent := f.upTo[k]
+			indeg[parent]--
+			if indeg[parent] == 0 {
+				heap = append(heap, parent)
+				nodeHeapUp(heap)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("eks: subsumption graph has a cycle (%d of %d concepts ordered)", len(order), n)
+	}
+	return order, nil
+}
+
+func nodeHeapUp(h []int32) {
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func nodeHeapDown(h []int32, i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h[right] < h[left] {
+			smallest = right
+		}
+		if h[i] <= h[smallest] {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}
+
+// validate mirrors Graph.Validate on the CSR arrays: native DAG plus
+// root-reachability by one BFS over native down edges.
+func (f *flatGraph) validate(root ConceptID) error {
+	if _, err := f.topologicalOrder(); err != nil {
+		return err
+	}
+	src, ok := f.node(root)
+	if !ok {
+		return fmt.Errorf("eks: root %d not a concept", root)
+	}
+	n := len(f.ids)
+	reached := make([]bool, n)
+	reached[src] = true
+	count := 1
+	stack := []int32{src}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for k := f.downOff[cur]; k < f.downNativeEnd[cur]; k++ {
+			nb := f.downTo[k]
+			if !reached[nb] {
+				reached[nb] = true
+				count++
+				stack = append(stack, nb)
+			}
+		}
+	}
+	if count != n {
+		for i, r := range reached {
+			if !r {
+				return fmt.Errorf("eks: concept %d (%q) does not reach root", f.ids[i], f.names[i])
+			}
+		}
+	}
+	return nil
+}
+
+// denseIndex adapts the flat CSR arrays into the traversal index the online
+// hot paths run on. Nothing is copied: the index aliases the mapped
+// sections, and ID lookups go through denseIndex.lookup's binary-search
+// branch (idx stays nil).
+func (f *flatGraph) denseIndex() *denseIndex {
+	n := len(f.ids)
+	d := &denseIndex{
+		ids:           f.ids,
+		upOff:         f.upOff,
+		downOff:       f.downOff,
+		upTo:          f.upTo,
+		downTo:        f.downTo,
+		upDist:        f.upDist,
+		downDist:      f.downDist,
+		upNativeEnd:   f.upNativeEnd,
+		downNativeEnd: f.downNativeEnd,
+	}
+	d.scratch.New = func() any {
+		return &denseScratch{
+			stamp: make([]uint32, n),
+			dist:  make([]int32, n),
+		}
+	}
+	return d
+}

@@ -23,7 +23,7 @@ func (g *Graph) NeighborsWithinHops(from ConceptID, radius int) []Neighbor {
 		return nil
 	}
 	d := g.denseIdx()
-	src, ok := d.idx[from]
+	src, ok := d.lookup(from)
 	if !ok {
 		return nil
 	}
@@ -79,6 +79,33 @@ func (g *Graph) legacyNeighborsWithinHops(from ConceptID, radius int) []Neighbor
 		return out[i].ID < out[j].ID
 	})
 	return out
+}
+
+// has reports whether id is a concept under either backing.
+func (g *Graph) has(id ConceptID) bool {
+	if g.flat != nil {
+		_, ok := g.flat.node(id)
+		return ok
+	}
+	_, ok := g.concepts[id]
+	return ok
+}
+
+// upEdgesRef returns id's upward edges without copying on the map backing;
+// the flat backing synthesizes the slice from its CSR sections.
+func (g *Graph) upEdgesRef(id ConceptID) []Edge {
+	if g.flat != nil {
+		return g.flat.edges(id, true)
+	}
+	return g.up[id]
+}
+
+// downEdgesRef is the downward counterpart of upEdgesRef.
+func (g *Graph) downEdgesRef(id ConceptID) []Edge {
+	if g.flat != nil {
+		return g.flat.edges(id, false)
+	}
+	return g.down[id]
 }
 
 // Step is one original subsumption hop along a path between two concepts.
@@ -142,10 +169,7 @@ func (q *pq) Pop() interface{} {
 // Among equal-length paths the one that is lexicographically smallest by
 // (predecessor ID) is returned, making the result deterministic.
 func (g *Graph) ShortestSemanticPath(from, to ConceptID) (Path, bool) {
-	if _, ok := g.concepts[from]; !ok {
-		return Path{}, false
-	}
-	if _, ok := g.concepts[to]; !ok {
+	if !g.has(from) || !g.has(to) {
 		return Path{}, false
 	}
 	if from == to {
@@ -176,10 +200,10 @@ func (g *Graph) ShortestSemanticPath(from, to ConceptID) (Path, bool) {
 				heap.Push(h, pqItem{id: nb, dist: nd})
 			}
 		}
-		for _, e := range g.up[it.id] {
+		for _, e := range g.upEdgesRef(it.id) {
 			relax(e.To, true, e.Dist)
 		}
-		for _, e := range g.down[it.id] {
+		for _, e := range g.downEdgesRef(it.id) {
 			relax(e.From, false, e.Dist)
 		}
 	}
@@ -263,7 +287,7 @@ func (g *Graph) LCS(a, b ConceptID) (LCSResult, bool) {
 // the result map is allocated.
 func (g *Graph) upDistances(id ConceptID) map[ConceptID]int {
 	d := g.denseIdx()
-	src, ok := d.idx[id]
+	src, ok := d.lookup(id)
 	if !ok {
 		return nil
 	}
@@ -327,7 +351,7 @@ func (g *Graph) UpDistances(id ConceptID) map[ConceptID]int {
 // HasEdge reports whether any edge (native or shortcut) runs from child to
 // parent.
 func (g *Graph) HasEdge(child, parent ConceptID) bool {
-	for _, e := range g.up[child] {
+	for _, e := range g.upEdgesRef(child) {
 		if e.To == parent {
 			return true
 		}

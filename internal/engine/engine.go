@@ -13,12 +13,10 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"slices"
 	"time"
 
 	"medrelax/internal/core"
 	"medrelax/internal/dialog"
-	"medrelax/internal/eks"
 	"medrelax/internal/match"
 	"medrelax/internal/ontology"
 	"medrelax/internal/persist"
@@ -138,13 +136,10 @@ func New(ing *core.Ingestion, cfg Config) *Snapshot {
 }
 
 // flaggedTerms resolves the flagged concepts to names in ID order — the
-// deterministic term index Terms slices from.
+// deterministic term index Terms slices from. FlaggedIDs is already
+// ascending under both map and flat-mapped backings.
 func flaggedTerms(ing *core.Ingestion) []string {
-	ids := make([]eks.ConceptID, 0, len(ing.Flagged))
-	for id := range ing.Flagged {
-		ids = append(ids, id)
-	}
-	slices.Sort(ids)
+	ids := ing.FlaggedIDs()
 	out := make([]string, 0, len(ids))
 	for _, id := range ids {
 		if c, ok := ing.Graph.Concept(id); ok {
@@ -173,8 +168,12 @@ func LoadSnapshot(path string) (*Snapshot, error) {
 	loadDur := time.Since(loadStart)
 	freezeStart := time.Now()
 	snap := New(ing, Config{Source: path})
-	log.Printf("bundle loaded: %d EKS concepts, %d instances (decode+restore %s, freeze %s)",
-		ing.Graph.Len(), ing.Store.Len(),
+	residency := "heap"
+	if ing.Backing != nil && ing.Backing.Mapped() {
+		residency = "mapped"
+	}
+	log.Printf("bundle loaded: %d EKS concepts, %d instances, %s (decode+restore %s, freeze %s)",
+		ing.Graph.Len(), ing.Store.Len(), residency,
 		loadDur.Round(time.Millisecond), time.Since(freezeStart).Round(time.Millisecond))
 	// Probe one flagged term end to end so a structurally valid bundle
 	// that cannot actually answer fails here, not in production traffic.
@@ -343,8 +342,21 @@ func (s *Snapshot) Stats() map[string]any {
 		"eksEdges":        s.ing.Graph.EdgeCount(),
 		"shortcutsAdded":  s.ing.ShortcutsAdded,
 		"kbInstances":     s.ing.Store.Len(),
-		"flaggedConcepts": len(s.ing.Flagged),
+		"flaggedConcepts": s.ing.FlaggedCount(),
 		"contexts":        len(s.ing.Contexts),
+	}
+	// Residency: a flat bundle reports whether its columns live in a file
+	// mapping or on the heap, and how many bytes the backing pins. Heap
+	// worlds built in process have no backing and report "built".
+	if b := s.ing.Backing; b != nil {
+		if b.Mapped() {
+			stats["snapshotResidency"] = "mapped"
+		} else {
+			stats["snapshotResidency"] = "heap"
+		}
+		stats["snapshotBytes"] = b.SizeBytes()
+	} else {
+		stats["snapshotResidency"] = "built"
 	}
 	live, mat, idx := s.relaxer.PathCounts()
 	stats["relaxPaths"] = map[string]uint64{"live": live, "materialized": mat, "indexed": idx}

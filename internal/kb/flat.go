@@ -1,0 +1,310 @@
+package kb
+
+import (
+	"fmt"
+	"sort"
+
+	"medrelax/internal/ontology"
+	"medrelax/internal/stringutil"
+)
+
+// flatStore is a read-only store backing built from the flat (v4) bundle
+// sections. Instances live in parallel ascending-ID slices, the lexicon and
+// by-concept indexes are sorted-key CSR spans, and assertions are three
+// parallel columns sorted by (subject, relationship, object) with a stored
+// permutation providing the by-object order — so the whole ABox is served
+// by binary search over slices that usually alias a memory mapping.
+type flatStore struct {
+	ids      []InstanceID // ascending
+	concepts []string     // one per instance
+	names    []string     // one per instance
+
+	lexKeys []string // sorted normalized names
+	lexOff  []int32  // len(lexKeys)+1, CSR into lexIDs
+	lexIDs  []InstanceID
+
+	conKeys []string     // sorted concept names that have instances
+	conOff  []int32      // len(conKeys)+1, CSR into conIDs
+	conIDs  []InstanceID // ascending within each concept span
+
+	relNames  []string     // distinct relationship names
+	aSub      []InstanceID // assertion columns, sorted by (sub, rel name, obj)
+	aRel      []int32      // index into relNames
+	aObj      []InstanceID
+	byObjPerm []int32 // assertion order sorted by (obj, rel name, sub)
+}
+
+// FlatStoreData carries the decoded flat-bundle sections into NewFlatStore.
+// Slices may alias a memory mapping; the store never mutates them.
+type FlatStoreData struct {
+	IDs      []InstanceID // ascending
+	Concepts []string
+	Names    []string
+
+	LexKeys []string // sorted ascending, unique
+	LexOff  []int32  // len(LexKeys)+1
+	LexIDs  []InstanceID
+
+	ConceptKeys []string // sorted ascending, unique
+	ConceptOff  []int32  // len(ConceptKeys)+1
+	ConceptIDs  []InstanceID
+
+	RelNames  []string
+	ASub      []InstanceID // sorted by (ASub, RelNames[ARel], AObj)
+	ARel      []int32
+	AObj      []InstanceID
+	ByObjPerm []int32 // permutation of [0,len(ASub)) in (obj, rel, sub) order
+}
+
+// NewFlatStore wraps flat-bundle sections in a read-only *Store bound to
+// onto. It re-validates the invariants AddInstance/AddAssertion enforce
+// piecewise — known concepts, ontology-compatible assertions, sorted
+// columns, a genuine by-object permutation — so a corrupted bundle is
+// rejected rather than served. Mutating methods on the returned store fail.
+func NewFlatStore(onto *ontology.Ontology, d FlatStoreData) (*Store, error) {
+	n := len(d.IDs)
+	if len(d.Concepts) != n || len(d.Names) != n {
+		return nil, fmt.Errorf("kb: flat store: %d ids, %d concepts, %d names", n, len(d.Concepts), len(d.Names))
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 && d.IDs[i] <= d.IDs[i-1] {
+			return nil, fmt.Errorf("kb: flat store: instance ids not strictly ascending at %d", i)
+		}
+		if d.Names[i] == "" {
+			return nil, fmt.Errorf("kb: instance %d has empty name", d.IDs[i])
+		}
+		if !onto.HasConcept(d.Concepts[i]) {
+			return nil, fmt.Errorf("kb: instance %d has unknown concept %q", d.IDs[i], d.Concepts[i])
+		}
+	}
+	f := &flatStore{
+		ids: d.IDs, concepts: d.Concepts, names: d.Names,
+		lexKeys: d.LexKeys, lexOff: d.LexOff, lexIDs: d.LexIDs,
+		conKeys: d.ConceptKeys, conOff: d.ConceptOff, conIDs: d.ConceptIDs,
+		relNames: d.RelNames, aSub: d.ASub, aRel: d.ARel, aObj: d.AObj,
+		byObjPerm: d.ByObjPerm,
+	}
+	if err := f.checkIndex("lexicon", d.LexKeys, d.LexOff, d.LexIDs); err != nil {
+		return nil, err
+	}
+	if err := f.checkIndex("by-concept", d.ConceptKeys, d.ConceptOff, d.ConceptIDs); err != nil {
+		return nil, err
+	}
+	if err := f.checkAssertions(onto); err != nil {
+		return nil, err
+	}
+	return &Store{onto: onto, flat: f, count: n}, nil
+}
+
+// checkIndex validates one sorted-key CSR index: ascending unique keys,
+// monotonic offsets bounded by the ID pool, and IDs that exist.
+func (f *flatStore) checkIndex(what string, keys []string, off []int32, pool []InstanceID) error {
+	if len(off) != len(keys)+1 {
+		return fmt.Errorf("kb: flat store: %s offsets have length %d, want %d", what, len(off), len(keys)+1)
+	}
+	if len(off) > 0 && (off[0] != 0 || int(off[len(off)-1]) != len(pool)) {
+		return fmt.Errorf("kb: flat store: %s offsets do not span the id pool", what)
+	}
+	for i := 1; i < len(off); i++ {
+		if off[i] < off[i-1] {
+			return fmt.Errorf("kb: flat store: %s offsets decrease at %d", what, i)
+		}
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return fmt.Errorf("kb: flat store: %s keys not strictly ascending at %d", what, i)
+		}
+	}
+	for _, id := range pool {
+		if _, ok := f.instance(id); !ok {
+			return fmt.Errorf("kb: flat store: %s references unknown instance %d", what, id)
+		}
+	}
+	return nil
+}
+
+// checkAssertions validates the assertion columns: equal lengths, known
+// endpoints and relationship indexes, ontology domain/range compatibility,
+// (sub, rel, obj) sort order, and that byObjPerm is a permutation in
+// (obj, rel, sub) order.
+func (f *flatStore) checkAssertions(onto *ontology.Ontology) error {
+	a := len(f.aSub)
+	if len(f.aRel) != a || len(f.aObj) != a || len(f.byObjPerm) != a {
+		return fmt.Errorf("kb: flat store: assertion columns disagree: %d/%d/%d/%d",
+			a, len(f.aRel), len(f.aObj), len(f.byObjPerm))
+	}
+	// Compatibility is per (relationship, subject concept, object concept);
+	// memoizing on the relationship index keeps this O(A) map lookups.
+	type pair struct {
+		rel      int32
+		sub, obj string
+	}
+	okCache := make(map[pair]bool)
+	for i := 0; i < a; i++ {
+		if f.aRel[i] < 0 || int(f.aRel[i]) >= len(f.relNames) {
+			return fmt.Errorf("kb: flat store: assertion %d has relationship index %d of %d", i, f.aRel[i], len(f.relNames))
+		}
+		sub, ok := f.instance(f.aSub[i])
+		if !ok {
+			return fmt.Errorf("kb: assertion subject %d not found", f.aSub[i])
+		}
+		obj, ok := f.instance(f.aObj[i])
+		if !ok {
+			return fmt.Errorf("kb: assertion object %d not found", f.aObj[i])
+		}
+		p := pair{rel: f.aRel[i], sub: sub.Concept, obj: obj.Concept}
+		compatible, seen := okCache[p]
+		if !seen {
+			rel := f.relNames[f.aRel[i]]
+			for _, r := range onto.RelationshipsNamed(rel) {
+				if onto.IsSubConceptOf(sub.Concept, r.Domain) && onto.IsSubConceptOf(obj.Concept, r.Range) {
+					compatible = true
+					break
+				}
+			}
+			okCache[p] = compatible
+		}
+		if !compatible {
+			return fmt.Errorf("kb: assertion %s(%s,%s) violates ontology domain/range",
+				f.relNames[f.aRel[i]], sub.Concept, obj.Concept)
+		}
+		if i > 0 && f.assertLess(i, i-1) {
+			return fmt.Errorf("kb: flat store: assertions not sorted at %d", i)
+		}
+	}
+	seenPerm := make([]bool, a)
+	for i, p := range f.byObjPerm {
+		if p < 0 || int(p) >= a || seenPerm[p] {
+			return fmt.Errorf("kb: flat store: by-object permutation invalid at %d", i)
+		}
+		seenPerm[p] = true
+		if i > 0 && f.objLess(p, f.byObjPerm[i-1]) {
+			return fmt.Errorf("kb: flat store: by-object permutation not sorted at %d", i)
+		}
+	}
+	return nil
+}
+
+// assertLess orders assertion rows by (subject, relationship name, object).
+func (f *flatStore) assertLess(i, j int) bool {
+	if f.aSub[i] != f.aSub[j] {
+		return f.aSub[i] < f.aSub[j]
+	}
+	ri, rj := f.relNames[f.aRel[i]], f.relNames[f.aRel[j]]
+	if ri != rj {
+		return ri < rj
+	}
+	return f.aObj[i] < f.aObj[j]
+}
+
+// objLess orders assertion rows by (object, relationship name, subject).
+func (f *flatStore) objLess(i, j int32) bool {
+	if f.aObj[i] != f.aObj[j] {
+		return f.aObj[i] < f.aObj[j]
+	}
+	ri, rj := f.relNames[f.aRel[i]], f.relNames[f.aRel[j]]
+	if ri != rj {
+		return ri < rj
+	}
+	return f.aSub[i] < f.aSub[j]
+}
+
+// pos maps an InstanceID to its slice position by binary search.
+func (f *flatStore) pos(id InstanceID) (int, bool) {
+	lo, hi := 0, len(f.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if f.ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(f.ids) && f.ids[lo] == id {
+		return lo, true
+	}
+	return 0, false
+}
+
+func (f *flatStore) instance(id InstanceID) (Instance, bool) {
+	i, ok := f.pos(id)
+	if !ok {
+		return Instance{}, false
+	}
+	return Instance{ID: id, Concept: f.concepts[i], Name: f.names[i]}, true
+}
+
+// keySpan binary-searches a sorted key index and returns its ID span.
+func keySpan(keys []string, off []int32, pool []InstanceID, key string) []InstanceID {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(keys) || keys[lo] != key {
+		return nil
+	}
+	return pool[off[lo]:off[lo+1]]
+}
+
+func (f *flatStore) allInstances() []Instance {
+	out := make([]Instance, len(f.ids))
+	for i, id := range f.ids {
+		out[i] = Instance{ID: id, Concept: f.concepts[i], Name: f.names[i]}
+	}
+	return out
+}
+
+func (f *flatStore) allAssertions() []Assertion {
+	out := make([]Assertion, len(f.aSub))
+	for i := range f.aSub {
+		out[i] = Assertion{Subject: f.aSub[i], Relationship: f.relNames[f.aRel[i]], Object: f.aObj[i]}
+	}
+	return out
+}
+
+// subjects collects the subjects of rel-assertions on obj from the
+// by-object permutation span; within one object the permutation is ordered
+// by (rel, sub), so the filtered output is already sorted.
+func (f *flatStore) subjects(rel string, obj InstanceID) []InstanceID {
+	lo := sort.Search(len(f.byObjPerm), func(i int) bool { return f.aObj[f.byObjPerm[i]] >= obj })
+	var out []InstanceID
+	for ; lo < len(f.byObjPerm); lo++ {
+		p := f.byObjPerm[lo]
+		if f.aObj[p] != obj {
+			break
+		}
+		if f.relNames[f.aRel[p]] == rel {
+			out = append(out, f.aSub[p])
+		}
+	}
+	return out
+}
+
+// objects collects the objects of rel-assertions from sub's column span;
+// within one subject the columns are ordered by (rel, obj).
+func (f *flatStore) objects(rel string, sub InstanceID) []InstanceID {
+	lo := sort.Search(len(f.aSub), func(i int) bool { return f.aSub[i] >= sub })
+	var out []InstanceID
+	for ; lo < len(f.aSub); lo++ {
+		if f.aSub[lo] != sub {
+			break
+		}
+		if f.relNames[f.aRel[lo]] == rel {
+			out = append(out, f.aObj[lo])
+		}
+	}
+	return out
+}
+
+func (f *flatStore) lookupName(name string) []InstanceID {
+	span := keySpan(f.lexKeys, f.lexOff, f.lexIDs, stringutil.Normalize(name))
+	out := make([]InstanceID, len(span))
+	copy(out, span)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -46,7 +46,15 @@ type Store struct {
 	bySubject map[InstanceID][]Assertion
 	byObject  map[InstanceID][]Assertion
 	count     int
+
+	// flat, when set, backs the store with read-only flat-bundle sections
+	// (usually a memory mapping) instead of the maps above; see
+	// NewFlatStore. Mutating methods fail on a flat store.
+	flat *flatStore
 }
+
+// errFlatMutate is returned by every mutating method on a flat-backed store.
+var errFlatMutate = fmt.Errorf("kb: store is a read-only flat snapshot view")
 
 // NewStore returns an empty store validating instance types and assertion
 // relationships against onto.
@@ -72,6 +80,9 @@ func (s *Store) Ontology() *ontology.Ontology { return s.onto }
 
 // AddInstance inserts an instance; its concept must exist in the ontology.
 func (s *Store) AddInstance(inst Instance) error {
+	if s.flat != nil {
+		return errFlatMutate
+	}
 	if inst.Name == "" {
 		return fmt.Errorf("kb: instance %d has empty name", inst.ID)
 	}
@@ -95,6 +106,9 @@ func (s *Store) AddInstance(inst Instance) error {
 // the relationship must be declared in the ontology with compatible
 // domain/range for the endpoint concepts.
 func (s *Store) AddAssertion(a Assertion) error {
+	if s.flat != nil {
+		return errFlatMutate
+	}
 	sub, ok := s.instances[a.Subject]
 	if !ok {
 		return fmt.Errorf("kb: assertion subject %d not found", a.Subject)
@@ -121,6 +135,9 @@ func (s *Store) AddAssertion(a Assertion) error {
 
 // Instance returns the instance with the given ID.
 func (s *Store) Instance(id InstanceID) (Instance, bool) {
+	if s.flat != nil {
+		return s.flat.instance(id)
+	}
 	inst, ok := s.instances[id]
 	return inst, ok
 }
@@ -131,6 +148,13 @@ func (s *Store) Len() int { return s.count }
 // InstancesOf returns the IDs of all instances of the exact concept,
 // sorted.
 func (s *Store) InstancesOf(concept string) []InstanceID {
+	if s.flat != nil {
+		// Stored ascending per concept, so the span only needs copying.
+		span := keySpan(s.flat.conKeys, s.flat.conOff, s.flat.conIDs, concept)
+		out := make([]InstanceID, len(span))
+		copy(out, span)
+		return out
+	}
 	ids := s.byConcept[concept]
 	out := make([]InstanceID, len(ids))
 	copy(out, ids)
@@ -140,6 +164,9 @@ func (s *Store) InstancesOf(concept string) []InstanceID {
 
 // AllInstances returns every instance, sorted by ID.
 func (s *Store) AllInstances() []Instance {
+	if s.flat != nil {
+		return s.flat.allInstances()
+	}
 	out := make([]Instance, 0, len(s.instances))
 	for _, inst := range s.instances {
 		out = append(out, inst)
@@ -151,6 +178,9 @@ func (s *Store) AllInstances() []Instance {
 // LookupName returns the instances whose name normalizes to the same form
 // as name, sorted by ID.
 func (s *Store) LookupName(name string) []InstanceID {
+	if s.flat != nil {
+		return s.flat.lookupName(name)
+	}
 	ids := s.lexicon[stringutil.Normalize(name)]
 	out := make([]InstanceID, len(ids))
 	copy(out, ids)
@@ -160,6 +190,11 @@ func (s *Store) LookupName(name string) []InstanceID {
 
 // LexiconKeys returns every normalized instance name. Order unspecified.
 func (s *Store) LexiconKeys() []string {
+	if s.flat != nil {
+		keys := make([]string, len(s.flat.lexKeys))
+		copy(keys, s.flat.lexKeys)
+		return keys
+	}
 	keys := make([]string, 0, len(s.lexicon))
 	for k := range s.lexicon {
 		keys = append(keys, k)
@@ -170,6 +205,12 @@ func (s *Store) LexiconKeys() []string {
 // IDsForLexiconKey returns instance IDs indexed under an already-normalized
 // key.
 func (s *Store) IDsForLexiconKey(key string) []InstanceID {
+	if s.flat != nil {
+		span := keySpan(s.flat.lexKeys, s.flat.lexOff, s.flat.lexIDs, key)
+		out := make([]InstanceID, len(span))
+		copy(out, span)
+		return out
+	}
 	ids := s.lexicon[key]
 	out := make([]InstanceID, len(ids))
 	copy(out, ids)
@@ -179,6 +220,9 @@ func (s *Store) IDsForLexiconKey(key string) []InstanceID {
 // AllAssertions returns every assertion, sorted by (subject, relationship,
 // object) for determinism.
 func (s *Store) AllAssertions() []Assertion {
+	if s.flat != nil {
+		return s.flat.allAssertions()
+	}
 	var out []Assertion
 	for _, as := range s.bySubject {
 		out = append(out, as...)
@@ -200,6 +244,9 @@ func (s *Store) AllAssertions() []Assertion {
 // relationship whose object is obj, sorted. This answers queries such as
 // "which indications have finding F".
 func (s *Store) Subjects(relationship string, obj InstanceID) []InstanceID {
+	if s.flat != nil {
+		return s.flat.subjects(relationship, obj)
+	}
 	var out []InstanceID
 	for _, a := range s.byObject[obj] {
 		if a.Relationship == relationship {
@@ -213,6 +260,9 @@ func (s *Store) Subjects(relationship string, obj InstanceID) []InstanceID {
 // Objects returns the objects of all assertions with the given relationship
 // whose subject is sub, sorted.
 func (s *Store) Objects(relationship string, sub InstanceID) []InstanceID {
+	if s.flat != nil {
+		return s.flat.objects(relationship, sub)
+	}
 	var out []InstanceID
 	for _, a := range s.bySubject[sub] {
 		if a.Relationship == relationship {

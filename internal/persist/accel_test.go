@@ -32,6 +32,23 @@ func buildAccelIngestion(t testing.TB) *core.Ingestion {
 	return ing
 }
 
+// buildSmallAccelIngestion carries both accelerations but keeps them tiny
+// (small materialized head, tight candidate radius and posting cap) so
+// fuzz seeds built from it stay well under the fuzzer's shared-memory cap
+// even in the fixed-width flat encoding.
+func buildSmallAccelIngestion(t testing.TB) *core.Ingestion {
+	t.Helper()
+	ing := buildIngestion(t)
+	sim := core.NewSimilarity(ing.Graph, ing.Frequencies, ing.Ontology)
+	ing.Materialized = core.MaterializeTopK(ing, sim, core.MaterializeOptions{
+		Enabled: true, Relax: accelRelax, HeadFraction: 0.02,
+	})
+	ing.Candidates = core.BuildCandidateIndex(ing, sim, core.CandidateIndexOptions{
+		Enabled: true, Radius: 2, MaxPostings: 8,
+	})
+	return ing
+}
+
 // assertAccelServes attaches the restored stores to a fresh relaxer and
 // checks a relaxation spot-sample against the pure-live answers.
 func assertAccelServes(t *testing.T, ing, restored *core.Ingestion) {
@@ -61,12 +78,16 @@ func assertAccelServes(t *testing.T, ing, restored *core.Ingestion) {
 		t.Fatal("restored candidate index refused by matching relaxer")
 	}
 	ctx := &ontology.Context{Domain: "Indication", Relationship: "hasFinding", Range: "Finding"}
-	checked := 0
-	for q := range restored.Flagged {
-		if checked == 25 {
-			break
-		}
-		checked++
+	// FlaggedIDs works under both map and flat backings; ranging the
+	// Flagged map directly would silently skip flat-mapped bundles.
+	flagged := restored.FlaggedIDs()
+	if len(flagged) == 0 {
+		t.Fatal("restored bundle has no flagged concepts to probe")
+	}
+	if len(flagged) > 25 {
+		flagged = flagged[:25]
+	}
+	for _, q := range flagged {
 		for _, k := range []int{0, 3, 10} {
 			want := live.RelaxConcept(q, ctx, k)
 			got := accel.RelaxConcept(q, ctx, k)

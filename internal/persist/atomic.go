@@ -19,17 +19,22 @@ const (
 	FormatBinary Format = iota
 	// FormatJSON is the inspectable v1 encoding (Save).
 	FormatJSON
+	// FormatFlat is the zero-copy v4 encoding (SaveFlat).
+	FormatFlat
 )
 
-// ParseFormat maps the CLI spelling ("binary" or "json") to a Format.
+// ParseFormat maps the CLI spelling ("binary", "json", or "flat") to a
+// Format.
 func ParseFormat(s string) (Format, error) {
 	switch s {
 	case "binary":
 		return FormatBinary, nil
 	case "json":
 		return FormatJSON, nil
+	case "flat":
+		return FormatFlat, nil
 	}
-	return 0, fmt.Errorf("persist: unknown bundle format %q (want binary or json)", s)
+	return 0, fmt.Errorf("persist: unknown bundle format %q (want binary, json, or flat)", s)
 }
 
 // SaveFileAtomic writes the ingestion to path crash-safely: the bundle is
@@ -67,6 +72,8 @@ func SaveFileAtomic(path string, ing *core.Ingestion, format Format) (err error)
 		err = SaveBinary(bw, ing)
 	case FormatJSON:
 		err = Save(bw, ing)
+	case FormatFlat:
+		err = SaveFlat(bw, ing)
 	default:
 		err = fmt.Errorf("persist: unknown format %d", format)
 	}

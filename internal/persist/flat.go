@@ -1,0 +1,367 @@
+package persist
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"unsafe"
+
+	"medrelax/internal/core"
+	"medrelax/internal/eks"
+	"medrelax/internal/kb"
+)
+
+// Flat bundle (v4) layout — a zero-copy snapshot. Where v2/v3 encode one
+// varint-packed payload that must be decoded record by record into heap
+// structures, v4 lays the ingestion out as the flat arrays the read path
+// wants to traverse: CSR adjacency, sorted ID columns, posting and
+// candidate records in their in-memory fixed-width form. A reader maps the
+// file and serves queries directly from the mapping — opening a bundle
+// costs a directory walk plus one CRC pass, not a rebuild.
+//
+//	header      32 bytes (see below)
+//	sections    each 8-byte aligned, zero-padded between
+//	directory   sectionCount × 32-byte entries, 8-byte aligned
+//
+// Header:
+//
+//	magic        "MRXF"          4 bytes
+//	version      4               uint32
+//	sectionCount                 uint32
+//	dirCRC       IEEE(directory) uint32
+//	dirOff                       uint64
+//	fileSize                     uint64
+//
+// Directory entry: kind uint32, reserved uint32, off uint64, len uint64,
+// crc uint32 (IEEE over the unpadded payload), pad uint32. Every multi-byte
+// value in the file is little-endian and every section starts 8-byte
+// aligned, so on little-endian hosts numeric sections are reinterpreted in
+// place ([]byte → []int64/[]float64/...) without copying; big-endian hosts
+// fall back to a copying decode of the same bytes.
+//
+// Strings are interned once: section strBlob holds the concatenated UTF-8
+// bytes, strOff the nStr+1 offsets into it, and every string-valued column
+// elsewhere is a []uint32 of indexes into that table. The reader builds
+// []string headers pointing into the blob (one allocation per column), so
+// no string bytes are copied.
+//
+// Integrity: a torn or bit-flipped file fails the directory or a section
+// CRC and is rejected with ErrCorruptBundle before any structural
+// validation runs; the component constructors (eks.NewFlatGraph,
+// kb.NewFlatStore, core.NewFlatIngestion, ...) then re-validate the
+// structural invariants, so a hostile bundle that passes its checksums
+// still cannot produce out-of-bounds traversals.
+
+// flatMagic marks a flat (v4) bundle. LoadFile sniffs it to route the path
+// to the memory-mapping opener instead of the streaming decoder.
+const flatMagic = "MRXF"
+
+// VersionFlat is the flat bundle format version.
+const VersionFlat = 4
+
+const (
+	flatHeaderSize   = 32
+	flatDirEntrySize = 32
+	flatMetaSize     = 64
+	// flatMaxSections bounds the section count read from a header so a
+	// corrupted count cannot drive a huge allocation.
+	flatMaxSections = 1 << 12
+)
+
+// Section kinds. The numeric gaps group sections by subsystem; the writer
+// emits them in ascending kind order and the reader addresses them through
+// the directory, so the gaps cost nothing.
+const (
+	secMeta   uint32 = 1
+	secStrOff uint32 = 2 // []uint32, nStr+1 offsets into strBlob
+	secStr    uint32 = 3 // concatenated string bytes
+
+	secGraphIDs      uint32 = 10 // []eks.ConceptID, ascending
+	secGraphNames    uint32 = 11 // []uint32 string refs, one per concept
+	secGraphSynOff   uint32 = 12 // []int32 CSR into graphSyns
+	secGraphSyns     uint32 = 13 // []uint32 string refs
+	secGraphUpOff    uint32 = 14 // []int32 CSR
+	secGraphUpTo     uint32 = 15 // []int32 dense node targets
+	secGraphUpDist   uint32 = 16 // []int32
+	secGraphUpNEnd   uint32 = 17 // []int32, absolute native/shortcut boundaries
+	secGraphDownOff  uint32 = 18
+	secGraphDownTo   uint32 = 19
+	secGraphDownDist uint32 = 20
+	secGraphDownNEnd uint32 = 21
+	secGraphNameKeys uint32 = 22 // []uint32 string refs, sorted unique keys
+	secGraphKeyOff   uint32 = 23 // []int32 CSR into graphKeyIDs
+	secGraphKeyIDs   uint32 = 24 // []eks.ConceptID
+
+	secOntoConcepts uint32 = 30 // []uint32 string refs, (name, parent) pairs
+	secOntoRels     uint32 = 31 // []uint32 string refs, (name, domain, range) triples
+
+	secStoreIDs      uint32 = 40 // []kb.InstanceID, ascending
+	secStoreConcepts uint32 = 41 // []uint32 string refs, one per instance
+	secStoreNames    uint32 = 42 // []uint32 string refs, one per instance
+	secStoreLexKeys  uint32 = 43 // []uint32 string refs, sorted unique
+	secStoreLexOff   uint32 = 44 // []int32 CSR into storeLexIDs
+	secStoreLexIDs   uint32 = 45 // []kb.InstanceID
+	secStoreConKeys  uint32 = 46 // []uint32 string refs, sorted unique
+	secStoreConOff   uint32 = 47 // []int32 CSR into storeConIDs
+	secStoreConIDs   uint32 = 48 // []kb.InstanceID
+	secStoreRelNames uint32 = 49 // []uint32 string refs, sorted unique
+	secStoreASub     uint32 = 50 // []kb.InstanceID, assertion subjects
+	secStoreARel     uint32 = 51 // []int32 indexes into storeRelNames
+	secStoreAObj     uint32 = 52 // []kb.InstanceID, assertion objects
+	secStorePerm     uint32 = 53 // []int32, by-object permutation
+
+	secMapInst  uint32 = 60 // []kb.InstanceID, ascending mapped instances
+	secMapCon   uint32 = 61 // []eks.ConceptID, parallel mapped concepts
+	secMapFlag  uint32 = 62 // []eks.ConceptID, ascending flagged set
+	secMapIOff  uint32 = 63 // []int32 CSR into mapIPool
+	secMapIPool uint32 = 64 // []kb.InstanceID
+
+	secFreqLabels  uint32 = 70 // []uint32 string refs, ascending labels
+	secFreqOff     uint32 = 71 // []int32 CSR into freqIDs/freqVals
+	secFreqIDs     uint32 = 72 // []eks.ConceptID, ascending per label
+	secFreqVals    uint32 = 73 // []float64
+	secFreqAggIDs  uint32 = 74 // []eks.ConceptID, ascending
+	secFreqAggVals uint32 = 75 // []float64
+
+	secMatCon     uint32 = 80 // []eks.ConceptID, (concept, ctx)-sorted entries
+	secMatCtx     uint32 = 81 // []uint32 string refs, parallel context keys
+	secMatFlags   uint32 = 82 // []int32, 1 = complete
+	secMatCntOff  uint32 = 83 // []int32 CSR into matCnt
+	secMatCnt     uint32 = 84 // []int32
+	secMatCandOff uint32 = 85 // []int32 CSR into matCands
+	secMatCands   uint32 = 86 // []core.MatCand, 24-byte records
+
+	secCidxCon   uint32 = 90 // []eks.ConceptID, ascending indexed concepts
+	secCidxOff   uint32 = 91 // []int32 CSR into cidxPosts
+	secCidxPosts uint32 = 92 // []core.Posting, 32-byte records
+	secCidxLCS   uint32 = 93 // []eks.ConceptID, shared LCS pool
+)
+
+// META flag bits.
+const (
+	metaHasMaterialized = 1 << 0
+	metaHasCandidates   = 1 << 1
+	matBitDynamicRadius = 1 << 0
+	matBitIncludeSelf   = 1 << 1
+)
+
+// flatMeta is the decoded META section: the scalars that do not fit a
+// column. Serialized as flatMetaSize little-endian bytes.
+type flatMeta struct {
+	eksRoot     eks.ConceptID
+	shortcuts   int64
+	freqRoot    eks.ConceptID
+	freqSmooth  float64
+	flags       uint32
+	matRadius   uint32
+	matMax      uint32
+	matBits     uint32
+	cidxRadius  uint32
+	cidxSkipped int64
+}
+
+func (m *flatMeta) encode() []byte {
+	b := make([]byte, flatMetaSize)
+	binary.LittleEndian.PutUint64(b[0:], uint64(m.eksRoot))
+	binary.LittleEndian.PutUint64(b[8:], uint64(m.shortcuts))
+	binary.LittleEndian.PutUint64(b[16:], uint64(m.freqRoot))
+	binary.LittleEndian.PutUint64(b[24:], math.Float64bits(m.freqSmooth))
+	binary.LittleEndian.PutUint32(b[32:], m.flags)
+	binary.LittleEndian.PutUint32(b[36:], m.matRadius)
+	binary.LittleEndian.PutUint32(b[40:], m.matMax)
+	binary.LittleEndian.PutUint32(b[44:], m.matBits)
+	binary.LittleEndian.PutUint32(b[48:], m.cidxRadius)
+	// b[52:56] is padding.
+	binary.LittleEndian.PutUint64(b[56:], uint64(m.cidxSkipped))
+	return b
+}
+
+func decodeFlatMeta(b []byte) (flatMeta, error) {
+	if len(b) != flatMetaSize {
+		return flatMeta{}, corruptf("flat v4", "meta section is %d bytes, want %d", len(b), flatMetaSize)
+	}
+	return flatMeta{
+		eksRoot:     eks.ConceptID(binary.LittleEndian.Uint64(b[0:])),
+		shortcuts:   int64(binary.LittleEndian.Uint64(b[8:])),
+		freqRoot:    eks.ConceptID(binary.LittleEndian.Uint64(b[16:])),
+		freqSmooth:  math.Float64frombits(binary.LittleEndian.Uint64(b[24:])),
+		flags:       binary.LittleEndian.Uint32(b[32:]),
+		matRadius:   binary.LittleEndian.Uint32(b[36:]),
+		matMax:      binary.LittleEndian.Uint32(b[40:]),
+		matBits:     binary.LittleEndian.Uint32(b[44:]),
+		cidxRadius:  binary.LittleEndian.Uint32(b[48:]),
+		cidxSkipped: int64(binary.LittleEndian.Uint64(b[56:])),
+	}, nil
+}
+
+// hostLE reports whether this host is little-endian — the fast path where
+// numeric sections are reinterpreted in place instead of copied.
+var hostLE = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// Compile-time size pins: the record sections are viewed in place as these
+// structs, so their sizes are part of the wire format. A field change that
+// alters a size fails the build here instead of corrupting bundles.
+var (
+	_ = [1]struct{}{}[unsafe.Sizeof(core.MatCand{})-24]
+	_ = [1]struct{}{}[unsafe.Sizeof(core.Posting{})-32]
+	_ = [1]struct{}{}[unsafe.Sizeof(eks.ConceptID(0))-8]
+	_ = [1]struct{}{}[unsafe.Sizeof(kb.InstanceID(0))-8]
+)
+
+// viewConceptIDs reinterprets (or, off the fast path, decodes) a section as
+// concept IDs.
+func viewConceptIDs(b []byte, what string) ([]eks.ConceptID, error) {
+	if len(b)%8 != 0 {
+		return nil, corruptf("flat v4", "%s section length %d not a multiple of 8", what, len(b))
+	}
+	n := len(b) / 8
+	if n == 0 {
+		return nil, nil
+	}
+	if hostLE {
+		return unsafe.Slice((*eks.ConceptID)(unsafe.Pointer(unsafe.SliceData(b))), n), nil
+	}
+	out := make([]eks.ConceptID, n)
+	for i := range out {
+		out[i] = eks.ConceptID(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// viewInstanceIDs reinterprets a section as instance IDs.
+func viewInstanceIDs(b []byte, what string) ([]kb.InstanceID, error) {
+	if len(b)%8 != 0 {
+		return nil, corruptf("flat v4", "%s section length %d not a multiple of 8", what, len(b))
+	}
+	n := len(b) / 8
+	if n == 0 {
+		return nil, nil
+	}
+	if hostLE {
+		return unsafe.Slice((*kb.InstanceID)(unsafe.Pointer(unsafe.SliceData(b))), n), nil
+	}
+	out := make([]kb.InstanceID, n)
+	for i := range out {
+		out[i] = kb.InstanceID(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// viewInt32s reinterprets a section as []int32.
+func viewInt32s(b []byte, what string) ([]int32, error) {
+	if len(b)%4 != 0 {
+		return nil, corruptf("flat v4", "%s section length %d not a multiple of 4", what, len(b))
+	}
+	n := len(b) / 4
+	if n == 0 {
+		return nil, nil
+	}
+	if hostLE {
+		return unsafe.Slice((*int32)(unsafe.Pointer(unsafe.SliceData(b))), n), nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, nil
+}
+
+// viewUint32s reinterprets a section as []uint32.
+func viewUint32s(b []byte, what string) ([]uint32, error) {
+	if len(b)%4 != 0 {
+		return nil, corruptf("flat v4", "%s section length %d not a multiple of 4", what, len(b))
+	}
+	n := len(b) / 4
+	if n == 0 {
+		return nil, nil
+	}
+	if hostLE {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(unsafe.SliceData(b))), n), nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return out, nil
+}
+
+// viewFloat64s reinterprets a section as []float64.
+func viewFloat64s(b []byte, what string) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, corruptf("flat v4", "%s section length %d not a multiple of 8", what, len(b))
+	}
+	n := len(b) / 8
+	if n == 0 {
+		return nil, nil
+	}
+	if hostLE {
+		return unsafe.Slice((*float64)(unsafe.Pointer(unsafe.SliceData(b))), n), nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// viewMatCands reinterprets a section as materialized candidate records.
+func viewMatCands(b []byte, what string) ([]core.MatCand, error) {
+	const rec = 24
+	if len(b)%rec != 0 {
+		return nil, corruptf("flat v4", "%s section length %d not a multiple of %d", what, len(b), rec)
+	}
+	n := len(b) / rec
+	if n == 0 {
+		return nil, nil
+	}
+	if hostLE {
+		return unsafe.Slice((*core.MatCand)(unsafe.Pointer(unsafe.SliceData(b))), n), nil
+	}
+	out := make([]core.MatCand, n)
+	for i := range out {
+		r := b[rec*i:]
+		out[i] = core.MatCand{
+			Concept: eks.ConceptID(binary.LittleEndian.Uint64(r[0:])),
+			Score:   math.Float64frombits(binary.LittleEndian.Uint64(r[8:])),
+			Hops:    int32(binary.LittleEndian.Uint32(r[16:])),
+			Rsv:     int32(binary.LittleEndian.Uint32(r[20:])),
+		}
+	}
+	return out, nil
+}
+
+// viewPostings reinterprets a section as candidate-index posting records.
+func viewPostings(b []byte, what string) ([]core.Posting, error) {
+	const rec = 32
+	if len(b)%rec != 0 {
+		return nil, corruptf("flat v4", "%s section length %d not a multiple of %d", what, len(b), rec)
+	}
+	n := len(b) / rec
+	if n == 0 {
+		return nil, nil
+	}
+	if hostLE {
+		return unsafe.Slice((*core.Posting)(unsafe.Pointer(unsafe.SliceData(b))), n), nil
+	}
+	out := make([]core.Posting, n)
+	for i := range out {
+		r := b[rec*i:]
+		out[i] = core.Posting{
+			Concept: eks.ConceptID(binary.LittleEndian.Uint64(r[0:])),
+			Hops:    int32(binary.LittleEndian.Uint32(r[8:])),
+			Gen:     int32(binary.LittleEndian.Uint32(r[12:])),
+			Spec:    int32(binary.LittleEndian.Uint32(r[16:])),
+			LCSLo:   int32(binary.LittleEndian.Uint32(r[20:])),
+			LCSHi:   int32(binary.LittleEndian.Uint32(r[24:])),
+			Rsv:     int32(binary.LittleEndian.Uint32(r[28:])),
+		}
+	}
+	return out, nil
+}
+
+// sectionCRC is the per-section checksum. Same polynomial as v1/v2 so the
+// whole persistence layer shares one failure vocabulary.
+func sectionCRC(payload []byte) uint32 { return crc32.ChecksumIEEE(payload) }

@@ -1,0 +1,526 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"medrelax/internal/core"
+	"medrelax/internal/eks"
+	"medrelax/internal/kb"
+)
+
+// flatWriter accumulates sections and interns strings for a v4 bundle.
+type flatWriter struct {
+	sections []flatSection
+	strs     []string
+	strIdx   map[string]uint32
+	strBytes int
+}
+
+type flatSection struct {
+	kind    uint32
+	payload []byte
+}
+
+func newFlatWriter() *flatWriter {
+	return &flatWriter{strIdx: make(map[string]uint32)}
+}
+
+func (w *flatWriter) ref(s string) uint32 {
+	if i, ok := w.strIdx[s]; ok {
+		return i
+	}
+	i := uint32(len(w.strs))
+	w.strs = append(w.strs, s)
+	w.strIdx[s] = i
+	w.strBytes += len(s)
+	return i
+}
+
+func (w *flatWriter) add(kind uint32, payload []byte) {
+	w.sections = append(w.sections, flatSection{kind: kind, payload: payload})
+}
+
+// Column encoders: everything is little-endian regardless of host, so the
+// writer produces identical bytes on any platform.
+
+func leConceptIDs(xs []eks.ConceptID) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(x))
+	}
+	return b
+}
+
+func leInstanceIDs(xs []kb.InstanceID) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(x))
+	}
+	return b
+}
+
+func leInt32s(xs []int32) []byte {
+	b := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(x))
+	}
+	return b
+}
+
+func leUint32s(xs []uint32) []byte {
+	b := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(b[4*i:], x)
+	}
+	return b
+}
+
+func leFloat64s(xs []float64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+	return b
+}
+
+// leRefs interns every string and encodes the reference column.
+func (w *flatWriter) leRefs(ss []string) []byte {
+	refs := make([]uint32, len(ss))
+	for i, s := range ss {
+		refs[i] = w.ref(s)
+	}
+	return leUint32s(refs)
+}
+
+func leMatCands(xs []core.MatCand) []byte {
+	b := make([]byte, 24*len(xs))
+	for i := range xs {
+		r := b[24*i:]
+		binary.LittleEndian.PutUint64(r[0:], uint64(xs[i].Concept))
+		binary.LittleEndian.PutUint64(r[8:], math.Float64bits(xs[i].Score))
+		binary.LittleEndian.PutUint32(r[16:], uint32(xs[i].Hops))
+		binary.LittleEndian.PutUint32(r[20:], 0)
+	}
+	return b
+}
+
+func lePostings(xs []core.Posting) []byte {
+	b := make([]byte, 32*len(xs))
+	for i := range xs {
+		r := b[32*i:]
+		binary.LittleEndian.PutUint64(r[0:], uint64(xs[i].Concept))
+		binary.LittleEndian.PutUint32(r[8:], uint32(xs[i].Hops))
+		binary.LittleEndian.PutUint32(r[12:], uint32(xs[i].Gen))
+		binary.LittleEndian.PutUint32(r[16:], uint32(xs[i].Spec))
+		binary.LittleEndian.PutUint32(r[20:], uint32(xs[i].LCSLo))
+		binary.LittleEndian.PutUint32(r[24:], uint32(xs[i].LCSHi))
+		binary.LittleEndian.PutUint32(r[28:], 0)
+	}
+	return b
+}
+
+// SaveFlat writes the ingestion as a flat (v4) bundle: the zero-copy format
+// OpenFlat serves directly from a memory mapping. The output is
+// deterministic — identical ingestions produce identical bytes.
+func SaveFlat(w io.Writer, ing *core.Ingestion) error {
+	buf, err := encodeFlat(ing)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("persist: writing flat bundle: %w", err)
+	}
+	return nil
+}
+
+func encodeFlat(ing *core.Ingestion) ([]byte, error) {
+	fw := newFlatWriter()
+	meta := flatMeta{shortcuts: int64(ing.ShortcutsAdded)}
+
+	if err := flatGraphSections(fw, &meta, ing.Graph); err != nil {
+		return nil, err
+	}
+	flatOntologySections(fw, ing)
+	flatStoreSections(fw, ing.Store)
+	flatMappingSections(fw, ing)
+	flatFrequencySections(fw, &meta, ing.Frequencies)
+	if ing.Materialized != nil {
+		meta.flags |= metaHasMaterialized
+		flatMaterializedSections(fw, &meta, ing.Materialized)
+	}
+	if ing.Candidates != nil {
+		meta.flags |= metaHasCandidates
+		flatCandidateSections(fw, &meta, ing.Candidates)
+	}
+
+	// The string table is complete only now; emit it with META and sort the
+	// sections into ascending kind order for a canonical file.
+	strOff := make([]uint32, len(fw.strs)+1)
+	blob := make([]byte, 0, fw.strBytes)
+	for i, s := range fw.strs {
+		strOff[i] = uint32(len(blob))
+		blob = append(blob, s...)
+	}
+	strOff[len(fw.strs)] = uint32(len(blob))
+	fw.add(secStrOff, leUint32s(strOff))
+	fw.add(secStr, blob)
+	fw.add(secMeta, meta.encode())
+	sort.Slice(fw.sections, func(i, j int) bool { return fw.sections[i].kind < fw.sections[j].kind })
+
+	return assembleFlat(fw.sections), nil
+}
+
+// assembleFlat lays out header, 8-aligned sections, and the directory.
+func assembleFlat(sections []flatSection) []byte {
+	align := func(n int) int { return (n + 7) &^ 7 }
+	size := flatHeaderSize
+	for _, s := range sections {
+		size = align(size) + len(s.payload)
+	}
+	dirOff := align(size)
+	total := dirOff + flatDirEntrySize*len(sections)
+
+	out := make([]byte, total)
+	copy(out, flatMagic)
+	binary.LittleEndian.PutUint32(out[4:], VersionFlat)
+	binary.LittleEndian.PutUint32(out[8:], uint32(len(sections)))
+	binary.LittleEndian.PutUint64(out[16:], uint64(dirOff))
+	binary.LittleEndian.PutUint64(out[24:], uint64(total))
+
+	pos := flatHeaderSize
+	for i, s := range sections {
+		pos = align(pos)
+		copy(out[pos:], s.payload)
+		e := out[dirOff+flatDirEntrySize*i:]
+		binary.LittleEndian.PutUint32(e[0:], s.kind)
+		binary.LittleEndian.PutUint64(e[8:], uint64(pos))
+		binary.LittleEndian.PutUint64(e[16:], uint64(len(s.payload)))
+		binary.LittleEndian.PutUint32(e[24:], sectionCRC(s.payload))
+		pos += len(s.payload)
+	}
+	dirCRC := sectionCRC(out[dirOff : dirOff+flatDirEntrySize*len(sections)])
+	binary.LittleEndian.PutUint32(out[12:], dirCRC)
+	return out
+}
+
+// flatGraphSections lays the graph out in the dense-index CSR form: per
+// node, native edges first (insertion order preserved), then shortcuts,
+// with the absolute boundary recorded per node.
+func flatGraphSections(fw *flatWriter, meta *flatMeta, g *eks.Graph) error {
+	root, ok := g.Root()
+	if !ok {
+		return fmt.Errorf("persist: graph has no root")
+	}
+	meta.eksRoot = root
+
+	ids := g.ConceptIDs()
+	n := len(ids)
+	idx := make(map[eks.ConceptID]int32, n)
+	for i, id := range ids {
+		idx[id] = int32(i)
+	}
+
+	names := make([]string, n)
+	synOff := make([]int32, n+1)
+	var syns []string
+	upOff := make([]int32, n+1)
+	downOff := make([]int32, n+1)
+	var upTo, upDist, upNEnd, downTo, downDist, downNEnd []int32
+	upNEnd = make([]int32, n)
+	downNEnd = make([]int32, n)
+
+	fill := func(edges []eks.Edge, to, dist []int32, other func(eks.Edge) eks.ConceptID) ([]int32, []int32, int32) {
+		for _, e := range edges {
+			if !e.Shortcut {
+				to = append(to, idx[other(e)])
+				dist = append(dist, int32(e.Dist))
+			}
+		}
+		nativeEnd := int32(len(to))
+		for _, e := range edges {
+			if e.Shortcut {
+				to = append(to, idx[other(e)])
+				dist = append(dist, int32(e.Dist))
+			}
+		}
+		return to, dist, nativeEnd
+	}
+	for i, id := range ids {
+		c, _ := g.Concept(id)
+		names[i] = c.Name
+		syns = append(syns, c.Synonyms...)
+		synOff[i+1] = int32(len(syns))
+		upTo, upDist, upNEnd[i] = fill(g.UpEdges(id), upTo, upDist, func(e eks.Edge) eks.ConceptID { return e.To })
+		upOff[i+1] = int32(len(upTo))
+		downTo, downDist, downNEnd[i] = fill(g.DownEdges(id), downTo, downDist, func(e eks.Edge) eks.ConceptID { return e.From })
+		downOff[i+1] = int32(len(downTo))
+	}
+
+	keys := g.NameKeys()
+	sort.Strings(keys)
+	keyOff := make([]int32, len(keys)+1)
+	var keyIDs []eks.ConceptID
+	for i, k := range keys {
+		keyIDs = append(keyIDs, g.IDsForNameKey(k)...)
+		keyOff[i+1] = int32(len(keyIDs))
+	}
+
+	fw.add(secGraphIDs, leConceptIDs(ids))
+	fw.add(secGraphNames, fw.leRefs(names))
+	fw.add(secGraphSynOff, leInt32s(synOff))
+	fw.add(secGraphSyns, fw.leRefs(syns))
+	fw.add(secGraphUpOff, leInt32s(upOff))
+	fw.add(secGraphUpTo, leInt32s(upTo))
+	fw.add(secGraphUpDist, leInt32s(upDist))
+	fw.add(secGraphUpNEnd, leInt32s(upNEnd))
+	fw.add(secGraphDownOff, leInt32s(downOff))
+	fw.add(secGraphDownTo, leInt32s(downTo))
+	fw.add(secGraphDownDist, leInt32s(downDist))
+	fw.add(secGraphDownNEnd, leInt32s(downNEnd))
+	fw.add(secGraphNameKeys, fw.leRefs(keys))
+	fw.add(secGraphKeyOff, leInt32s(keyOff))
+	fw.add(secGraphKeyIDs, leConceptIDs(keyIDs))
+	return nil
+}
+
+func flatOntologySections(fw *flatWriter, ing *core.Ingestion) {
+	o := ing.Ontology
+	var conRefs []string
+	for _, name := range o.ConceptNames() {
+		c, _ := o.Concept(name)
+		conRefs = append(conRefs, c.Name, c.Parent)
+	}
+	var relRefs []string
+	for _, r := range o.Relationships() {
+		relRefs = append(relRefs, r.Name, r.Domain, r.Range)
+	}
+	fw.add(secOntoConcepts, fw.leRefs(conRefs))
+	fw.add(secOntoRels, fw.leRefs(relRefs))
+}
+
+func flatStoreSections(fw *flatWriter, store *kb.Store) {
+	insts := store.AllInstances()
+	ids := make([]kb.InstanceID, len(insts))
+	concepts := make([]string, len(insts))
+	names := make([]string, len(insts))
+	for i, inst := range insts {
+		ids[i] = inst.ID
+		concepts[i] = inst.Concept
+		names[i] = inst.Name
+	}
+
+	lexKeys := store.LexiconKeys()
+	sort.Strings(lexKeys)
+	lexOff := make([]int32, len(lexKeys)+1)
+	var lexIDs []kb.InstanceID
+	for i, k := range lexKeys {
+		lexIDs = append(lexIDs, store.IDsForLexiconKey(k)...)
+		lexOff[i+1] = int32(len(lexIDs))
+	}
+
+	conKeys := make([]string, 0)
+	seenCon := map[string]bool{}
+	for _, c := range concepts {
+		if !seenCon[c] {
+			seenCon[c] = true
+			conKeys = append(conKeys, c)
+		}
+	}
+	sort.Strings(conKeys)
+	conOff := make([]int32, len(conKeys)+1)
+	var conIDs []kb.InstanceID
+	for i, k := range conKeys {
+		conIDs = append(conIDs, store.InstancesOf(k)...)
+		conOff[i+1] = int32(len(conIDs))
+	}
+
+	asserts := store.AllAssertions()
+	relSeen := map[string]bool{}
+	var relNames []string
+	for _, a := range asserts {
+		if !relSeen[a.Relationship] {
+			relSeen[a.Relationship] = true
+			relNames = append(relNames, a.Relationship)
+		}
+	}
+	sort.Strings(relNames)
+	relIdx := make(map[string]int32, len(relNames))
+	for i, r := range relNames {
+		relIdx[r] = int32(i)
+	}
+	aSub := make([]kb.InstanceID, len(asserts))
+	aRel := make([]int32, len(asserts))
+	aObj := make([]kb.InstanceID, len(asserts))
+	for i, a := range asserts {
+		aSub[i], aRel[i], aObj[i] = a.Subject, relIdx[a.Relationship], a.Object
+	}
+	perm := make([]int32, len(asserts))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(x, y int) bool {
+		i, j := perm[x], perm[y]
+		if aObj[i] != aObj[j] {
+			return aObj[i] < aObj[j]
+		}
+		ri, rj := relNames[aRel[i]], relNames[aRel[j]]
+		if ri != rj {
+			return ri < rj
+		}
+		return aSub[i] < aSub[j]
+	})
+
+	fw.add(secStoreIDs, leInstanceIDs(ids))
+	fw.add(secStoreConcepts, fw.leRefs(concepts))
+	fw.add(secStoreNames, fw.leRefs(names))
+	fw.add(secStoreLexKeys, fw.leRefs(lexKeys))
+	fw.add(secStoreLexOff, leInt32s(lexOff))
+	fw.add(secStoreLexIDs, leInstanceIDs(lexIDs))
+	fw.add(secStoreConKeys, fw.leRefs(conKeys))
+	fw.add(secStoreConOff, leInt32s(conOff))
+	fw.add(secStoreConIDs, leInstanceIDs(conIDs))
+	fw.add(secStoreRelNames, fw.leRefs(relNames))
+	fw.add(secStoreASub, leInstanceIDs(aSub))
+	fw.add(secStoreARel, leInt32s(aRel))
+	fw.add(secStoreAObj, leInstanceIDs(aObj))
+	fw.add(secStorePerm, leInt32s(perm))
+}
+
+func flatMappingSections(fw *flatWriter, ing *core.Ingestion) {
+	inst, con := ing.MappingPairs()
+	flagged := ing.FlaggedIDs()
+	iOff := make([]int32, len(flagged)+1)
+	var iPool []kb.InstanceID
+	for i, cid := range flagged {
+		iPool = append(iPool, ing.InstancesForConcept(cid)...)
+		iOff[i+1] = int32(len(iPool))
+	}
+	fw.add(secMapInst, leInstanceIDs(inst))
+	fw.add(secMapCon, leConceptIDs(con))
+	fw.add(secMapFlag, leConceptIDs(flagged))
+	fw.add(secMapIOff, leInt32s(iOff))
+	fw.add(secMapIPool, leInstanceIDs(iPool))
+}
+
+// flatFrequencySections emits the per-label spans plus the precomputed
+// aggregate. The aggregate is accumulated in the exact order
+// core.RestoreFrequencyTable uses (labels ascending, ids ascending within
+// each label), so the stored float sums are bit-identical to the ones a
+// heap restore would compute.
+func flatFrequencySections(fw *flatWriter, meta *flatMeta, ft *core.FrequencyTable) {
+	snap := ft.Snapshot()
+	meta.freqRoot = snap.Root
+	meta.freqSmooth = snap.Smooth
+
+	labels := make([]string, len(snap.Labels))
+	off := make([]int32, len(snap.Labels)+1)
+	var ids []eks.ConceptID
+	var vals []float64
+	agg := make(map[eks.ConceptID]float64)
+	for li, ls := range snap.Labels {
+		labels[li] = ls.Label
+		ids = append(ids, ls.IDs...)
+		vals = append(vals, ls.Values...)
+		off[li+1] = int32(len(ids))
+		for i, id := range ls.IDs {
+			agg[id] += ls.Values[i]
+		}
+	}
+	aggIDs := make([]eks.ConceptID, 0, len(agg))
+	for id := range agg {
+		aggIDs = append(aggIDs, id)
+	}
+	sort.Slice(aggIDs, func(i, j int) bool { return aggIDs[i] < aggIDs[j] })
+	aggVals := make([]float64, len(aggIDs))
+	for i, id := range aggIDs {
+		aggVals[i] = agg[id]
+	}
+
+	fw.add(secFreqLabels, fw.leRefs(labels))
+	fw.add(secFreqOff, leInt32s(off))
+	fw.add(secFreqIDs, leConceptIDs(ids))
+	fw.add(secFreqVals, leFloat64s(vals))
+	fw.add(secFreqAggIDs, leConceptIDs(aggIDs))
+	fw.add(secFreqAggVals, leFloat64s(aggVals))
+}
+
+func flatMaterializedSections(fw *flatWriter, meta *flatMeta, m *core.Materialized) {
+	snap := m.Snapshot()
+	meta.matRadius = uint32(snap.Relax.Radius)
+	meta.matMax = uint32(snap.Relax.MaxRadius)
+	if snap.Relax.DynamicRadius {
+		meta.matBits |= matBitDynamicRadius
+	}
+	if snap.Relax.IncludeSelf {
+		meta.matBits |= matBitIncludeSelf
+	}
+
+	n := len(snap.Entries)
+	concepts := make([]eks.ConceptID, n)
+	ctxs := make([]string, n)
+	flags := make([]int32, n)
+	cntOff := make([]int32, n+1)
+	var counts []int32
+	candOff := make([]int32, n+1)
+	var cands []core.MatCand
+	for i, e := range snap.Entries {
+		concepts[i] = e.Concept
+		ctxs[i] = e.Ctx
+		if e.Complete {
+			flags[i] = 1
+		}
+		counts = append(counts, e.Counts...)
+		cntOff[i+1] = int32(len(counts))
+		for _, c := range e.Cands {
+			cands = append(cands, core.MatCand{Concept: c.Concept, Score: c.Score, Hops: int32(c.Hops)})
+		}
+		candOff[i+1] = int32(len(cands))
+	}
+
+	fw.add(secMatCon, leConceptIDs(concepts))
+	fw.add(secMatCtx, fw.leRefs(ctxs))
+	fw.add(secMatFlags, leInt32s(flags))
+	fw.add(secMatCntOff, leInt32s(cntOff))
+	fw.add(secMatCnt, leInt32s(counts))
+	fw.add(secMatCandOff, leInt32s(candOff))
+	fw.add(secMatCands, leMatCands(cands))
+}
+
+func flatCandidateSections(fw *flatWriter, meta *flatMeta, x *core.CandidateIndex) {
+	snap := x.Snapshot()
+	meta.cidxRadius = uint32(snap.Radius)
+	meta.cidxSkipped = int64(x.Skipped())
+
+	n := len(snap.Lists)
+	concepts := make([]eks.ConceptID, n)
+	off := make([]int32, n+1)
+	var posts []core.Posting
+	var lcs []eks.ConceptID
+	for i, ls := range snap.Lists {
+		concepts[i] = ls.Concept
+		for _, ps := range ls.Postings {
+			p := core.Posting{
+				Concept: ps.Concept,
+				Hops:    int32(ps.Hops),
+				Gen:     int32(ps.Gen),
+				Spec:    int32(ps.Spec),
+			}
+			if len(ps.LCS) > 0 {
+				p.LCSLo = int32(len(lcs))
+				lcs = append(lcs, ps.LCS...)
+				p.LCSHi = int32(len(lcs))
+			}
+			posts = append(posts, p)
+		}
+		off[i+1] = int32(len(posts))
+	}
+
+	fw.add(secCidxCon, leConceptIDs(concepts))
+	fw.add(secCidxOff, leInt32s(off))
+	fw.add(secCidxPosts, lePostings(posts))
+	fw.add(secCidxLCS, leConceptIDs(lcs))
+}

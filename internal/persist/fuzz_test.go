@@ -29,7 +29,9 @@ func FuzzLoadBundle(f *testing.F) {
 	f.Add([]byte{})
 
 	// v3 seeds: bundles carrying the acceleration sections, whole and torn.
-	accel := buildAccelIngestion(f)
+	// The small accel build keeps seeds (and their escaped corpus-file
+	// encodings) far below the fuzzer's 100MB shared-memory cap.
+	accel := buildSmallAccelIngestion(f)
 	var ja, ba bytes.Buffer
 	if err := Save(&ja, accel); err != nil {
 		f.Fatal(err)
@@ -41,6 +43,22 @@ func FuzzLoadBundle(f *testing.F) {
 	f.Add(ba.Bytes())
 	f.Add(ba.Bytes()[:len(ba.Bytes())*3/4])
 
+	// v4 seeds: flat bundles reach Load through the magic sniff. Flat
+	// encodes accelerations fixed-width, so seeds use the small accel
+	// build — full-fat fixtures overflow the fuzzer's shared memory.
+	smallAccel := buildSmallAccelIngestion(f)
+	var fb, fa bytes.Buffer
+	if err := SaveFlat(&fb, ing); err != nil {
+		f.Fatal(err)
+	}
+	if err := SaveFlat(&fa, smallAccel); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(fb.Bytes())
+	f.Add(fa.Bytes())
+	f.Add(fa.Bytes()[:len(fa.Bytes())/2])
+	f.Add([]byte("MRXF"))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		restored, err := Load(bytes.NewReader(data))
 		if err != nil {
@@ -49,6 +67,49 @@ func FuzzLoadBundle(f *testing.F) {
 		// Accepted input: the decoder vouched for it, so it must be
 		// internally consistent enough for ValidateForServing to give a
 		// deterministic verdict (either way) without panicking.
+		_ = ValidateForServing(restored)
+	})
+}
+
+// FuzzOpenFlat aims arbitrary bytes straight at the flat (v4) decoder —
+// the zero-copy path has to survive hostile directories, misaligned and
+// overlapping sections, and bad per-section checksums without panicking
+// or reading out of bounds. Seeds cover whole and torn real bundles plus
+// directory-level mutations the corruption tests exercise deliberately.
+func FuzzOpenFlat(f *testing.F) {
+	ing := buildIngestion(f)
+	accel := buildSmallAccelIngestion(f)
+	var plain, withAccel bytes.Buffer
+	if err := SaveFlat(&plain, ing); err != nil {
+		f.Fatal(err)
+	}
+	if err := SaveFlat(&withAccel, accel); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plain.Bytes())
+	f.Add(withAccel.Bytes())
+	f.Add(plain.Bytes()[:len(plain.Bytes())/2])
+	f.Add(withAccel.Bytes()[:flatHeaderSize])
+	f.Add([]byte("MRXF"))
+	f.Add([]byte{})
+
+	// A structurally valid header pointing its directory at garbage.
+	hostile := append([]byte(nil), plain.Bytes()...)
+	hostile[flatHeaderSize+1] ^= 0xFF // flip a section byte under a stale CRC
+	f.Add(hostile)
+	misdir := append([]byte(nil), plain.Bytes()...)
+	misdir[16] ^= 0x04 // nudge dirOff off alignment
+	f.Add(misdir)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// openFlatBytes requires aligned input, which mapBundle guarantees
+		// in production; the fuzzer supplies arbitrary slices.
+		buf := alignedBytes(len(data))
+		copy(buf, data)
+		restored, err := openFlatBytes(buf, &mapRef{size: int64(len(buf))})
+		if err != nil {
+			return
+		}
 		_ = ValidateForServing(restored)
 	})
 }

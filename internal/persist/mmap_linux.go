@@ -1,0 +1,19 @@
+//go:build linux
+
+package persist
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The mapping is shared — the
+// serving layer replaces bundles by atomic rename, so the mapped inode is
+// never rewritten in place and the pages stay stable for the mapping's
+// lifetime.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapBytes releases a mapping created by mmapFile.
+func munmapBytes(b []byte) error { return syscall.Munmap(b) }

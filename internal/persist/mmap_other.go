@@ -1,0 +1,17 @@
+//go:build !linux
+
+package persist
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap routes non-Linux platforms onto the aligned read-file fallback
+// in mapBundle; the flat format needs only aligned bytes, not a real
+// mapping.
+var errNoMmap = errors.New("persist: memory mapping not supported on this platform")
+
+func mmapFile(_ *os.File, _ int) ([]byte, error) { return nil, errNoMmap }
+
+func munmapBytes(_ []byte) error { return nil }

@@ -5,22 +5,29 @@
 // (Section 5.1), really does run only once: production deployments save
 // the ingestion after building it and load it at startup.
 //
-// Two formats coexist:
+// Three formats coexist:
 //
 //   - v1 is versioned JSON — human-inspectable, diff-friendly, stable
 //     across Go versions; written by Save.
 //   - v2 is a compact binary encoding (magic/version header, CRC-32
 //     checksum, length-prefixed sections, deduplicated string table,
 //     varint ids) — several times smaller and faster to load; written by
-//     SaveBinary. See binary.go for the layout.
+//     SaveBinary. See binary.go for the layout. v3 is v2 plus the optional
+//     offline acceleration sections.
+//   - v4 is the flat zero-copy snapshot — aligned, individually
+//     checksummed sections laid out exactly as the read path traverses
+//     them, served directly from a memory mapping; written by SaveFlat and
+//     opened by OpenFlat. See flat.go for the layout.
 //
-// Load auto-detects the format from the first bytes of the stream. Both
-// formats are strictly validated on load (a corrupted or truncated bundle
-// fails loudly rather than yielding a half-built system): v2 is protected
-// by its CRC-32 header, and v1 carries a crc32 field computed over the
-// rest of the document, so a torn or bit-flipped bundle of either format
-// is rejected with an error wrapping ErrCorruptBundle — distinguishable
-// from a missing file, which surfaces the fs.ErrNotExist open error.
+// Load auto-detects the format from the first bytes of the stream, and
+// LoadFile routes flat bundles to the memory-mapping opener. All formats
+// are strictly validated on load (a corrupted or truncated bundle fails
+// loudly rather than yielding a half-built system): v2 is protected by its
+// CRC-32 header, v4 by per-section checksums, and v1 carries a crc32 field
+// computed over the rest of the document, so a torn or bit-flipped bundle
+// of any format is rejected with an error wrapping ErrCorruptBundle —
+// distinguishable from a missing file, which surfaces the fs.ErrNotExist
+// open error.
 package persist
 
 import (
@@ -32,7 +39,6 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
-	"slices"
 
 	"medrelax/internal/core"
 	"medrelax/internal/eks"
@@ -49,7 +55,7 @@ import (
 var ErrCorruptBundle = errors.New("corrupt bundle")
 
 // corruptf builds an ErrCorruptBundle error tagged with the detected
-// format ("json v1", "binary v2", or "unknown").
+// format ("json v1", "binary v2", "flat v4", or "unknown").
 func corruptf(format, msg string, args ...any) error {
 	return fmt.Errorf("persist: %w (%s): %s", ErrCorruptBundle, format, fmt.Sprintf(msg, args...))
 }
@@ -132,13 +138,9 @@ func buildBundle(ing *core.Ingestion) (*Bundle, error) {
 		}
 	}
 
-	var iids []kb.InstanceID
-	for iid := range ing.Mappings {
-		iids = append(iids, iid)
-	}
-	slices.Sort(iids)
-	for _, iid := range iids {
-		b.Mappings = append(b.Mappings, mappingDump{Instance: iid, Concept: ing.Mappings[iid]})
+	iids, cids := ing.MappingPairs()
+	for i, iid := range iids {
+		b.Mappings = append(b.Mappings, mappingDump{Instance: iid, Concept: cids[i]})
 	}
 
 	b.Frequencies = ing.Frequencies.Snapshot()
@@ -187,12 +189,16 @@ func verifyJSONChecksum(b *Bundle) error {
 	return nil
 }
 
-// Load reads a bundle — JSON v1 or binary v2, auto-detected from the
-// stream's first bytes — and reconstructs the ingestion. The returned
-// ingestion is fully usable for the online phase: build a Similarity over
-// ing.Frequencies and a Relaxer over it. A bundle that exists but cannot
-// be decoded, fails its checksum, or restores to an invalid structure
-// yields an error wrapping ErrCorruptBundle.
+// Load reads a bundle — JSON v1, binary v2/v3, or flat v4, auto-detected
+// from the stream's first bytes — and reconstructs the ingestion. The
+// returned ingestion is fully usable for the online phase: build a
+// Similarity over ing.Frequencies and a Relaxer over it. A bundle that
+// exists but cannot be decoded, fails its checksum, or restores to an
+// invalid structure yields an error wrapping ErrCorruptBundle.
+//
+// A flat bundle read through a stream is copied into one aligned heap
+// buffer; LoadFile and OpenFlat serve it zero-copy from a memory mapping
+// instead.
 func Load(r io.Reader) (*core.Ingestion, error) {
 	if err := fault.At("persist.read").Inject(); err != nil {
 		return nil, fmt.Errorf("persist: reading bundle: %w", err)
@@ -204,6 +210,15 @@ func Load(r io.Reader) (*core.Ingestion, error) {
 			return nil, corruptf("unknown", "empty bundle")
 		}
 		return nil, fmt.Errorf("persist: reading bundle: %w", err)
+	}
+	if bytes.Equal(head, []byte(flatMagic)) {
+		raw, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", corruptf("flat v4", "reading stream"), err)
+		}
+		buf := alignedBytes(len(raw))
+		copy(buf, raw)
+		return openFlatBytes(buf, &mapRef{size: int64(len(buf))})
 	}
 	if bytes.Equal(head, []byte(binaryMagic)) {
 		b, err := decodeBinary(br)
@@ -241,9 +256,13 @@ func Load(r io.Reader) (*core.Ingestion, error) {
 
 // LoadFile loads a bundle from disk — the hot-reload entry point: the
 // serving layer points it at the (possibly replaced) bundle path and swaps
-// in the result only when both Load and ValidateForServing pass. Errors
-// carry the path; a corrupt file wraps ErrCorruptBundle while a missing
-// file wraps fs.ErrNotExist, so callers can react differently.
+// in the result only when both Load and ValidateForServing pass. The
+// format is detected from a small header read: flat (v4) bundles are
+// routed to OpenFlat and served zero-copy from a memory mapping, the other
+// formats stream through Load. Errors carry the path; a corrupt file —
+// including one whose header is too short to classify — wraps
+// ErrCorruptBundle while a missing file wraps fs.ErrNotExist, so callers
+// can react differently.
 func LoadFile(path string) (*core.Ingestion, error) {
 	if err := fault.At("persist.open").Inject(); err != nil {
 		return nil, fmt.Errorf("persist: opening bundle %q: %w", path, err)
@@ -251,6 +270,28 @@ func LoadFile(path string) (*core.Ingestion, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("persist: opening bundle: %w", err)
+	}
+	// Classify from the first bytes, then hand the still-open handle to the
+	// right reader: mmap for flat, a rewound stream for the rest.
+	head := make([]byte, len(flatMagic))
+	n, rerr := io.ReadFull(f, head)
+	if rerr != nil && rerr != io.ErrUnexpectedEOF && rerr != io.EOF {
+		f.Close()
+		return nil, fmt.Errorf("bundle %q: persist: reading bundle header: %w", path, rerr)
+	}
+	if bytes.Equal(head[:n], []byte(flatMagic)) {
+		f.Close()
+		return OpenFlat(path)
+	}
+	if n < len(flatMagic) && !looksLikeJSONStart(head[:n]) {
+		// Too short to be any bundle: empty files and sub-magic fragments
+		// are corrupt, not unknown formats.
+		f.Close()
+		return nil, fmt.Errorf("bundle %q: %w", path, corruptf("unknown", "truncated header (%d bytes)", n))
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("bundle %q: persist: rewinding bundle: %w", path, err)
 	}
 	ing, err := Load(f)
 	if cerr := f.Close(); err == nil && cerr != nil {
@@ -260,6 +301,22 @@ func LoadFile(path string) (*core.Ingestion, error) {
 		return nil, fmt.Errorf("bundle %q: %w", path, err)
 	}
 	return ing, nil
+}
+
+// looksLikeJSONStart reports whether the first bytes could open a v1 JSON
+// document (an object brace, possibly after whitespace).
+func looksLikeJSONStart(head []byte) bool {
+	for _, c := range head {
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			continue
+		case '{':
+			return true
+		default:
+			return false
+		}
+	}
+	return false
 }
 
 // ValidateForServing checks the invariants a bundle must satisfy before a
@@ -281,26 +338,27 @@ func ValidateForServing(ing *core.Ingestion) error {
 	if ing.Store == nil || ing.Store.Len() == 0 {
 		return fmt.Errorf("persist: bundle has no KB instances")
 	}
-	if len(ing.Flagged) == 0 {
+	if ing.FlaggedCount() == 0 {
 		return fmt.Errorf("persist: bundle has no flagged concepts — nothing is query-answerable")
 	}
 	if ing.Frequencies == nil {
 		return fmt.Errorf("persist: bundle has no frequency table")
 	}
-	for id := range ing.Flagged {
-		if len(ing.InstancesFor[id]) == 0 {
+	for _, id := range ing.FlaggedIDs() {
+		if len(ing.InstancesForConcept(id)) == 0 {
 			return fmt.Errorf("persist: flagged concept %d has no mapped instances", id)
 		}
 	}
 	return nil
 }
 
-// restore reconstructs and validates an ingestion from a decoded bundle.
-func restore(b *Bundle) (*core.Ingestion, error) {
+// restoreOntology rebuilds a domain ontology from its serialized concepts
+// and relationships, shared by the bundle decoders of every format.
+func restoreOntology(concepts []ontology.Concept, rels []ontology.Relationship) (*ontology.Ontology, error) {
 	onto := ontology.New()
 	// Concepts must be added parents-first: iterate until fixpoint (the
 	// hierarchy is shallow, so two passes usually suffice).
-	pending := append([]ontology.Concept{}, b.OntologyConcepts...)
+	pending := append([]ontology.Concept{}, concepts...)
 	for len(pending) > 0 {
 		progressed := false
 		var next []ontology.Concept
@@ -319,10 +377,19 @@ func restore(b *Bundle) (*core.Ingestion, error) {
 		}
 		pending = next
 	}
-	for _, rel := range b.OntologyRelationships {
+	for _, rel := range rels {
 		if err := onto.AddRelationship(rel); err != nil {
 			return nil, fmt.Errorf("persist: relationship %s: %w", rel.Name, err)
 		}
+	}
+	return onto, nil
+}
+
+// restore reconstructs and validates an ingestion from a decoded bundle.
+func restore(b *Bundle) (*core.Ingestion, error) {
+	onto, err := restoreOntology(b.OntologyConcepts, b.OntologyRelationships)
+	if err != nil {
+		return nil, err
 	}
 
 	store := kb.NewStoreSized(onto, len(b.Instances))
