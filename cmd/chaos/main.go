@@ -48,6 +48,7 @@ import (
 	"medrelax/internal/fault"
 	"medrelax/internal/medkb"
 	"medrelax/internal/persist"
+	"medrelax/internal/retry"
 	"medrelax/internal/server"
 	"medrelax/internal/serving"
 	"medrelax/internal/synthkb"
@@ -61,9 +62,17 @@ func main() {
 		k       = flag.Int("k", 5, "results per /relax request")
 		out     = flag.String("out", "chaos_report.json", "JSON run report path")
 		dir     = flag.String("dir", "", "working directory for the bundle (default: a temp dir)")
+		rtr     = flag.Bool("router", false, "run the distributed-tier drill instead: 3 replicas + kbrouter, kill/restart one replica under traffic")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	if *rtr {
+		if n := runRouterDrill(*seed, *phase, *workers, *k, *out); n > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	h, err := newHarness(*seed, *phase, *workers, *k, *dir)
 	if err != nil {
@@ -428,10 +437,11 @@ func (h *harness) trafficPhase(name, spec string) {
 }
 
 // relaxRetry fetches one term with capped exponential backoff on 429/503,
-// honoring Retry-After the way a well-behaved client (cmd/loadgen) does.
-// Returns the final body, status, and total attempts.
+// honoring Retry-After the way a well-behaved client (cmd/loadgen) does —
+// both now ride the shared internal/retry policy. Returns the final body,
+// status, and total attempts.
 func (h *harness) relaxRetry(term string, rng *rand.Rand) ([]byte, int, int, error) {
-	const maxRetries = 3
+	pol := retry.Policy{MaxRetries: 3, Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond}
 	path := h.relaxPath(term)
 	var (
 		body   []byte
@@ -446,24 +456,17 @@ func (h *harness) relaxRetry(term string, rng *rand.Rand) ([]byte, int, int, err
 			resp.Body.Close()
 			status = resp.StatusCode
 		}
-		retryable := err != nil || status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
-		if !retryable || attempt == maxRetries {
+		retryable := err != nil || retry.RetryableStatus(status)
+		if !retryable || attempt == pol.MaxRetries {
 			return body, status, attempt + 1, err
 		}
-		wait := time.Duration(10<<attempt) * time.Millisecond
-		wait = wait/2 + time.Duration(rng.Int63n(int64(wait/2)+1))
+		var hinted time.Duration
 		if err == nil {
-			if ra, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && ra > 0 {
-				// Cap the honored hint so a 1s server hint doesn't stall
-				// the whole phase; production clients would sleep it out.
-				if hinted := time.Duration(ra) * time.Second; hinted < 50*time.Millisecond {
-					wait = max(wait, hinted)
-				} else {
-					wait = max(wait, 50*time.Millisecond)
-				}
-			}
+			// Cap the honored hint so a 1s server hint doesn't stall the
+			// whole phase; production clients would sleep it out.
+			hinted = min(retry.After(resp.Header), 50*time.Millisecond)
 		}
-		time.Sleep(wait)
+		time.Sleep(pol.Wait(attempt, hinted, rng))
 	}
 }
 

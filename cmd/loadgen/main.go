@@ -36,6 +36,7 @@ import (
 
 	"medrelax/internal/engine"
 	"medrelax/internal/persist"
+	"medrelax/internal/retry"
 )
 
 type phaseStats struct {
@@ -56,74 +57,31 @@ type phaseStats struct {
 	P99HighMs float64 `json:"p99HighMs,omitempty"`
 }
 
-// retryPolicy is the client-side answer to admission control: capped
-// exponential backoff with deterministic jitter, never sleeping less than
-// the server's Retry-After hint. maxRetries 0 disables retrying.
-type retryPolicy struct {
-	maxRetries int
-	base       time.Duration
-	cap        time.Duration
-}
-
-// wait computes the sleep before retry number attempt (0-based): half the
-// capped exponential step plus jitter up to the other half, raised to the
-// server's Retry-After when that is longer.
-func (p retryPolicy) wait(attempt int, retryAfter time.Duration, rng *rand.Rand) time.Duration {
-	d := p.base << attempt
-	if d > p.cap || d <= 0 {
-		d = p.cap
-	}
-	w := d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
-	if retryAfter > w {
-		w = retryAfter
-	}
-	return w
-}
-
-// retryable says whether a response status is worth retrying: the two
-// explicit back-off-and-retry signals the serving layer emits.
-func retryable(code int) bool {
-	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
-}
-
-// parseRetryAfter reads the delay-seconds form of a Retry-After header
-// (the only form the server emits); 0 when absent or malformed.
-func parseRetryAfter(h http.Header) time.Duration {
-	v := h.Get("Retry-After")
-	if v == "" {
-		return 0
-	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
-		return 0
-	}
-	return time.Duration(secs) * time.Second
-}
-
 // relaxRetry issues one /relax query, retrying shed (429) and transient
-// (503) responses plus transport errors under the policy. It returns the
-// final attempt's latency and status and how many retries were spent;
-// status 0 means even the last attempt failed at the transport layer.
-func relaxRetry(client *http.Client, addr, term string, k int, pol retryPolicy, rng *rand.Rand) (time.Duration, int, int) {
+// (503) responses plus transport errors under the shared retry policy. It
+// returns the final attempt's latency and status and how many retries were
+// spent; status 0 means even the last attempt failed at the transport
+// layer.
+func relaxRetry(client *http.Client, addr, term string, k int, pol retry.Policy, rng *rand.Rand) (time.Duration, int, int) {
 	retries := 0
 	for attempt := 0; ; attempt++ {
 		url := fmt.Sprintf("%s/relax?term=%s&k=%d", addr, queryEscape(term), k)
 		start := time.Now()
 		resp, err := client.Get(url)
 		if err != nil {
-			if attempt < pol.maxRetries {
-				time.Sleep(pol.wait(attempt, 0, rng))
+			if attempt < pol.MaxRetries {
+				time.Sleep(pol.Wait(attempt, 0, rng))
 				retries++
 				continue
 			}
 			return 0, 0, retries
 		}
-		retryAfter := parseRetryAfter(resp.Header)
+		retryAfter := retry.After(resp.Header)
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		d := time.Since(start)
-		if retryable(resp.StatusCode) && attempt < pol.maxRetries {
-			time.Sleep(pol.wait(attempt, retryAfter, rng))
+		if retry.RetryableStatus(resp.StatusCode) && attempt < pol.MaxRetries {
+			time.Sleep(pol.Wait(attempt, retryAfter, rng))
 			retries++
 			continue
 		}
@@ -176,7 +134,23 @@ type report struct {
 
 	Density *densityStats `json:"density,omitempty"`
 
+	Router *routerStats `json:"router,omitempty"`
+
 	ServerMetrics map[string]float64 `json:"serverMetrics"`
+}
+
+// routerStats is the router phase's record: the same zipfian workload
+// driven back-to-back through one kbserver replica directly and through
+// kbrouter fronting the cluster, plus a batch byte-identity check across
+// the scatter-gather path.
+type routerStats struct {
+	Addr               string             `json:"addr"`
+	Direct             phaseStats         `json:"direct"`
+	ViaRouter          phaseStats         `json:"viaRouter"`
+	ThroughputRatio    float64            `json:"routerOverDirectThroughput,omitempty"`
+	P95OverheadMs      float64            `json:"routerP95OverheadMs"`
+	BatchByteIdentical bool               `json:"batchByteIdenticalToDirect"`
+	RouterMetrics      map[string]float64 `json:"routerMetrics,omitempty"`
 }
 
 // densityFormat is one format's multi-tenant residency measurement: N
@@ -221,29 +195,32 @@ type batchItemResp struct {
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://127.0.0.1:8080", "kbserver base URL")
-		terms    = flag.Int("terms", 200, "distinct terms to fetch from /terms")
-		zipfS    = flag.Float64("zipf-s", 1.2, "zipf skew (>1; larger = heavier head)")
-		k        = flag.Int("k", 10, "k per /relax request")
-		conc     = flag.Int("conc", 16, "concurrent workers in the warm phase")
-		duration = flag.Duration("duration", 10*time.Second, "warm phase duration")
-		burstN   = flag.Int("burst", 128, "concurrent workers in the shed burst (0 skips)")
-		burstReq = flag.Int("burst-requests", 20, "requests per burst worker")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		coldN    = flag.Int("cold-samples", 2000, "uncached samples for the cold and coldsweep phases (one pass over the terms at minimum)")
-		baseP50  = flag.Float64("baseline-cold-p50-ms", 0, "prior uncached p50 in ms; >0 reports the coldsweep speedup against it")
-		retries  = flag.Int("retries", 2, "max client retries per request on 429/503 (cold+warm phases; 0 disables)")
-		retryLo  = flag.Duration("retry-base", 50*time.Millisecond, "exponential backoff base")
-		retryHi  = flag.Duration("retry-cap", 2*time.Second, "exponential backoff cap")
-		batchCSV = flag.String("batch-sizes", "4,16,64", "comma-separated POST /relax/batch sizes for the batch phase (empty skips)")
-		batchN   = flag.Int("batch-count", 50, "batches per size in the batch phase")
-		tenCSV   = flag.String("tenants", "", "comma-separated tenant names to drive via /t/{name}/ (empty skips; needs kbserver -bundle)")
-		tenDur   = flag.Duration("tenant-duration", 3*time.Second, "per-tenant phase duration")
-		outJSON  = flag.String("out", "BENCH_serve.json", "JSON report path")
-		outMD    = flag.String("md", "results/BENCH_serve.md", "Markdown report path")
-		denPath  = flag.String("density-bundle", "", "bundle to measure multi-tenant RSS density with (empty skips; runs in-process, no server traffic)")
-		denN     = flag.Int("density-tenants", 8, "tenant count for the density phase")
-		denOnly  = flag.Bool("density-only", false, "run only the density phase (no server needed); requires -density-bundle")
+		addr       = flag.String("addr", "http://127.0.0.1:8080", "kbserver base URL")
+		terms      = flag.Int("terms", 200, "distinct terms to fetch from /terms")
+		zipfS      = flag.Float64("zipf-s", 1.2, "zipf skew (>1; larger = heavier head)")
+		k          = flag.Int("k", 10, "k per /relax request")
+		conc       = flag.Int("conc", 16, "concurrent workers in the warm phase")
+		duration   = flag.Duration("duration", 10*time.Second, "warm phase duration")
+		burstN     = flag.Int("burst", 128, "concurrent workers in the shed burst (0 skips)")
+		burstReq   = flag.Int("burst-requests", 20, "requests per burst worker")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		coldN      = flag.Int("cold-samples", 2000, "uncached samples for the cold and coldsweep phases (one pass over the terms at minimum)")
+		baseP50    = flag.Float64("baseline-cold-p50-ms", 0, "prior uncached p50 in ms; >0 reports the coldsweep speedup against it")
+		retries    = flag.Int("retries", 2, "max client retries per request on 429/503 (cold+warm phases; 0 disables)")
+		retryLo    = flag.Duration("retry-base", 50*time.Millisecond, "exponential backoff base")
+		retryHi    = flag.Duration("retry-cap", 2*time.Second, "exponential backoff cap")
+		batchCSV   = flag.String("batch-sizes", "4,16,64", "comma-separated POST /relax/batch sizes for the batch phase (empty skips)")
+		batchN     = flag.Int("batch-count", 50, "batches per size in the batch phase")
+		tenCSV     = flag.String("tenants", "", "comma-separated tenant names to drive via /t/{name}/ (empty skips; needs kbserver -bundle)")
+		tenDur     = flag.Duration("tenant-duration", 3*time.Second, "per-tenant phase duration")
+		outJSON    = flag.String("out", "BENCH_serve.json", "JSON report path")
+		outMD      = flag.String("md", "results/BENCH_serve.md", "Markdown report path")
+		routerAddr = flag.String("router-addr", "", "kbrouter base URL; runs the router phase comparing throughput against the direct -addr replica (empty skips)")
+		routerDur  = flag.Duration("router-duration", 5*time.Second, "router phase duration per side (direct, then routed)")
+
+		denPath = flag.String("density-bundle", "", "bundle to measure multi-tenant RSS density with (empty skips; runs in-process, no server traffic)")
+		denN    = flag.Int("density-tenants", 8, "tenant count for the density phase")
+		denOnly = flag.Bool("density-only", false, "run only the density phase (no server needed); requires -density-bundle")
 	)
 	flag.Parse()
 
@@ -265,7 +242,7 @@ func main() {
 		log.Printf("loadgen: density-only run wrote %s and %s", *outJSON, *outMD)
 		return
 	}
-	pol := retryPolicy{maxRetries: *retries, base: *retryLo, cap: *retryHi}
+	pol := retry.Policy{MaxRetries: *retries, Base: *retryLo, Cap: *retryHi}
 
 	// Default transports keep only two idle conns per host: at high
 	// worker counts every request would pay TCP setup, measuring the
@@ -546,7 +523,16 @@ func main() {
 		}
 	}
 
-	// Phase 8 — density: how much resident memory N tenants of the same
+	// Phase 8 — router: the same workload through kbrouter fronting the
+	// cluster vs one replica directly. Direct side runs first so both
+	// sides see equally-warm caches; the routed side then pays consistent
+	// hashing, health bookkeeping, and one extra network hop — the number
+	// this phase exists to bound.
+	if *routerAddr != "" {
+		rep.Router = runRouterPhase(client, *addr, *routerAddr, termList, pol, *zipfS, *k, *conc, *routerDur, *seed)
+	}
+
+	// Phase 9 — density: how much resident memory N tenants of the same
 	// bundle cost, v2 heap decode vs zero-copy flat mapping. Runs in this
 	// process (the phase is about snapshot residency, not server traffic),
 	// so RSS deltas are clean of the HTTP client's buffers: both formats
@@ -569,6 +555,103 @@ func main() {
 	}
 	log.Printf("loadgen: cold p95 %.2fms, warm p95 %.2fms (%.1fx), uncached p50 %.3fms, %d shed, wrote %s and %s",
 		rep.Cold.P95Ms, rep.Warm.P95Ms, rep.WarmSpeedupP95, rep.ColdSweep.P50Ms, rep.Burst.Shed, *outJSON, *outMD)
+}
+
+// runRouterPhase drives the zipfian mix through one replica directly and
+// then through kbrouter, back to back, and checks scatter-gather batch
+// bytes against the direct replica.
+func runRouterPhase(client *http.Client, direct, routerAddr string, termList []string, pol retry.Policy, zipfS float64, k, conc int, dur time.Duration, seed int64) *routerStats {
+	rs := &routerStats{Addr: routerAddr, BatchByteIdentical: true}
+
+	measure := func(base string, seedOff int64) phaseStats {
+		var mu sync.Mutex
+		lat := make([]time.Duration, 0, 1<<14)
+		errs, rts := 0, 0
+		var wg sync.WaitGroup
+		start := time.Now()
+		deadline := start.Add(dur)
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + seedOff + int64(w)))
+				zipf := rand.NewZipf(rng, zipfS, 1, uint64(len(termList)-1))
+				local := make([]time.Duration, 0, 4096)
+				lerrs, lrts := 0, 0
+				for time.Now().Before(deadline) {
+					d, code, r := relaxRetry(client, base, termList[zipf.Uint64()], k, pol, rng)
+					lrts += r
+					if code != http.StatusOK {
+						lerrs++
+						continue
+					}
+					local = append(local, d)
+				}
+				mu.Lock()
+				lat = append(lat, local...)
+				errs += lerrs
+				rts += lrts
+				mu.Unlock()
+			}(w)
+		}
+		wg.Wait()
+		st := summarize(lat, errs, time.Since(start))
+		st.Retries = rts
+		return st
+	}
+
+	log.Printf("loadgen: router phase, direct side (%d workers, %s against %s)", conc, dur, direct)
+	rs.Direct = measure(direct, 424243)
+	log.Printf("loadgen: router phase, routed side (%d workers, %s against %s)", conc, dur, routerAddr)
+	rs.ViaRouter = measure(routerAddr, 424243)
+	if rs.Direct.Throughput > 0 {
+		rs.ThroughputRatio = rs.ViaRouter.Throughput / rs.Direct.Throughput
+	}
+	rs.P95OverheadMs = rs.ViaRouter.P95Ms - rs.Direct.P95Ms
+
+	// Batch byte-identity across the scatter-gather: the same POST body
+	// must come back byte-equal from the router and from one replica.
+	brng := rand.New(rand.NewSource(seed + 777))
+	bzipf := rand.NewZipf(brng, zipfS, 1, uint64(len(termList)-1))
+	queries := make([]batchQuery, 32)
+	for i := range queries {
+		queries[i] = batchQuery{Term: termList[bzipf.Uint64()], K: 1 + brng.Intn(100)}
+	}
+	payload, err := json.Marshal(map[string]any{"queries": queries})
+	if err != nil {
+		rs.BatchByteIdentical = false
+		return rs
+	}
+	post := func(base string) []byte {
+		resp, err := client.Post(base+"/relax/batch", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			return nil
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return body
+	}
+	d := post(direct)
+	r := post(routerAddr)
+	if d == nil || r == nil || !bytes.Equal(d, r) {
+		rs.BatchByteIdentical = false
+		log.Printf("loadgen: ROUTER BATCH BYTE MISMATCH (direct %d bytes, routed %d bytes)", len(d), len(r))
+	}
+
+	rs.RouterMetrics = scrapeMetricsList(client, routerAddr, []string{
+		"kbrouter_http_requests_total",
+		"kbrouter_http_shed_total",
+		"kbrouter_replica_requests_total",
+		"kbrouter_replica_retries_total",
+		"kbrouter_replica_errors_total",
+		"kbrouter_replica_healthy",
+		"kbrouter_health_transitions_total",
+		"kbrouter_scatter_shard_failures_total",
+	})
+	return rs
 }
 
 // runDensity loads the bundle once, re-saves it as v2 binary and v4 flat,
@@ -854,9 +937,7 @@ func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 // scrapeMetrics pulls the serving-layer counters loadgen reports on.
 func scrapeMetrics(client *http.Client, addr string) map[string]float64 {
-	body := fetchBody(client, addr+"/metrics")
-	out := map[string]float64{}
-	wanted := []string{
+	return scrapeMetricsList(client, addr, []string{
 		"medrelax_relax_cache_hits_total",
 		"medrelax_relax_cache_misses_total",
 		"medrelax_relax_cache_collapsed_total",
@@ -867,7 +948,14 @@ func scrapeMetrics(client *http.Client, addr string) map[string]float64 {
 		"medrelax_http_shed_total",
 		"medrelax_http_inflight",
 		"medrelax_bundle_generation",
-	}
+	})
+}
+
+// scrapeMetricsList pulls the named families from a Prometheus text
+// endpoint, summing series that share a name+label string.
+func scrapeMetricsList(client *http.Client, addr string, wanted []string) map[string]float64 {
+	body := fetchBody(client, addr+"/metrics")
+	out := map[string]float64{}
 	for _, line := range strings.Split(body, "\n") {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -973,6 +1061,33 @@ func writeMarkdown(path string, rep *report) error {
 				name, st.Requests, st.Errors, st.P50Ms, st.P95Ms, st.Throughput)
 		}
 		fmt.Fprintf(&b, "\nEach tenant has its own cache partition, admission gate, and tenant-labelled metric series; the table shows both warming independently in one process.\n\n")
+	}
+	if rep.Router != nil {
+		rt := rep.Router
+		fmt.Fprintf(&b, "## Router phase (kbrouter at %s, same zipfian mix back-to-back)\n\n", rt.Addr)
+		fmt.Fprintf(&b, "| path | requests | errors | retries | p50 (ms) | p95 (ms) | p99 (ms) | req/s |\n")
+		fmt.Fprintf(&b, "|---|---:|---:|---:|---:|---:|---:|---:|\n")
+		fmt.Fprintf(&b, "| direct (one replica) | %d | %d | %d | %.3f | %.3f | %.3f | %.0f |\n",
+			rt.Direct.Requests, rt.Direct.Errors, rt.Direct.Retries, rt.Direct.P50Ms, rt.Direct.P95Ms, rt.Direct.P99Ms, rt.Direct.Throughput)
+		fmt.Fprintf(&b, "| via kbrouter | %d | %d | %d | %.3f | %.3f | %.3f | %.0f |\n\n",
+			rt.ViaRouter.Requests, rt.ViaRouter.Errors, rt.ViaRouter.Retries, rt.ViaRouter.P50Ms, rt.ViaRouter.P95Ms, rt.ViaRouter.P99Ms, rt.ViaRouter.Throughput)
+		if rt.ThroughputRatio > 0 {
+			fmt.Fprintf(&b, "**Routed throughput is %.2fx direct** (p95 overhead %.3f ms/request for consistent-hash placement, health tracking, and the extra hop). ",
+				rt.ThroughputRatio, rt.P95OverheadMs)
+		}
+		fmt.Fprintf(&b, "Scatter-gather batch bytes identical to a single replica: **%v**.\n\n", rt.BatchByteIdentical)
+		if len(rt.RouterMetrics) > 0 {
+			fmt.Fprintf(&b, "### Router counters (kbrouter /metrics)\n\n| series | value |\n|---|---:|\n")
+			keys := make([]string, 0, len(rt.RouterMetrics))
+			for k := range rt.RouterMetrics {
+				keys = append(keys, k)
+			}
+			slices.Sort(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, "| `%s` | %.0f |\n", k, rt.RouterMetrics[k])
+			}
+			fmt.Fprintf(&b, "\n")
+		}
 	}
 	if rep.Density != nil {
 		d := rep.Density

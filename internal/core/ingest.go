@@ -82,6 +82,18 @@ type Ingestion struct {
 	flatMap *flatMappings
 }
 
+// Close releases resources the ingestion's backing pins — for a
+// memory-mapped flat bundle, the OS mapping, unmapped now instead of at GC
+// time. Safe on heap-backed ingestions (no-op) and idempotent when the
+// backing's Close is. The caller must have drained every reader first:
+// accessors on a flat ingestion fault after Close.
+func (ing *Ingestion) Close() error {
+	if c, ok := ing.Backing.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
+
 // Ingest runs the offline external knowledge source ingestion (Algorithm 1)
 // over the domain ontology o, the instance store, the external knowledge
 // source g (mutated in place by customization), the document corpus corp,

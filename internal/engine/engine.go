@@ -208,6 +208,13 @@ func (s *Snapshot) NewRelaxer(mapper match.Mapper, opts core.RelaxOptions) *core
 	return core.NewRelaxer(s.ing, sim, mapper, opts)
 }
 
+// Close releases the snapshot's backing resources — for an mmap-backed
+// flat bundle, the file mapping, released deterministically instead of at
+// GC time (replica restarts in the chaos harness must not depend on the
+// collector running). The snapshot must be fully drained first: no
+// in-flight Relax may touch a closed mapping. No-op for heap snapshots.
+func (s *Snapshot) Close() error { return s.ing.Close() }
+
 // Ingestion exposes the underlying frozen ingestion (read-only).
 func (s *Snapshot) Ingestion() *core.Ingestion { return s.ing }
 

@@ -111,6 +111,43 @@ func TestFlatAccelFreeOmitsAccelSections(t *testing.T) {
 	}
 }
 
+// TestFlatExplicitClose pins the deterministic release path: a flat
+// snapshot can be retired with Close instead of waiting on the garbage
+// collector — replica restarts in the chaos harness depend on this —
+// and Close is idempotent, through both the Ingestion and the backing.
+func TestFlatExplicitClose(t *testing.T) {
+	ing := buildIngestion(t)
+	restored, err := OpenFlat(writeFlatFile(t, ing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Backing == nil {
+		t.Fatal("flat ingestion has no backing")
+	}
+	if _, ok := restored.Backing.(interface{ Close() error }); !ok {
+		t.Fatalf("flat backing %T does not expose Close", restored.Backing)
+	}
+	// Use the snapshot before retiring it.
+	if restored.FlaggedCount() == 0 {
+		t.Fatal("restored ingestion answers nothing")
+	}
+	size := restored.Backing.SizeBytes()
+	if err := restored.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := restored.Close(); err != nil {
+		t.Fatalf("second Close not idempotent: %v", err)
+	}
+	// Residency metadata outlives the mapping (stats pages read it).
+	if got := restored.Backing.SizeBytes(); got != size {
+		t.Errorf("SizeBytes after Close = %d, want %d", got, size)
+	}
+	// A heap-built ingestion has no backing; Close must still be a no-op.
+	if err := ing.Close(); err != nil {
+		t.Fatalf("heap ingestion Close: %v", err)
+	}
+}
+
 func TestFlatDeterministicBytes(t *testing.T) {
 	ing := buildAccelIngestion(t)
 	a := saveFlatBytes(t, ing)

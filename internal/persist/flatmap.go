@@ -5,16 +5,21 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sync"
 )
 
 // mapRef is the core.SnapshotBacking for a flat bundle: it reports how the
 // bytes are resident and, for real memory mappings, owns the mapping's
-// lifetime. The Ingestion holds the mapRef, the runtime unmaps once the
-// Ingestion (and with it every view into the mapping) is unreachable.
+// lifetime. The Ingestion holds the mapRef; the mapping is released either
+// explicitly via Close (a drained snapshot being retired — replica
+// restarts must not wait on GC timing) or by the finalizer backstop once
+// the Ingestion and every view into the mapping are unreachable.
 type mapRef struct {
 	size   int64
 	mapped bool
-	data   []byte // the live mapping; nil for heap-backed refs and after release
+
+	mu   sync.Mutex
+	data []byte // the live mapping; nil for heap-backed refs and after release
 }
 
 // Mapped implements core.SnapshotBacking.
@@ -23,9 +28,22 @@ func (h *mapRef) Mapped() bool { return h.mapped }
 // SizeBytes implements core.SnapshotBacking.
 func (h *mapRef) SizeBytes() int64 { return h.size }
 
-// release unmaps the bundle. Called by the finalizer, or eagerly when
-// opening fails after the map succeeded.
+// Close unmaps the bundle now instead of at GC time. Idempotent. The
+// caller owns the safety argument: every view into the mapping must be
+// drained first — reading a flat snapshot after Close faults.
+func (h *mapRef) Close() error {
+	h.release()
+	// The finalizer only exists to unmap; once that's done, keeping it
+	// would just delay reclamation of the ref itself.
+	runtime.SetFinalizer(h, nil)
+	return nil
+}
+
+// release unmaps the bundle. Called by Close, the finalizer, or eagerly
+// when opening fails after the map succeeded.
 func (h *mapRef) release() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.mapped && h.data != nil {
 		_ = munmapBytes(h.data)
 		h.data = nil

@@ -1,0 +1,116 @@
+package retry
+
+import (
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestWaitBounds(t *testing.T) {
+	p := Policy{MaxRetries: 5, Base: 50 * time.Millisecond, Cap: 2 * time.Second}
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 0; attempt < 12; attempt++ {
+		step := p.Base << attempt
+		if step > p.Cap || step <= 0 {
+			step = p.Cap
+		}
+		for i := 0; i < 200; i++ {
+			w := p.Wait(attempt, 0, rng)
+			if w < step/2 || w > step {
+				t.Fatalf("attempt %d: wait %v outside [%v, %v]", attempt, w, step/2, step)
+			}
+		}
+	}
+}
+
+func TestWaitIsCapped(t *testing.T) {
+	p := Policy{MaxRetries: 10, Base: time.Second, Cap: 4 * time.Second}
+	rng := rand.New(rand.NewSource(2))
+	// Far past the cap — including shift overflow territory.
+	for _, attempt := range []int{5, 30, 62, 63, 64, 100} {
+		w := p.Wait(attempt, 0, rng)
+		if w > p.Cap {
+			t.Errorf("attempt %d: wait %v exceeds cap %v", attempt, w, p.Cap)
+		}
+		if w < p.Cap/2 {
+			t.Errorf("attempt %d: wait %v below half-cap %v", attempt, w, p.Cap/2)
+		}
+	}
+}
+
+func TestWaitHonorsRetryAfter(t *testing.T) {
+	p := Policy{MaxRetries: 2, Base: 10 * time.Millisecond, Cap: 100 * time.Millisecond}
+	rng := rand.New(rand.NewSource(3))
+	// A hint longer than the whole step must win.
+	if w := p.Wait(0, 3*time.Second, rng); w != 3*time.Second {
+		t.Errorf("wait %v, want the 3s Retry-After floor", w)
+	}
+	// A shorter hint must not shrink the backoff.
+	if w := p.Wait(3, time.Microsecond, rng); w < 40*time.Millisecond {
+		t.Errorf("wait %v collapsed below the exponential schedule", w)
+	}
+}
+
+func TestWaitDeterministicForSeed(t *testing.T) {
+	p := Default()
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for attempt := 0; attempt < 8; attempt++ {
+		if wa, wb := p.Wait(attempt, 0, a), p.Wait(attempt, 0, b); wa != wb {
+			t.Fatalf("attempt %d: %v vs %v from identical seeds", attempt, wa, wb)
+		}
+	}
+}
+
+func TestWaitZeroValueFallsBack(t *testing.T) {
+	var p Policy // zero Base/Cap must not panic or return 0 forever
+	w := p.Wait(0, 0, rand.New(rand.NewSource(4)))
+	def := Default()
+	if w < def.Base/2 || w > def.Cap {
+		t.Errorf("zero-value wait %v outside default envelope [%v, %v]", w, def.Base/2, def.Cap)
+	}
+	// nil rng draws from the global source without panicking.
+	if w := p.Wait(1, 0, nil); w <= 0 {
+		t.Errorf("nil-rng wait %v, want > 0", w)
+	}
+}
+
+func TestRetryableStatus(t *testing.T) {
+	for code, want := range map[int]bool{
+		http.StatusOK:                  false,
+		http.StatusBadRequest:          false,
+		http.StatusNotFound:            false,
+		http.StatusTooManyRequests:     true,
+		http.StatusInternalServerError: false,
+		http.StatusBadGateway:          false,
+		http.StatusServiceUnavailable:  true,
+		http.StatusGatewayTimeout:      false,
+	} {
+		if got := RetryableStatus(code); got != want {
+			t.Errorf("RetryableStatus(%d) = %v, want %v", code, got, want)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	for _, tc := range []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 0},
+		{"2", 2 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"soon", 0},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0}, // HTTP-date form unsupported by design
+	} {
+		h := http.Header{}
+		if tc.header != "" {
+			h.Set("Retry-After", tc.header)
+		}
+		if got := After(h); got != tc.want {
+			t.Errorf("After(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package router
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"medrelax/internal/serving/metrics"
+)
+
+// replicaState is one replica's health record. Healthy flips to false
+// after failAfter consecutive failures (probe or live-request transport
+// errors) and back to true on the first success — recovery should be
+// fast, suspicion should take evidence.
+type replicaState struct {
+	healthy  bool
+	failures int
+}
+
+// health tracks replica liveness from two signals: an active prober
+// (periodic GET /healthz with a short timeout) and passive reports from
+// the proxy path (a transport error to a replica is as good as a failed
+// probe — better, it is free). Both feed the same consecutive-failure
+// counter so a replica cannot look healthy to the prober while timing out
+// real requests.
+type health struct {
+	failAfter int
+	interval  time.Duration
+	timeout   time.Duration
+	client    *http.Client
+	reg       *metrics.Registry
+
+	mu    sync.RWMutex
+	state map[string]*replicaState
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newHealth(replicas []string, failAfter int, interval, timeout time.Duration, client *http.Client, reg *metrics.Registry) *health {
+	if failAfter <= 0 {
+		failAfter = 3
+	}
+	h := &health{
+		failAfter: failAfter,
+		interval:  interval,
+		timeout:   timeout,
+		client:    client,
+		reg:       reg,
+		state:     make(map[string]*replicaState, len(replicas)),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	for _, rep := range replicas {
+		// Start healthy: a cold router should route immediately and let the
+		// first failures demote, not black-hole traffic until the first
+		// probe round completes.
+		h.state[rep] = &replicaState{healthy: true}
+		h.gauge(rep).Set(1)
+	}
+	return h
+}
+
+func (h *health) gauge(replica string) *metrics.Gauge {
+	return h.reg.Gauge("kbrouter_replica_healthy",
+		"1 when the replica is accepting traffic, 0 when marked down",
+		metrics.Label("replica", replica))
+}
+
+// Healthy reports whether replica is currently accepting traffic.
+// Unknown replicas are unhealthy.
+func (h *health) Healthy(replica string) bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	s, ok := h.state[replica]
+	return ok && s.healthy
+}
+
+// HealthyCount returns (healthy, total).
+func (h *health) HealthyCount() (int, int) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	n := 0
+	for _, s := range h.state {
+		if s.healthy {
+			n++
+		}
+	}
+	return n, len(h.state)
+}
+
+// ReportSuccess resets the failure count and restores the replica on the
+// first good signal after a bad stretch.
+func (h *health) ReportSuccess(replica string) {
+	h.mu.Lock()
+	s, ok := h.state[replica]
+	if !ok {
+		h.mu.Unlock()
+		return
+	}
+	s.failures = 0
+	recovered := !s.healthy
+	s.healthy = true
+	h.mu.Unlock()
+	if recovered {
+		h.transition(replica, "healthy")
+	}
+}
+
+// ReportFailure counts one failed probe or transport error; the replica is
+// marked down once failures reach the threshold.
+func (h *health) ReportFailure(replica string) {
+	h.mu.Lock()
+	s, ok := h.state[replica]
+	if !ok {
+		h.mu.Unlock()
+		return
+	}
+	s.failures++
+	demoted := s.healthy && s.failures >= h.failAfter
+	if demoted {
+		s.healthy = false
+	}
+	h.mu.Unlock()
+	if demoted {
+		h.transition(replica, "unhealthy")
+	}
+}
+
+func (h *health) transition(replica, to string) {
+	h.reg.Counter("kbrouter_health_transitions_total",
+		"replica health state changes by direction",
+		metrics.Label("replica", replica)+","+metrics.Label("to", to)).Inc()
+	if to == "healthy" {
+		h.gauge(replica).Set(1)
+	} else {
+		h.gauge(replica).Set(0)
+	}
+}
+
+// Start launches the active prober; Stop shuts it down and waits.
+func (h *health) Start() {
+	go h.probeLoop()
+}
+
+func (h *health) Stop() {
+	close(h.stop)
+	<-h.done
+}
+
+func (h *health) probeLoop() {
+	defer close(h.done)
+	if h.interval <= 0 {
+		return
+	}
+	ticker := time.NewTicker(h.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-ticker.C:
+			h.probeAll()
+		}
+	}
+}
+
+func (h *health) probeAll() {
+	h.mu.RLock()
+	replicas := make([]string, 0, len(h.state))
+	for rep := range h.state {
+		replicas = append(replicas, rep)
+	}
+	h.mu.RUnlock()
+	var wg sync.WaitGroup
+	for _, rep := range replicas {
+		wg.Add(1)
+		go func(rep string) {
+			defer wg.Done()
+			h.probe(rep)
+		}(rep)
+	}
+	wg.Wait()
+}
+
+func (h *health) probe(replica string) {
+	ctx, cancel := context.WithTimeout(context.Background(), h.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+replica+"/healthz", nil)
+	if err != nil {
+		h.ReportFailure(replica)
+		return
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		h.ReportFailure(replica)
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		h.ReportSuccess(replica)
+	} else {
+		h.ReportFailure(replica)
+	}
+}

@@ -5,25 +5,26 @@ import (
 	"time"
 )
 
-// limiter is a non-queueing concurrency cap: a request either gets a slot
+// Limiter is a non-queueing concurrency cap: a request either gets a slot
 // immediately or is shed. Queueing under overload only converts an
 // explicit 429 into unbounded memory growth and a timeout later — the
-// client can back off, the queue cannot.
-type limiter struct {
+// client can back off, the queue cannot. Exported so the router tier can
+// apply the same admission discipline before burning a replica slot.
+type Limiter struct {
 	slots chan struct{}
 }
 
-// newLimiter builds a limiter admitting up to n concurrent requests;
-// n <= 0 returns nil (unlimited).
-func newLimiter(n int) *limiter {
+// NewLimiter builds a Limiter admitting up to n concurrent requests;
+// n <= 0 returns nil (unlimited — every method on a nil Limiter admits).
+func NewLimiter(n int) *Limiter {
 	if n <= 0 {
 		return nil
 	}
-	return &limiter{slots: make(chan struct{}, n)}
+	return &Limiter{slots: make(chan struct{}, n)}
 }
 
-// tryAcquire takes a slot without blocking; false means shed.
-func (l *limiter) tryAcquire() bool {
+// TryAcquire takes a slot without blocking; false means shed.
+func (l *Limiter) TryAcquire() bool {
 	if l == nil {
 		return true
 	}
@@ -35,14 +36,15 @@ func (l *limiter) tryAcquire() bool {
 	}
 }
 
-func (l *limiter) release() {
+// Release returns a slot taken by TryAcquire.
+func (l *Limiter) Release() {
 	if l != nil {
 		<-l.slots
 	}
 }
 
-// inUse reports the currently held slots.
-func (l *limiter) inUse() int {
+// InUse reports the currently held slots.
+func (l *Limiter) InUse() int {
 	if l == nil {
 		return 0
 	}

@@ -78,11 +78,11 @@ func (e *Engine) instrument(next http.Handler) http.Handler {
 
 		limited := endpoint == "/relax" || endpoint == "/relax/batch" || endpoint == "/chat"
 		if limited {
-			if !e.limiter.tryAcquire() {
+			if !e.limiter.TryAcquire() {
 				e.shed(w, endpoint, "over concurrency limit")
 				return
 			}
-			defer e.limiter.release()
+			defer e.limiter.Release()
 		}
 		var timeout time.Duration
 		switch endpoint {

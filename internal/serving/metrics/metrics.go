@@ -219,6 +219,18 @@ func (r *Registry) Histogram(name, help, labels string) *Histogram {
 	return f.get(labels, func() any { return NewHistogram(bounds) }).(*Histogram)
 }
 
+// HistogramWith is Histogram with explicit bucket bounds, for families
+// whose domain is not latency (e.g. scatter fan-out widths). Bounds apply
+// on first registration of each series; nil falls back to the registry's
+// latency buckets.
+func (r *Registry) HistogramWith(name, help, labels string, bounds []float64) *Histogram {
+	f := r.family(name, help, typeHistogram)
+	if bounds == nil {
+		bounds = r.histBounds
+	}
+	return f.get(labels, func() any { return NewHistogram(bounds) }).(*Histogram)
+}
+
 // Label renders one key="value" pair, escaping the value per the text
 // format. Join multiple with commas in a fixed order at the call site.
 func Label(key, value string) string {

@@ -114,7 +114,7 @@ type Engine struct {
 	cur   atomic.Pointer[holder]
 	cache *Cache
 
-	limiter  *limiter
+	limiter  *Limiter
 	chatRate *tokenBucket
 
 	reg *metrics.Registry
@@ -143,7 +143,7 @@ func NewEngine(backend server.Backend, opts Options) *Engine {
 	e := &Engine{
 		opts:     opts,
 		cache:    NewCache(opts.CacheCapacity, opts.CacheTTL, opts.CacheShards),
-		limiter:  newLimiter(opts.MaxConcurrent),
+		limiter:  NewLimiter(opts.MaxConcurrent),
 		chatRate: newTokenBucket(opts.ChatRPS, opts.ChatBurst),
 		reg:      reg,
 	}
@@ -421,7 +421,7 @@ func (e *Engine) Stats() map[string]any {
 		"cacheHits":        hits,
 		"cacheMisses":      misses,
 		"cacheCollapsed":   collapsed,
-		"inflightLimited":  e.limiter.inUse(),
+		"inflightLimited":  e.limiter.InUse(),
 		"reloadFailures":   e.ReloadFailures(),
 		"cacheBypassed":    e.mCacheBypass.Value(),
 		"servePaths": map[string]uint64{
