@@ -38,6 +38,7 @@ import (
 	"medrelax/internal/router"
 	"medrelax/internal/server"
 	"medrelax/internal/serving"
+	"medrelax/internal/trace"
 )
 
 // routerReport is the JSON artifact for a -router run.
@@ -52,6 +53,7 @@ type routerReport struct {
 	Kills      int           `json:"kills"`
 	Restarts   int           `json:"restarts"`
 	Mismatches int64         `json:"mismatches"`
+	Traces     uint64        `json:"tracesCaptured"`
 	Violations []string      `json:"violations"`
 }
 
@@ -129,6 +131,7 @@ type routerDrill struct {
 	golden      map[string][]byte
 	batchBody   []byte
 	batchGolden []byte
+	traceRec    *trace.Recorder
 
 	mu     sync.Mutex
 	report routerReport
@@ -162,8 +165,13 @@ func newRouterDrill(seed int64, phase time.Duration, workers, k int) (*routerDri
 		return nil, err
 	}
 	snap := engine.New(ing, engine.Config{})
+	// Replicas join traces the router starts (no self-sampling), the same
+	// split a production fleet runs: sampling decisions live at the edge.
+	replicaTracer := trace.NewTracer("kbserver", 0, trace.NewRecorder(64, 8))
 	mkHandler := func() http.Handler {
-		eng := serving.NewEngine(snap, serving.DefaultOptions())
+		sopts := serving.DefaultOptions()
+		sopts.Tracer = replicaTracer
+		eng := serving.NewEngine(snap, sopts)
 		return eng.Handler(server.New(eng).Handler())
 	}
 	addrs := make([]string, 3)
@@ -184,6 +192,8 @@ func newRouterDrill(seed int64, phase time.Duration, workers, k int) (*routerDri
 	opts.ProbeTimeout = 150 * time.Millisecond
 	opts.FailAfter = 2
 	opts.Retry = retry.Policy{MaxRetries: 3, Base: 5 * time.Millisecond, Cap: 50 * time.Millisecond}
+	d.traceRec = trace.NewRecorder(64, 8)
+	opts.Tracer = trace.NewTracer("kbrouter", 8, d.traceRec)
 	d.rt = router.New(opts)
 	d.rt.Start()
 
@@ -477,6 +487,63 @@ func (d *routerDrill) finalChecks(victimAddr string) {
 			d.violatef("final: replica %s not healthy at end of drill", p.addr)
 		}
 	}
+
+	d.checkTracing()
+}
+
+// checkTracing drives one explicitly-traced scatter batch through the
+// recovered cluster and requires the router's recorder to hold a trace
+// whose spans cover both services — router admission and shard legs from
+// kbrouter, cache/kernel spans back-hauled from the kbserver replicas.
+func (d *routerDrill) checkTracing() {
+	header, traceID := trace.NewTraceparent()
+	req, err := http.NewRequest(http.MethodPost, d.base+"/relax/batch", bytes.NewReader(d.batchBody))
+	if err != nil {
+		d.violatef("final: building traced batch request: %v", err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(trace.TraceparentHeader, header)
+	resp, err := d.client.Do(req)
+	if err != nil {
+		d.violatef("final: traced batch request: %v", err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		d.violatef("final: traced batch status %d", resp.StatusCode)
+		return
+	}
+
+	traces, total := d.traceRec.Snapshot(false)
+	d.mu.Lock()
+	d.report.Traces = total
+	d.mu.Unlock()
+	for _, tr := range traces {
+		if tr.TraceID != traceID {
+			continue
+		}
+		services := map[string]bool{}
+		names := map[string]bool{}
+		for _, s := range tr.Spans {
+			services[s.Service] = true
+			names[s.Name] = true
+		}
+		switch {
+		case !services["kbrouter"] || !services["kbserver"]:
+			d.violatef("final: traced batch spans cover services %v, want kbrouter AND kbserver in one trace", services)
+		case !names["router.admission"] || !names["router.shard"]:
+			d.violatef("final: traced batch missing router spans (have %v)", names)
+		case !names["serving.cache"] && !names["relax.kernel"]:
+			// The batch terms may be cache-warm from the traffic phases, so
+			// a kernel span is not guaranteed — but some replica-side span
+			// (cache probe or kernel) must have been back-hauled.
+			d.violatef("final: traced batch missing replica spans (have %v)", names)
+		}
+		return
+	}
+	d.violatef("final: trace %s not found in router recorder (%d traces held)", traceID, total)
 }
 
 func (d *routerDrill) writeReport(path string) error {

@@ -38,22 +38,24 @@ import (
 
 	"medrelax/internal/retry"
 	"medrelax/internal/router"
+	"medrelax/internal/trace"
 )
 
 func main() {
 	var replicas []string
 	var (
-		addr      = flag.String("addr", ":9090", "listen address")
-		vnodes    = flag.Int("vnodes", router.DefaultVNodes, "virtual nodes per replica on the placement ring")
-		probeIntv = flag.Duration("probe-interval", 500*time.Millisecond, "active health probe period (0: passive marking only)")
-		probeTO   = flag.Duration("probe-timeout", 250*time.Millisecond, "per-probe deadline")
-		failAfter = flag.Int("fail-after", 3, "consecutive failures before a replica is marked down")
-		maxConc   = flag.Int("max-concurrent", 256, "max concurrently routed /relax+/chat requests; excess sheds with 429 (0: unlimited)")
-		retryHint = flag.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
-		retries   = flag.Int("retries", 2, "max retries per proxied request on replica failure")
-		retryLo   = flag.Duration("retry-base", 25*time.Millisecond, "replica retry backoff base")
-		retryHi   = flag.Duration("retry-cap", 500*time.Millisecond, "replica retry backoff cap")
-		shardTO   = flag.Duration("shard-timeout", 5*time.Second, "per-shard deadline for scatter-gather batches")
+		addr       = flag.String("addr", ":9090", "listen address")
+		vnodes     = flag.Int("vnodes", router.DefaultVNodes, "virtual nodes per replica on the placement ring")
+		probeIntv  = flag.Duration("probe-interval", 500*time.Millisecond, "active health probe period (0: passive marking only)")
+		probeTO    = flag.Duration("probe-timeout", 250*time.Millisecond, "per-probe deadline")
+		failAfter  = flag.Int("fail-after", 3, "consecutive failures before a replica is marked down")
+		maxConc    = flag.Int("max-concurrent", 256, "max concurrently routed /relax+/chat requests; excess sheds with 429 (0: unlimited)")
+		retryHint  = flag.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+		retries    = flag.Int("retries", 2, "max retries per proxied request on replica failure")
+		retryLo    = flag.Duration("retry-base", 25*time.Millisecond, "replica retry backoff base")
+		retryHi    = flag.Duration("retry-cap", 500*time.Millisecond, "replica retry backoff cap")
+		shardTO    = flag.Duration("shard-timeout", 5*time.Second, "per-shard deadline for scatter-gather batches")
+		traceEvery = flag.Int("trace-sample", 128, "trace 1 in N requests arriving without a traceparent header (0 disables self-sampling; explicit sampled traceparent headers are always honored)")
 	)
 	flag.Func("replica", "host:port of one kbserver replica (repeatable)", func(v string) error {
 		replicas = append(replicas, v)
@@ -74,6 +76,7 @@ func main() {
 	opts.RetryAfter = *retryHint
 	opts.Retry = retry.Policy{MaxRetries: *retries, Base: *retryLo, Cap: *retryHi}
 	opts.ShardTimeout = *shardTO
+	opts.Tracer = trace.NewTracer("kbrouter", *traceEvery, trace.NewRecorder(256, 16))
 
 	rt := router.New(opts)
 	rt.Start()

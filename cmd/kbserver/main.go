@@ -51,6 +51,7 @@ import (
 	"medrelax/internal/server"
 	"medrelax/internal/serving"
 	"medrelax/internal/serving/metrics"
+	"medrelax/internal/trace"
 )
 
 // tenantSpec is one -bundle name=path mount.
@@ -73,6 +74,7 @@ func main() {
 		chatTO     = flag.Duration("chat-timeout", 5*time.Second, "per-request /chat deadline (0: none)")
 		chatRPS    = flag.Float64("chat-rps", 200, "global /chat rate limit in requests/second (0: unlimited)")
 		slowQ      = flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold (0: disabled)")
+		traceEvery = flag.Int("trace-sample", 128, "trace 1 in N requests arriving without a traceparent header (0 disables self-sampling; explicit sampled traceparent headers are always honored)")
 		faults     = flag.String("faults", "", "fault-injection spec (see internal/fault); overrides $"+fault.EnvVar)
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this separate address, e.g. 127.0.0.1:6060 (empty: disabled)")
 	)
@@ -113,6 +115,9 @@ func main() {
 	opts.ChatTimeout = *chatTO
 	opts.ChatRPS = *chatRPS
 	opts.SlowQuery = *slowQ
+	// One tracer (and one /debug/traces ring) per process; tenants are
+	// distinguished by the tenant tag on their spans.
+	opts.Tracer = trace.NewTracer("kbserver", *traceEvery, trace.NewRecorder(256, 16))
 
 	// Every deployment shape mounts through the tenant router; the
 	// single-tenant shapes just register one unlabelled tenant, so bare
@@ -137,6 +142,7 @@ func main() {
 			o := opts
 			o.Metrics = shared
 			o.BaseLabels = metrics.Label("tenant", spec.name)
+			o.Tenant = spec.name
 			o.Loader = func() (server.Backend, error) {
 				fresh, err := handle.Reload()
 				if err != nil {

@@ -37,6 +37,7 @@ import (
 	"medrelax/internal/engine"
 	"medrelax/internal/persist"
 	"medrelax/internal/retry"
+	"medrelax/internal/trace"
 )
 
 type phaseStats struct {
@@ -136,6 +137,8 @@ type report struct {
 
 	Router *routerStats `json:"router,omitempty"`
 
+	Trace *traceStats `json:"trace,omitempty"`
+
 	ServerMetrics map[string]float64 `json:"serverMetrics"`
 }
 
@@ -151,6 +154,26 @@ type routerStats struct {
 	P95OverheadMs      float64            `json:"routerP95OverheadMs"`
 	BatchByteIdentical bool               `json:"batchByteIdenticalToDirect"`
 	RouterMetrics      map[string]float64 `json:"routerMetrics,omitempty"`
+}
+
+// traceStage is the latency distribution of one span name across the
+// traced requests — one serving stage (router admission, scatter leg,
+// replica cache probe, relax kernel) isolated from end-to-end latency.
+type traceStage struct {
+	Span  string  `json:"span"`
+	Count int     `json:"count"`
+	P50Ms float64 `json:"p50Ms"`
+	P95Ms float64 `json:"p95Ms"`
+}
+
+// traceStats is the trace phase's record: explicitly-traced requests
+// (client-minted traceparent headers), the traces recovered from
+// /debug/traces afterwards, and the per-stage breakdown.
+type traceStats struct {
+	Addr      string       `json:"addr"`
+	Requested int          `json:"tracedRequests"`
+	Captured  int          `json:"tracesCaptured"`
+	Stages    []traceStage `json:"stages,omitempty"`
 }
 
 // densityFormat is one format's multi-tenant residency measurement: N
@@ -217,6 +240,8 @@ func main() {
 		outMD      = flag.String("md", "results/BENCH_serve.md", "Markdown report path")
 		routerAddr = flag.String("router-addr", "", "kbrouter base URL; runs the router phase comparing throughput against the direct -addr replica (empty skips)")
 		routerDur  = flag.Duration("router-duration", 5*time.Second, "router phase duration per side (direct, then routed)")
+		traceOn    = flag.Bool("trace", false, "run the trace phase: mint traceparent headers, scrape /debug/traces afterwards, and report a per-stage latency breakdown (targets -router-addr when set, else -addr)")
+		traceN     = flag.Int("trace-requests", 64, "explicitly-traced GET /relax requests in the trace phase (plus traced batches)")
 
 		denPath = flag.String("density-bundle", "", "bundle to measure multi-tenant RSS density with (empty skips; runs in-process, no server traffic)")
 		denN    = flag.Int("density-tenants", 8, "tenant count for the density phase")
@@ -532,6 +557,18 @@ func main() {
 		rep.Router = runRouterPhase(client, *addr, *routerAddr, termList, pol, *zipfS, *k, *conc, *routerDur, *seed)
 	}
 
+	// Trace phase — explicitly-traced requests with client-minted
+	// traceparent headers, then /debug/traces scraped to break end-to-end
+	// latency into serving stages. Runs after the traffic phases so the
+	// ring buffer's newest entries are ours.
+	if *traceOn {
+		target := *addr
+		if *routerAddr != "" {
+			target = *routerAddr
+		}
+		rep.Trace = runTracePhase(client, target, termList, *k, *traceN, *seed)
+	}
+
 	// Phase 9 — density: how much resident memory N tenants of the same
 	// bundle cost, v2 heap decode vs zero-copy flat mapping. Runs in this
 	// process (the phase is about snapshot residency, not server traffic),
@@ -652,6 +689,101 @@ func runRouterPhase(client *http.Client, direct, routerAddr string, termList []s
 		"kbrouter_scatter_shard_failures_total",
 	})
 	return rs
+}
+
+// traceStageNames are the span names the breakdown reports, in display
+// order. Router stages only appear when the phase targets kbrouter; the
+// replica-side spans arrive in the same traces via the backhaul header.
+var traceStageNames = []string{
+	"router.admission", "router.shard", "serving.admission", "serving.cache", "relax.kernel",
+}
+
+// runTracePhase issues explicitly-traced /relax and /relax/batch requests
+// (minted traceparent, always sampled), scrapes /debug/traces from the
+// target, and summarizes per-span-name latency across the traces it finds.
+func runTracePhase(client *http.Client, base string, termList []string, k, n int, seed int64) *traceStats {
+	ts := &traceStats{Addr: base}
+	rng := rand.New(rand.NewSource(seed + 99991))
+	minted := map[string]bool{}
+
+	log.Printf("loadgen: trace phase (%d traced GETs + 8 traced batches against %s)", n, base)
+	for i := 0; i < n; i++ {
+		header, id := trace.NewTraceparent()
+		url := fmt.Sprintf("%s/relax?term=%s&k=%d", base, queryEscape(termList[rng.Intn(len(termList))]), k)
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			continue
+		}
+		req.Header.Set(trace.TraceparentHeader, header)
+		resp, err := client.Do(req)
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			minted[id] = true
+		}
+	}
+	for b := 0; b < 8; b++ {
+		queries := make([]batchQuery, 8)
+		for i := range queries {
+			queries[i] = batchQuery{Term: termList[rng.Intn(len(termList))], K: k}
+		}
+		payload, err := json.Marshal(map[string]any{"queries": queries})
+		if err != nil {
+			continue
+		}
+		header, id := trace.NewTraceparent()
+		req, err := http.NewRequest(http.MethodPost, base+"/relax/batch", bytes.NewReader(payload))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(trace.TraceparentHeader, header)
+		resp, err := client.Do(req)
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			minted[id] = true
+		}
+	}
+	ts.Requested = len(minted)
+
+	body := fetchBody(client, base+"/debug/traces?limit=1024")
+	var out struct {
+		Traces []*trace.Trace `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		log.Printf("loadgen: trace phase: /debug/traces scrape failed: %v", err)
+		return ts
+	}
+	durs := map[string][]time.Duration{}
+	for _, tr := range out.Traces {
+		if !minted[tr.TraceID] {
+			continue
+		}
+		ts.Captured++
+		for _, s := range tr.Spans {
+			durs[s.Name] = append(durs[s.Name], time.Duration(s.DurMs*float64(time.Millisecond)))
+		}
+	}
+	for _, name := range traceStageNames {
+		d := durs[name]
+		if len(d) == 0 {
+			continue
+		}
+		slices.Sort(d)
+		ts.Stages = append(ts.Stages, traceStage{
+			Span: name, Count: len(d),
+			P50Ms: ms(quantile(d, 0.50)), P95Ms: ms(quantile(d, 0.95)),
+		})
+	}
+	log.Printf("loadgen: trace phase: %d/%d traces recovered, %d stages", ts.Captured, ts.Requested, len(ts.Stages))
+	return ts
 }
 
 // runDensity loads the bundle once, re-saves it as v2 binary and v4 flat,
@@ -1087,6 +1219,18 @@ func writeMarkdown(path string, rep *report) error {
 				fmt.Fprintf(&b, "| `%s` | %.0f |\n", k, rt.RouterMetrics[k])
 			}
 			fmt.Fprintf(&b, "\n")
+		}
+	}
+	if rep.Trace != nil {
+		tr := rep.Trace
+		fmt.Fprintf(&b, "## Trace phase (explicit traceparent headers, scraped from %s/debug/traces)\n\n", tr.Addr)
+		fmt.Fprintf(&b, "%d traced requests issued, %d traces recovered from the ring buffer.\n\n", tr.Requested, tr.Captured)
+		if len(tr.Stages) > 0 {
+			fmt.Fprintf(&b, "| stage (span) | samples | p50 (ms) | p95 (ms) |\n|---|---:|---:|---:|\n")
+			for _, st := range tr.Stages {
+				fmt.Fprintf(&b, "| `%s` | %d | %.3f | %.3f |\n", st.Span, st.Count, st.P50Ms, st.P95Ms)
+			}
+			fmt.Fprintf(&b, "\nRouter stages appear only when the phase targets kbrouter; replica-side spans (admission, cache probe, relax kernel) ride back to the router inside the span backhaul header and land in the same trace.\n\n")
 		}
 	}
 	if rep.Density != nil {

@@ -11,6 +11,7 @@ import (
 	"medrelax/internal/kb"
 	"medrelax/internal/match"
 	"medrelax/internal/ontology"
+	"medrelax/internal/trace"
 )
 
 // Sentinel errors let serving layers map failures to transport-level
@@ -89,6 +90,20 @@ func (p ServePath) String() string {
 		return "indexed"
 	default:
 		return "live"
+	}
+}
+
+// MetricName is the long-form path name used on trace span tags and in
+// the per-path counter series, matching the serving layer's metric
+// suffixes (medrelax_relax_<name>_total).
+func (p ServePath) MetricName() string {
+	switch p {
+	case PathMaterialized:
+		return "materialized_hit"
+	case PathIndexed:
+		return "index_path"
+	default:
+		return "live_path"
 	}
 }
 
@@ -172,6 +187,20 @@ func (r *Relaxer) RelaxTermContextTraced(ctx context.Context, term string, qctx 
 	q, ok := r.mapper.Map(term)
 	if !ok {
 		return nil, PathLive, fmt.Errorf("core: query term %q: %w", term, ErrUnknownTerm)
+	}
+	// A sampled request gets a kernel span tagged with the compute path
+	// that answered; untraced requests pay one context lookup and nothing
+	// else (the batch and RelaxConcept entry points stay span-free).
+	if parent := trace.FromContext(ctx); parent != nil {
+		sp := parent.StartChild("relax.kernel")
+		sp.SetTag("term", term)
+		out, path, err := r.relaxConceptPath(ctx, q, qctx, k, &relaxScratch{})
+		sp.SetTag("path", path.MetricName())
+		if err != nil {
+			sp.SetTag("error", err.Error())
+		}
+		sp.End()
+		return out, path, err
 	}
 	return r.relaxConceptPath(ctx, q, qctx, k, &relaxScratch{})
 }
@@ -334,6 +363,10 @@ func (r *Relaxer) RelaxBatchContextTraced(ctx context.Context, queries []BatchQu
 	paths = make([]ServePath, len(queries))
 	errs = make([]error, len(queries))
 	sc := &relaxScratch{}
+	// Resolved once: a sampled batch gets one kernel span per item, each
+	// tagged with its term and compute path; an untraced batch skips all
+	// span work.
+	parent := trace.FromContext(ctx)
 	for i, q := range queries {
 		if err := ctx.Err(); err != nil {
 			for j := i; j < len(queries); j++ {
@@ -350,7 +383,19 @@ func (r *Relaxer) RelaxBatchContextTraced(ctx context.Context, queries []BatchQu
 			}
 			concept = mapped
 		}
+		var sp *trace.Span
+		if parent != nil {
+			sp = parent.StartChild("relax.kernel")
+			sp.SetTag("term", q.Term)
+		}
 		results[i], paths[i], errs[i] = r.relaxConceptPath(ctx, concept, q.Ctx, q.K, sc)
+		if sp != nil {
+			sp.SetTag("path", paths[i].MetricName())
+			if errs[i] != nil {
+				sp.SetTag("error", errs[i].Error())
+			}
+			sp.End()
+		}
 	}
 	return results, paths, errs
 }

@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"strconv"
 	"time"
 
 	"medrelax/internal/core"
@@ -20,6 +21,7 @@ import (
 	"medrelax/internal/match"
 	"medrelax/internal/ontology"
 	"medrelax/internal/persist"
+	"medrelax/internal/trace"
 )
 
 // RelaxResult is one JSON-ready relaxed answer, with concepts and
@@ -268,6 +270,15 @@ func (s *Snapshot) RelaxTraced(ctx context.Context, term, qctx string, k int) ([
 	if err != nil {
 		return nil, path, err
 	}
+	// Name resolution is the non-kernel half of a relax answer; on traced
+	// requests it gets its own span so the kernel/resolve split is visible.
+	if parent := trace.FromContext(ctx); parent != nil {
+		sp := parent.StartChild("engine.resolve")
+		sp.SetTag("results", strconv.Itoa(len(results)))
+		out := s.resolve(results)
+		sp.End()
+		return out, path, nil
+	}
 	return s.resolve(results), path, nil
 }
 
@@ -310,6 +321,11 @@ func (s *Snapshot) RelaxBatch(ctx context.Context, items []BatchItem) []BatchOut
 		}
 	}
 	results, paths, errs := s.relaxer.RelaxBatchContextTraced(ctx, queries)
+	var resolveSpan *trace.Span
+	if parent := trace.FromContext(ctx); parent != nil {
+		resolveSpan = parent.StartChild("engine.resolve")
+		resolveSpan.SetTag("items", strconv.Itoa(len(items)))
+	}
 	for i := range items {
 		if out[i].Err != nil {
 			continue
@@ -321,6 +337,7 @@ func (s *Snapshot) RelaxBatch(ctx context.Context, items []BatchItem) []BatchOut
 		out[i].Results = s.resolve(results[i])
 		out[i].Path = paths[i]
 	}
+	resolveSpan.End()
 	return out
 }
 

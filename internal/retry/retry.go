@@ -73,16 +73,41 @@ func RetryableStatus(code int) bool {
 	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
 }
 
-// After reads the delay-seconds form of a Retry-After header (the only
-// form the server emits); 0 when absent or malformed.
+// maxAfter caps the hint a server can impose through Retry-After. It
+// bounds both forms: a huge-but-valid delay-seconds value would overflow
+// time.Duration's int64 nanoseconds when multiplied out, and a far-future
+// HTTP-date would stall a client for days on one header.
+const maxAfter = 24 * time.Hour
+
+// After reads a Retry-After header in either RFC 9110 form —
+// delay-seconds ("120") or an absolute HTTP-date ("Wed, 21 Oct 2026
+// 07:28:00 GMT") — returning how long the server asked the client to
+// wait, capped at 24h. Absent, malformed, negative, and already-elapsed
+// values are all 0: the client falls back to its own backoff schedule
+// rather than guessing at the server's intent.
 func After(h http.Header) time.Duration {
 	v := h.Get("Retry-After")
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
-		return 0
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		if secs > int(maxAfter/time.Second) {
+			return maxAfter
+		}
+		return time.Duration(secs) * time.Second
 	}
-	return time.Duration(secs) * time.Second
+	if at, err := http.ParseTime(v); err == nil {
+		d := time.Until(at)
+		if d < 0 {
+			return 0
+		}
+		if d > maxAfter {
+			return maxAfter
+		}
+		return d
+	}
+	return 0
 }

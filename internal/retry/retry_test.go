@@ -103,7 +103,13 @@ func TestAfter(t *testing.T) {
 		{"0", 0},
 		{"-3", 0},
 		{"soon", 0},
-		{"Wed, 21 Oct 2015 07:28:00 GMT", 0}, // HTTP-date form unsupported by design
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0}, // HTTP-date in the past: already elapsed
+		// Overflow guards: int64-max seconds would wrap when multiplied to
+		// nanoseconds, and a value past int range fails to parse entirely
+		// (and is no valid HTTP-date either).
+		{"9223372036854775807", 24 * time.Hour},
+		{"99999999999999999999", 0},
+		{"9999999", 24 * time.Hour}, // valid but huge delay-seconds: capped
 	} {
 		h := http.Header{}
 		if tc.header != "" {
@@ -112,5 +118,28 @@ func TestAfter(t *testing.T) {
 		if got := After(h); got != tc.want {
 			t.Errorf("After(%q) = %v, want %v", tc.header, got, tc.want)
 		}
+	}
+}
+
+func TestAfterHTTPDate(t *testing.T) {
+	h := http.Header{}
+
+	// A future HTTP-date yields roughly the time until it.
+	h.Set("Retry-After", time.Now().Add(90*time.Second).UTC().Format(http.TimeFormat))
+	if got := After(h); got < 85*time.Second || got > 91*time.Second {
+		t.Errorf("future HTTP-date: After = %v, want ~90s", got)
+	}
+
+	// A far-future date is capped, not honored literally.
+	h.Set("Retry-After", time.Now().Add(1000*time.Hour).UTC().Format(http.TimeFormat))
+	if got := After(h); got != 24*time.Hour {
+		t.Errorf("far-future HTTP-date: After = %v, want the 24h cap", got)
+	}
+
+	// RFC 850 and asctime forms parse too (http.ParseTime tries all three
+	// standard layouts).
+	h.Set("Retry-After", "Sunday, 06-Nov-94 08:49:37 GMT")
+	if got := After(h); got != 0 {
+		t.Errorf("past RFC-850 date: After = %v, want 0", got)
 	}
 }

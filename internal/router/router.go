@@ -16,6 +16,7 @@ import (
 	"medrelax/internal/retry"
 	"medrelax/internal/serving"
 	"medrelax/internal/serving/metrics"
+	"medrelax/internal/trace"
 )
 
 // Options configures a Router.
@@ -46,6 +47,9 @@ type Options struct {
 	// Client is the HTTP client for replica traffic (default: pooled
 	// transport with generous idle connections per replica).
 	Client *http.Client
+	// Tracer samples and records distributed traces; nil disables
+	// tracing entirely (the untraced path costs nothing either way).
+	Tracer *trace.Tracer
 }
 
 // DefaultOptions are production-shaped defaults for everything but the
@@ -73,6 +77,7 @@ type Router struct {
 	client  *http.Client
 	limiter *serving.Limiter
 	reg     *metrics.Registry
+	tracer  *trace.Tracer
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -106,12 +111,14 @@ func New(opts Options) *Router {
 		}}
 	}
 	reg := metrics.NewRegistry()
+	opts.Tracer.BindMetrics(reg, "kbrouter")
 	rt := &Router{
 		opts:    opts,
 		ring:    NewRing(opts.VNodes, opts.Replicas),
 		client:  client,
 		limiter: serving.NewLimiter(opts.MaxConcurrent),
 		reg:     reg,
+		tracer:  opts.Tracer,
 		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	rt.health = newHealth(rt.ring.Replicas(), opts.FailAfter, opts.ProbeInterval, opts.ProbeTimeout, client, reg)
@@ -173,6 +180,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	mux.HandleFunc("GET /stats", rt.handleStats)
+	mux.Handle("GET /debug/traces", rt.tracer.Recorder())
 	mux.HandleFunc("POST /admin/reload", rt.handleReloadAll)
 	mux.Handle("/", rt.instrument(http.HandlerFunc(rt.route)))
 	return mux
@@ -213,15 +221,32 @@ func (rt *Router) instrument(next http.Handler) http.Handler {
 		inflight.Inc()
 		defer inflight.Dec()
 
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		ctx, root := rt.tracer.StartRequest(r.Context(), r.Header, "router "+endpoint)
+		if root != nil {
+			if tn := tenantOf(r); tn != "" {
+				root.SetTag("tenant", tn)
+			}
+			r = r.WithContext(ctx)
+			defer func() {
+				root.SetTag("status", strconv.Itoa(rec.status))
+				root.End()
+			}()
+		}
+
 		if endpoint == "/relax" || endpoint == "/relax/batch" || endpoint == "/chat" {
+			adm := root.StartChild("router.admission")
 			if !rt.limiter.TryAcquire() {
-				rt.shed(w, endpoint)
+				adm.SetTag("outcome", "shed")
+				adm.End()
+				rt.shed(rec, endpoint)
 				return
 			}
+			adm.SetTag("outcome", "admitted")
+			adm.End()
 			defer rt.limiter.Release()
 		}
 
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(rec, r)
 		rt.reg.Histogram("kbrouter_http_request_seconds", "router request latency by endpoint", epLabel).
@@ -427,11 +452,25 @@ func (rt *Router) forwardReq(ctx context.Context, method, uri string, header htt
 		return 0, nil, nil, errNoReplicas
 	}
 	pol := rt.opts.Retry
+	parent := trace.FromContext(ctx)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		rep := cands[attempt%len(cands)]
-		status, respHeader, respBody, err := rt.send(ctx, rep, method, uri, header, body)
+		// Each try gets its own span so a failover walk shows up as a chain
+		// of attempts, each tagged with the replica it hit and how it ended.
+		sctx := ctx
+		var att *trace.Span
+		if parent != nil {
+			att = parent.StartChild("router.attempt")
+			att.SetTag("replica", rep)
+			sctx = trace.ContextWithSpan(ctx, att)
+		}
+		status, respHeader, respBody, err := rt.send(sctx, rep, method, uri, header, body)
 		if err != nil {
+			if att != nil {
+				att.SetTag("outcome", "transport_error")
+				att.End()
+			}
 			rt.health.ReportFailure(rep)
 			rt.reg.Counter("kbrouter_replica_errors_total", "transport-level replica failures",
 				metrics.Label("replica", rep)).Inc()
@@ -446,10 +485,23 @@ func (rt *Router) forwardReq(ctx context.Context, method, uri string, header htt
 			continue
 		}
 		rt.health.ReportSuccess(rep)
+		// Replica-side spans ride back on the response header; merging them
+		// here is what makes one router trace span both processes.
+		parent.AdoptEncoded(respHeader.Get(trace.SpansHeader))
 		if retry.RetryableStatus(status) && attempt < pol.MaxRetries {
+			if att != nil {
+				att.SetTag("outcome", "retry_status")
+				att.SetTag("status", strconv.Itoa(status))
+				att.End()
+			}
 			rt.countRetry(rep)
 			time.Sleep(rt.wait(pol, attempt, retry.After(respHeader)))
 			continue
+		}
+		if att != nil {
+			att.SetTag("outcome", "ok")
+			att.SetTag("status", strconv.Itoa(status))
+			att.End()
 		}
 		return status, respHeader, respBody, nil
 	}
@@ -479,6 +531,9 @@ func (rt *Router) send(ctx context.Context, replica, method, pathAndQuery string
 		return 0, nil, nil, err
 	}
 	copyHeader(req.Header, header)
+	// Re-parent the outbound hop under the current attempt span (overrides
+	// any client-supplied traceparent copied above).
+	trace.Inject(ctx, req.Header)
 	inflight := rt.reg.Gauge("kbrouter_replica_inflight", "requests in flight per replica",
 		metrics.Label("replica", replica))
 	inflight.Inc()

@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 
 	"medrelax/internal/server"
+	"medrelax/internal/trace"
 )
 
 var errNoReplicas = errors.New("replica set is empty")
@@ -116,8 +118,20 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) scatterOne(r *http.Request, rep string, indices []int, subItems []server.BatchItem, out []shardItem) {
 	ctx, cancel := context.WithTimeout(r.Context(), rt.opts.ShardTimeout)
 	defer cancel()
+	outcome := "ok"
+	if parent := trace.FromContext(ctx); parent != nil {
+		sp := parent.StartChild("router.shard")
+		sp.SetTag("replica", rep)
+		sp.SetTag("items", strconv.Itoa(len(subItems)))
+		ctx = trace.ContextWithSpan(ctx, sp)
+		defer func() {
+			sp.SetTag("outcome", outcome)
+			sp.End()
+		}()
+	}
 	body, err := json.Marshal(server.BatchRequest{Queries: subItems})
 	if err != nil {
+		outcome = "encode_error"
 		rt.failShard(out, indices, "encoding sub-batch: "+err.Error())
 		return
 	}
@@ -126,10 +140,12 @@ func (rt *Router) scatterOne(r *http.Request, rep string, indices []int, subItem
 	key := routingKey(tenantOf(r), subItems[0].Term)
 	status, _, respBody, err := rt.forwardReq(ctx, http.MethodPost, r.URL.RequestURI(), r.Header, body, key)
 	if err != nil {
+		outcome = "unreachable"
 		rt.failShard(out, indices, "replica unreachable: "+err.Error())
 		return
 	}
 	if status != http.StatusOK {
+		outcome = "bad_status"
 		rt.failShard(out, indices, fmt.Sprintf("replica answered status %d", status))
 		return
 	}
@@ -137,6 +153,7 @@ func (rt *Router) scatterOne(r *http.Request, rep string, indices []int, subItem
 		Items []shardItem `json:"items"`
 	}
 	if err := json.Unmarshal(respBody, &shardResp); err != nil || len(shardResp.Items) != len(indices) {
+		outcome = "malformed_response"
 		rt.failShard(out, indices, "malformed shard response")
 		return
 	}

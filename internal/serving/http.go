@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"medrelax/internal/serving/metrics"
+	"medrelax/internal/trace"
 )
 
 // trackedEndpoints get per-endpoint latency histograms and request
@@ -25,6 +26,7 @@ func (e *Engine) Handler(api http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", e.handleMetrics)
 	mux.HandleFunc("POST /admin/reload", e.handleReload)
+	mux.Handle("GET /debug/traces", e.opts.Tracer.Recorder())
 	mux.Handle("/", e.instrument(api))
 	return mux
 }
@@ -51,15 +53,33 @@ func (e *Engine) handleReload(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// statusRecorder captures the response code for metrics and logging.
+// statusRecorder captures the response code for metrics and logging. On
+// traced requests it also attaches the spans finished so far as a
+// response header just before the headers flush, so an upstream router
+// can merge replica-side timing into its own trace.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	span   *trace.Span
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.wrote = true
+		if enc := r.span.EncodeFinished(); enc != "" {
+			r.Header().Set(trace.SpansHeader, enc)
+		}
+	}
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if !r.wrote {
+		r.WriteHeader(http.StatusOK)
+	}
+	return r.ResponseWriter.Write(b)
 }
 
 // instrument applies, per request: inflight accounting, the concurrency
@@ -76,12 +96,31 @@ func (e *Engine) instrument(next http.Handler) http.Handler {
 		inflight.Inc()
 		defer inflight.Dec()
 
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		tctx, root := e.opts.Tracer.StartRequest(r.Context(), r.Header, "server "+endpoint)
+		if root != nil {
+			if e.opts.Tenant != "" {
+				root.SetTag("tenant", e.opts.Tenant)
+			}
+			rec.span = root
+			r = r.WithContext(tctx)
+			defer func() {
+				root.SetTag("status", strconv.Itoa(rec.status))
+				root.End()
+			}()
+		}
+
 		limited := endpoint == "/relax" || endpoint == "/relax/batch" || endpoint == "/chat"
 		if limited {
+			adm := root.StartChild("serving.admission")
 			if !e.limiter.TryAcquire() {
-				e.shed(w, endpoint, "over concurrency limit")
+				adm.SetTag("outcome", "shed")
+				adm.End()
+				e.shed(rec, endpoint, "over concurrency limit")
 				return
 			}
+			adm.SetTag("outcome", "admitted")
+			adm.End()
 			defer e.limiter.Release()
 		}
 		var timeout time.Duration
@@ -98,7 +137,7 @@ func (e *Engine) instrument(next http.Handler) http.Handler {
 		case "/chat":
 			timeout = e.opts.ChatTimeout
 			if !e.chatRate.allow() {
-				e.shed(w, endpoint, "over rate limit")
+				e.shed(rec, endpoint, "over rate limit")
 				return
 			}
 			maxBody := e.opts.MaxChatBody
@@ -113,7 +152,6 @@ func (e *Engine) instrument(next http.Handler) http.Handler {
 			r = r.WithContext(ctx)
 		}
 
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(rec, r)
 		dur := time.Since(start)
@@ -152,13 +190,19 @@ func (e *Engine) shed(w http.ResponseWriter, endpoint, reason string) {
 // logSlow emits one structured line per slow request so tail-latency
 // offenders can be grepped out of production logs.
 func (e *Engine) logSlow(r *http.Request, endpoint string, status int, dur time.Duration) {
-	line, err := json.Marshal(map[string]any{
+	fields := map[string]any{
 		"slow_query": true,
 		"endpoint":   endpoint,
 		"query":      r.URL.RawQuery,
 		"status":     status,
 		"ms":         dur.Milliseconds(),
-	})
+	}
+	// A traced slow request carries its trace id, linking the log line to
+	// the exemplar retained at /debug/traces?slow=1.
+	if sp := trace.FromContext(r.Context()); sp != nil {
+		fields["trace"] = sp.TraceID
+	}
+	line, err := json.Marshal(fields)
 	if err != nil {
 		return
 	}

@@ -52,6 +52,12 @@ var DefaultLatencyBuckets = []float64{
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// CountBuckets covers count-valued histograms (spans per trace, items
+// per batch) with power-of-two bounds: the interesting questions are
+// "mostly small?" and "how heavy is the tail?", which doubling answers
+// in eleven buckets.
+var CountBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
 // Histogram is a fixed-bucket latency histogram. Observations are seconds.
 // Each Observe is one bucket search plus three atomic adds; no locks.
 type Histogram struct {

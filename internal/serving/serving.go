@@ -25,6 +25,8 @@ import (
 	"medrelax/internal/server"
 	"medrelax/internal/serving/metrics"
 	"medrelax/internal/stringutil"
+	"medrelax/internal/trace"
+	"runtime/pprof"
 )
 
 // Options tunes the serving layer. The zero value disables the cache and
@@ -77,6 +79,14 @@ type Options struct {
 	// `tenant="alpha"`); empty keeps the single-tenant series names
 	// unchanged.
 	BaseLabels string
+
+	// Tracer samples and records distributed traces; nil disables tracing.
+	// Multi-tenant deployments share one tracer (the ring buffer is
+	// per-process), with Tenant distinguishing the traces.
+	Tracer *trace.Tracer
+	// Tenant names this engine's partition on trace spans and pprof
+	// labels; empty for single-tenant deployments.
+	Tenant string
 }
 
 // DefaultOptions are sane production defaults for a medium instance.
@@ -140,6 +150,7 @@ func NewEngine(backend server.Backend, opts Options) *Engine {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	opts.Tracer.BindMetrics(reg, "medrelax")
 	e := &Engine{
 		opts:     opts,
 		cache:    NewCache(opts.CacheCapacity, opts.CacheTTL, opts.CacheShards),
@@ -251,12 +262,20 @@ func (e *Engine) Relax(ctx context.Context, term, qctx string, k int) ([]server.
 	}
 	h := e.acquire()
 	defer h.release()
+	sp := trace.FromContext(ctx)
 	if e.cache == nil {
+		sp.SetTag("cache", "disabled")
 		return e.computeRelax(ctx, h, term, qctx, k)
 	}
 	if cacheBypassed(ctx) {
 		e.mCacheBypass.Inc()
+		sp.SetTag("cache", "bypass")
 		return e.computeRelax(ctx, h, term, qctx, k)
+	}
+	var cspan *trace.Span
+	if sp != nil {
+		cspan = sp.StartChild("serving.cache")
+		cspan.SetTag("term", term)
 	}
 	results, status, err := e.cache.GetOrCompute(ctx, cacheKey(term, qctx, k), func() ([]server.RelaxResult, error) {
 		// The flight owns its deadline: a collapsed waiter's short
@@ -266,6 +285,11 @@ func (e *Engine) Relax(ctx context.Context, term, qctx string, k int) ([]server.
 			var cancel context.CancelFunc
 			fctx, cancel = context.WithTimeout(fctx, e.opts.RelaxTimeout)
 			defer cancel()
+			// Detaching sheds the caller's cancellation, not its trace:
+			// the computing request's trace keeps the kernel spans.
+			if sp != nil {
+				fctx = trace.ContextWithSpan(fctx, sp)
+			}
 		} else {
 			fctx = ctx
 		}
@@ -281,7 +305,27 @@ func (e *Engine) Relax(ctx context.Context, term, qctx string, k int) ([]server.
 	case CacheStale:
 		e.mCacheStale.Inc()
 	}
+	if cspan != nil {
+		cspan.SetTag("outcome", cacheStatusName(status))
+		cspan.End()
+	}
 	return results, err
+}
+
+// cacheStatusName renders a cache outcome for trace tags.
+func cacheStatusName(s CacheStatus) string {
+	switch s {
+	case CacheHit:
+		return "hit"
+	case CacheMiss:
+		return "miss"
+	case CacheCollapsed:
+		return "collapsed"
+	case CacheStale:
+		return "stale"
+	default:
+		return "unknown"
+	}
 }
 
 // computeRelax runs the backend computation. The "backend.relax" fault
@@ -293,6 +337,34 @@ func (e *Engine) computeRelax(ctx context.Context, h *holder, term, qctx string,
 	if err := fault.At("backend.relax").Inject(); err != nil {
 		return nil, err
 	}
+	// Traced requests run under pprof labels so a CPU profile attributes
+	// relax samples to tenant+endpoint; the untraced path skips the label
+	// machinery (and its allocations) entirely.
+	if trace.FromContext(ctx) != nil {
+		var (
+			results []server.RelaxResult
+			err     error
+		)
+		pprof.Do(ctx, pprof.Labels("tenant", e.pprofTenant(), "endpoint", "relax"), func(ctx context.Context) {
+			results, err = e.relaxBackend(ctx, h, term, qctx, k)
+		})
+		return results, err
+	}
+	return e.relaxBackend(ctx, h, term, qctx, k)
+}
+
+// pprofTenant names this engine on profile labels; single-tenant
+// deployments show up as "default".
+func (e *Engine) pprofTenant() string {
+	if e.opts.Tenant != "" {
+		return e.opts.Tenant
+	}
+	return "default"
+}
+
+// relaxBackend is the backend dispatch shared by the traced and untraced
+// compute paths.
+func (e *Engine) relaxBackend(ctx context.Context, h *holder, term, qctx string, k int) ([]server.RelaxResult, error) {
 	start := time.Now()
 	var (
 		results []server.RelaxResult
@@ -331,12 +403,19 @@ func (e *Engine) RelaxBatch(ctx context.Context, items []server.BatchItem) []ser
 	}
 	h := e.acquire()
 	defer h.release()
+	sp := trace.FromContext(ctx)
 	if e.cache == nil {
+		sp.SetTag("cache", "disabled")
 		return e.computeBatch(ctx, h, items)
 	}
 	if cacheBypassed(ctx) {
 		e.mCacheBypass.Inc()
+		sp.SetTag("cache", "bypass")
 		return e.computeBatch(ctx, h, items)
+	}
+	var cspan *trace.Span
+	if sp != nil {
+		cspan = sp.StartChild("serving.cache")
 	}
 	epoch := e.cache.Epoch()
 	miss := make([]server.BatchItem, 0, len(items))
@@ -349,6 +428,12 @@ func (e *Engine) RelaxBatch(ctx context.Context, items []server.BatchItem) []ser
 		}
 		miss = append(miss, it)
 		missIdx = append(missIdx, i)
+	}
+	if cspan != nil {
+		cspan.SetTag("hits", strconv.Itoa(len(items)-len(miss)))
+		cspan.SetTag("misses", strconv.Itoa(len(miss)))
+		cspan.SetTag("outcome", "probed")
+		cspan.End()
 	}
 	if len(miss) == 0 {
 		return out
@@ -367,13 +452,27 @@ func (e *Engine) RelaxBatch(ctx context.Context, items []server.BatchItem) []ser
 // computeBatch runs the uncached part of a batch against the backend,
 // through the same "backend.relax" fault site as single queries.
 func (e *Engine) computeBatch(ctx context.Context, h *holder, items []server.BatchItem) []server.BatchOutcome {
-	out := make([]server.BatchOutcome, len(items))
 	if err := fault.At("backend.relax").Inject(); err != nil {
+		out := make([]server.BatchOutcome, len(items))
 		for i := range out {
 			out[i].Err = err
 		}
 		return out
 	}
+	if trace.FromContext(ctx) != nil {
+		var out []server.BatchOutcome
+		pprof.Do(ctx, pprof.Labels("tenant", e.pprofTenant(), "endpoint", "relax_batch"), func(ctx context.Context) {
+			out = e.batchBackend(ctx, h, items)
+		})
+		return out
+	}
+	return e.batchBackend(ctx, h, items)
+}
+
+// batchBackend is the backend dispatch shared by the traced and untraced
+// batch compute paths.
+func (e *Engine) batchBackend(ctx context.Context, h *holder, items []server.BatchItem) []server.BatchOutcome {
+	out := make([]server.BatchOutcome, len(items))
 	start := time.Now()
 	if bb, ok := h.b.(server.BatchBackend); ok {
 		out = bb.RelaxBatch(ctx, items)

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Trace is one completed request's span tree as stored by the Recorder
+// and rendered by /debug/traces.
+type Trace struct {
+	TraceID      string    `json:"traceId"`
+	Root         string    `json:"root"`
+	Service      string    `json:"service"`
+	Tenant       string    `json:"tenant,omitempty"`
+	Start        time.Time `json:"start"`
+	DurationMs   float64   `json:"durationMs"`
+	Spans        []*Span   `json:"spans"`
+	SpansDropped int       `json:"spansDropped,omitempty"`
+}
+
+// Recorder retains completed traces in a fixed-size ring plus a top-K
+// by-duration exemplar store, so the slowest requests survive even
+// after the ring has cycled past them. It is the backing store for
+// GET /debug/traces.
+type Recorder struct {
+	mu    sync.Mutex
+	ring  []*Trace
+	next  int
+	total uint64
+
+	exemplars []*Trace // sorted slowest-first, len <= topK
+	topK      int
+}
+
+// NewRecorder builds a recorder holding the most recent ringSize traces
+// and the topK slowest ever seen.
+func NewRecorder(ringSize, topK int) *Recorder {
+	if ringSize < 1 {
+		ringSize = 1
+	}
+	if topK < 0 {
+		topK = 0
+	}
+	return &Recorder{ring: make([]*Trace, 0, ringSize), topK: topK}
+}
+
+func (r *Recorder) add(t *Trace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, t)
+	} else {
+		r.ring[r.next] = t
+	}
+	r.next = (r.next + 1) % cap(r.ring)
+	if r.topK == 0 {
+		return
+	}
+	if len(r.exemplars) < r.topK {
+		r.exemplars = append(r.exemplars, t)
+	} else if t.DurationMs > r.exemplars[len(r.exemplars)-1].DurationMs {
+		r.exemplars[len(r.exemplars)-1] = t
+	} else {
+		return
+	}
+	sort.Slice(r.exemplars, func(i, j int) bool {
+		return r.exemplars[i].DurationMs > r.exemplars[j].DurationMs
+	})
+}
+
+// Snapshot returns recent traces newest-first (slow=true returns the
+// exemplar store slowest-first instead), along with the lifetime count
+// of traces recorded.
+func (r *Recorder) Snapshot(slow bool) ([]*Trace, uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if slow {
+		out := make([]*Trace, len(r.exemplars))
+		copy(out, r.exemplars)
+		return out, r.total
+	}
+	out := make([]*Trace, 0, len(r.ring))
+	for i := 0; i < len(r.ring); i++ {
+		// Walk backwards from the most recently written slot.
+		idx := (r.next - 1 - i + 2*cap(r.ring)) % cap(r.ring)
+		if idx < len(r.ring) && r.ring[idx] != nil {
+			out = append(out, r.ring[idx])
+		}
+	}
+	return out, r.total
+}
+
+// tracesResponse is the /debug/traces JSON envelope.
+type tracesResponse struct {
+	Total  uint64   `json:"total"`
+	Traces []*Trace `json:"traces"`
+}
+
+// ServeHTTP renders the recorder as JSON. Query parameters:
+//
+//	min_ms=<float>  only traces at least this slow
+//	tenant=<name>   only traces for one tenant
+//	trace=<id>      only the trace with this id (searches exemplars too)
+//	slow=1          serve the top-K slow exemplars instead of the ring
+//	limit=<n>       cap the number of traces returned (default 50)
+func (r *Recorder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if r == nil {
+		http.Error(w, "tracing disabled", http.StatusNotFound)
+		return
+	}
+	q := req.URL.Query()
+	minMs, _ := strconv.ParseFloat(q.Get("min_ms"), 64)
+	tenant := q.Get("tenant")
+	traceID := q.Get("trace")
+	slow := q.Get("slow") == "1"
+	limit := 50
+	if v := q.Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			limit = n
+		}
+	}
+	traces, total := r.Snapshot(slow)
+	if traceID != "" && !slow {
+		// A trace that cycled out of the ring may survive as an exemplar.
+		ex, _ := r.Snapshot(true)
+		traces = append(traces, ex...)
+	}
+	out := make([]*Trace, 0, len(traces))
+	seen := make(map[*Trace]bool, len(traces))
+	for _, t := range traces {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		if t.DurationMs < minMs {
+			continue
+		}
+		if tenant != "" && t.Tenant != tenant {
+			continue
+		}
+		if traceID != "" && t.TraceID != traceID {
+			continue
+		}
+		out = append(out, t)
+		if len(out) >= limit {
+			break
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(tracesResponse{Total: total, Traces: out})
+}
