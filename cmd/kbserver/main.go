@@ -10,7 +10,13 @@
 //	GET  /healthz                           liveness probe
 //	GET  /stats                             world, ingestion, and serving statistics
 //	GET  /relax?term=X&context=C&k=N        ranked relaxed results (cached)
+//	GET  /relax?...&explain=true            ... with per-result relaxation paths
+//	                                        (subsumer chain, edge directions and
+//	                                        distances, Eq. 4 weight, source EKS);
+//	                                        cached under a separate key so plain
+//	                                        responses stay byte-identical
 //	POST /relax/batch {"queries":[...]}     many relax queries in one request
+//	                                        (?explain=true applies to all items)
 //	GET  /terms?n=N                         sample of relaxable query terms
 //	POST /chat {"session":"s1","text":"…"}  stateful conversation turn
 //	GET  /metrics                           Prometheus text exposition (all tenants)

@@ -107,6 +107,26 @@ type batchStats struct {
 	ItemsPerSec float64 `json:"itemsPerSecond"`
 }
 
+// explainStats is the explain phase's record: the attributed-explanation
+// variant of GET /relax (`explain=true`) measured against the classic
+// responses. Warm rows are cache hits — explain variants cache under their
+// own key, so the first explain pass pays assembly and later passes do
+// not. Uncached rows carry `Cache-Control: no-store`, pricing the per-path
+// explain assembly itself rather than the cache. PlainUnchanged is the
+// byte-identity contract: explain traffic must leave explain=false
+// responses byte-for-byte untouched.
+type explainStats struct {
+	WarmPlain             phaseStats `json:"warmPlain"`
+	FirstPassOn           phaseStats `json:"explainFirstPass"`
+	WarmOn                phaseStats `json:"explainWarm"`
+	UncachedPlain         phaseStats `json:"uncachedPlain"`
+	UncachedOn            phaseStats `json:"uncachedExplain"`
+	WarmOverheadP95Ms     float64    `json:"explainWarmP95OverheadMs"`
+	UncachedOverheadP95Ms float64    `json:"explainUncachedP95OverheadMs"`
+	PlainUnchanged        bool       `json:"plainBytesUnchangedByExplain"`
+	ExplainFieldsSeen     bool       `json:"explainFieldsPresent"`
+}
+
 type report struct {
 	Addr          string  `json:"addr"`
 	Terms         int     `json:"terms"`
@@ -130,6 +150,8 @@ type report struct {
 	Batch              []batchStats `json:"batch,omitempty"`
 	BatchByteIdentical bool         `json:"batchItemsByteIdenticalToSequential"`
 	BatchItemSpeedup   float64      `json:"batchItemSpeedupVsSequential,omitempty"`
+
+	Explain *explainStats `json:"explain,omitempty"`
 
 	Tenants map[string]phaseStats `json:"tenants,omitempty"`
 
@@ -240,6 +262,7 @@ func main() {
 		outMD      = flag.String("md", "results/BENCH_serve.md", "Markdown report path")
 		routerAddr = flag.String("router-addr", "", "kbrouter base URL; runs the router phase comparing throughput against the direct -addr replica (empty skips)")
 		routerDur  = flag.Duration("router-duration", 5*time.Second, "router phase duration per side (direct, then routed)")
+		explainOn  = flag.Bool("explain", false, "run the explain phase: explain=true vs explain=false latency, warm and uncached, plus the plain-response byte-identity check (targets -addr)")
 		traceOn    = flag.Bool("trace", false, "run the trace phase: mint traceparent headers, scrape /debug/traces afterwards, and report a per-stage latency breakdown (targets -router-addr when set, else -addr)")
 		traceN     = flag.Int("trace-requests", 64, "explicitly-traced GET /relax requests in the trace phase (plus traced batches)")
 
@@ -514,6 +537,14 @@ func main() {
 		}
 	}
 
+	// Explain phase — the attributed-explanation variant against the
+	// classic responses: warm (explain variants cache under their own key)
+	// and uncached (`no-store`), then the byte-identity contract that
+	// explain traffic leaves explain=false responses untouched.
+	if *explainOn {
+		rep.Explain = runExplainPhase(client, *addr, termList, *k)
+	}
+
 	// Phase 7 — tenants: drive each named tenant through its /t/{name}/
 	// prefix. Separate cache partitions mean each tenant pays its own
 	// cold misses and warms independently.
@@ -592,6 +623,83 @@ func main() {
 	}
 	log.Printf("loadgen: cold p95 %.2fms, warm p95 %.2fms (%.1fx), uncached p50 %.3fms, %d shed, wrote %s and %s",
 		rep.Cold.P95Ms, rep.Warm.P95Ms, rep.WarmSpeedupP95, rep.ColdSweep.P50Ms, rep.Burst.Shed, *outJSON, *outMD)
+}
+
+// runExplainPhase measures the explain=true variant of GET /relax against
+// the classic responses, warm and uncached, then checks that the explain
+// traffic left explain=false responses byte-identical. All passes walk the
+// same term list sequentially so the rows compare like against like.
+func runExplainPhase(client *http.Client, addr string, termList []string, k int) *explainStats {
+	es := &explainStats{PlainUnchanged: true}
+
+	relaxURL := func(term string, explain bool) string {
+		u := fmt.Sprintf("%s/relax?term=%s&k=%d", addr, queryEscape(term), k)
+		if explain {
+			u += "&explain=true"
+		}
+		return u
+	}
+	sweep := func(explain, noStore bool) phaseStats {
+		lat := make([]time.Duration, 0, len(termList))
+		errs := 0
+		start := time.Now()
+		for _, term := range termList {
+			req, err := http.NewRequest(http.MethodGet, relaxURL(term, explain), nil)
+			if err != nil {
+				errs++
+				continue
+			}
+			if noStore {
+				req.Header.Set("Cache-Control", "no-store")
+			}
+			rstart := time.Now()
+			resp, err := client.Do(req)
+			if err != nil {
+				errs++
+				continue
+			}
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil || resp.StatusCode != http.StatusOK {
+				errs++
+				continue
+			}
+			lat = append(lat, time.Since(rstart))
+			if explain && strings.Contains(string(body), `"explain"`) {
+				es.ExplainFieldsSeen = true
+			}
+		}
+		return summarize(lat, errs, time.Since(start))
+	}
+
+	// Snapshot plain bodies before any explain traffic so the identity
+	// check can prove the explain variants never leak into the plain cache.
+	idN := 8
+	if idN > len(termList) {
+		idN = len(termList)
+	}
+	before := make([]string, idN)
+	for i := 0; i < idN; i++ {
+		before[i] = fetchBody(client, relaxURL(termList[i], false))
+	}
+
+	log.Printf("loadgen: explain phase (%d terms: warm plain, explain first pass, explain warm, uncached both)", len(termList))
+	es.WarmPlain = sweep(false, false)  // cached since the earlier phases
+	es.FirstPassOn = sweep(true, false) // explain variant misses: pays path assembly
+	es.WarmOn = sweep(true, false)      // explain variant hits
+	es.UncachedPlain = sweep(false, true)
+	es.UncachedOn = sweep(true, true)
+	es.WarmOverheadP95Ms = es.WarmOn.P95Ms - es.WarmPlain.P95Ms
+	es.UncachedOverheadP95Ms = es.UncachedOn.P95Ms - es.UncachedPlain.P95Ms
+
+	for i := 0; i < idN; i++ {
+		after := fetchBody(client, relaxURL(termList[i], false))
+		if before[i] == "" || before[i] != after {
+			es.PlainUnchanged = false
+			log.Printf("loadgen: EXPLAIN PLAIN BYTE MISMATCH for %s", termList[i])
+		}
+	}
+	return es
 }
 
 // runRouterPhase drives the zipfian mix through one replica directly and
@@ -1178,6 +1286,29 @@ func writeMarkdown(path string, rep *report) error {
 			fmt.Fprintf(&b, "**Item throughput of the largest batch size vs one GET /relax per item: %.1fx** (loopback: per-item relaxation dominates; over a real network the batch saves one round trip per item). ", rep.BatchItemSpeedup)
 		}
 		fmt.Fprintf(&b, "Batch item bodies byte-identical to sequential `GET /relax`: **%v**.\n\n", rep.BatchByteIdentical)
+	}
+	if rep.Explain != nil {
+		ex := rep.Explain
+		fmt.Fprintf(&b, "## Explain mode (GET /relax?explain=true, sequential sweeps over all terms)\n\n")
+		fmt.Fprintf(&b, "| pass | requests | errors | p50 (ms) | p95 (ms) | p99 (ms) | req/s |\n")
+		fmt.Fprintf(&b, "|---|---:|---:|---:|---:|---:|---:|\n")
+		for _, row := range []struct {
+			name string
+			st   phaseStats
+		}{
+			{"plain, warm cache", ex.WarmPlain},
+			{"explain, first pass (variant misses)", ex.FirstPassOn},
+			{"explain, warm (variant hits)", ex.WarmOn},
+			{"plain, uncached (`no-store`)", ex.UncachedPlain},
+			{"explain, uncached (`no-store`)", ex.UncachedOn},
+		} {
+			fmt.Fprintf(&b, "| %s | %d | %d | %.3f | %.3f | %.3f | %.0f |\n",
+				row.name, row.st.Requests, row.st.Errors, row.st.P50Ms, row.st.P95Ms, row.st.P99Ms, row.st.Throughput)
+		}
+		fmt.Fprintf(&b, "\n**Explain p95 overhead: %.3f ms warm, %.3f ms uncached.** ",
+			ex.WarmOverheadP95Ms, ex.UncachedOverheadP95Ms)
+		fmt.Fprintf(&b, "Explain responses cache under their own key; plain responses byte-identical after explain traffic: **%v** (explain fields present in explain responses: %v).\n\n",
+			ex.PlainUnchanged, ex.ExplainFieldsSeen)
 	}
 	if len(rep.Tenants) > 0 {
 		fmt.Fprintf(&b, "## Per-tenant phase (routed via /t/{name}/)\n\n")

@@ -40,10 +40,20 @@ func main() {
 		index       = flag.Bool("index", false, "build the posting-list candidate index (persisted with -save)")
 		indexRadius = flag.Int("index-radius", 0, "candidate index hop radius (0: the serving MaxRadius, full dynamic-growth coverage)")
 		load        = flag.String("load", "", "serve from a saved ingestion bundle instead of rebuilding the world")
+		inspect     = flag.String("inspect", "", "print a bundle's format, sections and checksum status, then exit")
+		secondSrc   = flag.Bool("second-source", false, "mount the variant vocabulary as a second named source (\"variant\") next to the primary")
 		dot         = flag.String("dot", "", "write a Graphviz DOT neighbourhood of -term to this file and exit")
 		dotHops     = flag.Int("dot-radius", 2, "hop radius of the -dot neighbourhood")
 	)
 	flag.Parse()
+
+	if *inspect != "" {
+		if err := inspectBundle(*inspect); err != nil {
+			fmt.Fprintln(os.Stderr, "medrelax:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *load != "" {
 		if err := serveFromBundle(*load, *term, *context, *k, *quiet); err != nil {
@@ -57,6 +67,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.MapperName = *mapper
 	cfg.EKS.ConditionsPerPair = *scale
+	cfg.SecondSource = *secondSrc
 	if *materialize {
 		cfg.Ingest.Materialize.Enabled = true
 		cfg.Ingest.Materialize.HeadFraction = *matHead
@@ -229,6 +240,35 @@ func writeDOT(sys *medrelax.System, term, path string, radius int) error {
 		err = cerr
 	}
 	return err
+}
+
+// inspectBundle prints a bundle's structure without restoring it: format
+// version, per-section names and sizes, per-section and whole-file CRC
+// status, and the named sources a federated bundle carries.
+func inspectBundle(path string) error {
+	info, err := persist.InspectFile(path)
+	if err != nil {
+		return err
+	}
+	status := func(ok bool) string {
+		if ok {
+			return "ok"
+		}
+		return "FAILED"
+	}
+	fmt.Printf("%s: %s (version %d), %d bytes, checksums %s\n",
+		path, info.Format, info.Version, info.SizeBytes, status(info.CRCOK))
+	if len(info.Sources) > 0 {
+		fmt.Printf("secondary sources: %s\n", strings.Join(info.Sources, ", "))
+	}
+	for _, s := range info.Sections {
+		fmt.Printf("  %-22s kind=%-3d off=%-10d len=%-10d crc=%s\n",
+			s.Name, s.Kind, s.Offset, s.Length, status(s.CRCOK))
+	}
+	if !info.CRCOK {
+		return fmt.Errorf("bundle %s failed checksum verification", path)
+	}
+	return nil
 }
 
 func displayContext(ctx string) string {

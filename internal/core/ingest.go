@@ -74,6 +74,10 @@ type Ingestion struct {
 	// Backing describes (and pins through liveness) the memory a flat-mapped
 	// ingestion reads from; nil for heap-backed ingestions.
 	Backing SnapshotBacking
+	// Sources are the optional secondary external knowledge sources mounted
+	// next to this (primary) ingestion, in mount order. Empty for the
+	// classic single-source deployment, whose behaviour is unchanged.
+	Sources []NamedSource
 
 	// flatMap, when set, backs Mappings/InstancesFor/Flagged with flat-bundle
 	// sections instead of the maps (which stay nil); use the accessor methods

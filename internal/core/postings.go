@@ -162,7 +162,7 @@ func buildPostings(ing *Ingestion, sim *Similarity, q eks.ConceptID, opts Candid
 	for _, nb := range flagged {
 		p := idxPosting{Concept: nb.ID, Hops: int32(nb.Hops)}
 		partial := 0.0
-		if lcs, gen, spec, ok := sim.canonicalMeet(q, nb.ID, scratch); ok {
+		if lcs, _, gen, spec, ok := sim.canonicalMeet(q, nb.ID, scratch); ok {
 			p.Gen, p.Spec = int32(gen), int32(spec)
 			p.LCSLo = int32(len(out.lcs))
 			out.lcs = append(out.lcs, lcs...)

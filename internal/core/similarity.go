@@ -121,22 +121,46 @@ type meetScratch struct {
 
 var meetPool = sync.Pool{New: func() any { return &meetScratch{} }}
 
+// CanonicalMeet is the exported form of canonicalMeet for explain-mode
+// consumers: it returns the deterministic representative subsumer the
+// canonical path runs through (minimal up-hops, then minimal ID), the full
+// tied LCS set (ascending, freshly allocated), and the generalization /
+// specialization hop counts of the canonical path. ok is false when a and b
+// share no subsumer.
+func (s *Similarity) CanonicalMeet(a, b eks.ConceptID) (rep eks.ConceptID, lcs []eks.ConceptID, gen, spec int, ok bool) {
+	scratch := meetPool.Get().(*meetScratch)
+	defer meetPool.Put(scratch)
+	tied, rep, gen, spec, ok := s.canonicalMeet(a, b, scratch)
+	if !ok {
+		return 0, nil, 0, 0, false
+	}
+	return rep, append([]eks.ConceptID(nil), tied...), gen, spec, true
+}
+
+// CanonicalPathWeight exposes the Eq. 4 weight of the canonical
+// up-then-down path (gen generalizations followed by spec specializations)
+// under the measure's weights. The multiplication order matches the scoring
+// path exactly, so explain-mode output is bit-identical to the weight the
+// ranked score used.
+func (s *Similarity) CanonicalPathWeight(gen, spec int) float64 {
+	return canonicalPathWeight(s.Weights, gen, spec)
+}
+
 // canonicalMeet finds the common subsumers of a and b minimizing the
 // combined distance, filling scratch.ids with the tied set (ascending), and
-// returning the generalization hop count dist(a, c) and specialization hop
-// count dist(b, c) of the canonical path through the deterministic
-// representative (minimal up-hops, then minimal ID). ok is false when a and
-// b share no subsumer.
-func (s *Similarity) canonicalMeet(a, b eks.ConceptID, scratch *meetScratch) (lcs []eks.ConceptID, gen, spec int, ok bool) {
+// returning the representative the canonical path runs through (minimal
+// up-hops, then minimal ID) with its generalization hop count dist(a, c)
+// and specialization hop count dist(b, c). ok is false when a and b share
+// no subsumer.
+func (s *Similarity) canonicalMeet(a, b eks.ConceptID, scratch *meetScratch) (lcs []eks.ConceptID, rep eks.ConceptID, gen, spec int, ok bool) {
 	va, oka := s.subsumerVec(a)
 	vb, okb := s.subsumerVec(b)
 	if !oka || !okb {
-		return nil, 0, 0, false
+		return nil, 0, 0, 0, false
 	}
 	best := -1
 	ids := scratch.ids[:0]
 	repGen, repSpec := 0, 0
-	var rep eks.ConceptID
 	eks.CommonSubsumers(va, vb, func(c eks.ConceptID, da, db int) {
 		sum := da + db
 		switch {
@@ -154,11 +178,11 @@ func (s *Similarity) canonicalMeet(a, b eks.ConceptID, scratch *meetScratch) (lc
 	})
 	scratch.ids = ids
 	if best == -1 {
-		return nil, 0, 0, false
+		return nil, 0, 0, 0, false
 	}
 	// The merge join visits concepts in ascending ID order, so the tied set
 	// is already sorted.
-	return ids, repGen, repSpec, true
+	return ids, rep, repGen, repSpec, true
 }
 
 // SimIC computes the IC-based similarity of Equation 3,
@@ -175,7 +199,7 @@ func (s *Similarity) SimIC(a, b eks.ConceptID, ctx *ontology.Context) float64 {
 	}
 	scratch := meetPool.Get().(*meetScratch)
 	defer meetPool.Put(scratch)
-	lcs, _, _, ok := s.canonicalMeet(a, b, scratch)
+	lcs, _, _, _, ok := s.canonicalMeet(a, b, scratch)
 	if !ok {
 		return 0
 	}
@@ -212,7 +236,7 @@ func (s *Similarity) Sim(a, b eks.ConceptID, ctx *ontology.Context) float64 {
 	}
 	scratch := meetPool.Get().(*meetScratch)
 	defer meetPool.Put(scratch)
-	lcs, gen, spec, ok := s.canonicalMeet(a, b, scratch)
+	lcs, _, gen, spec, ok := s.canonicalMeet(a, b, scratch)
 	if !ok {
 		return 0
 	}

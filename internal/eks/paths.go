@@ -227,6 +227,75 @@ func (g *Graph) ShortestSemanticPath(from, to ConceptID) (Path, bool) {
 	return Path{Steps: steps}, true
 }
 
+// PathEdge is one traversed edge of an explained relaxation path: the
+// concepts it connects and the original (pre-customization) semantic
+// distance it carries — 1 for a native subsumption, the attached distance
+// for a shortcut.
+type PathEdge struct {
+	From ConceptID
+	To   ConceptID
+	Dist int
+}
+
+// UpPathTo returns the minimum-semantic-distance upward path from `from` to
+// one of its subsumers `to`, as the sequence of edges traversed (native or
+// shortcut, each carrying its original distance). Only upward edges are
+// followed, so the result is the generalization half of the canonical
+// up-then-down path the similarity measure scores. ok is false when `to` is
+// not an upward-reachable subsumer of `from`.
+//
+// Among equal-length paths the one that is lexicographically smallest by
+// predecessor ID is returned, the same tie-break ShortestSemanticPath uses,
+// making the result deterministic across backings and runs.
+func (g *Graph) UpPathTo(from, to ConceptID) ([]PathEdge, bool) {
+	if !g.has(from) || !g.has(to) {
+		return nil, false
+	}
+	if from == to {
+		return nil, true
+	}
+	type prevEdge struct {
+		prev ConceptID
+		dist int
+	}
+	distTo := map[ConceptID]int{from: 0}
+	prev := map[ConceptID]prevEdge{}
+	h := &pq{{id: from, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.dist > distTo[it.id] {
+			continue
+		}
+		if it.id == to {
+			break
+		}
+		for _, e := range g.upEdgesRef(it.id) {
+			nd := it.dist + e.Dist
+			old, seen := distTo[e.To]
+			if !seen || nd < old || (nd == old && it.id < prev[e.To].prev) {
+				distTo[e.To] = nd
+				prev[e.To] = prevEdge{prev: it.id, dist: e.Dist}
+				heap.Push(h, pqItem{id: e.To, dist: nd})
+			}
+		}
+	}
+	if _, ok := distTo[to]; !ok {
+		return nil, false
+	}
+	var rev []PathEdge
+	cur := to
+	for cur != from {
+		pe := prev[cur]
+		rev = append(rev, PathEdge{From: pe.prev, To: cur, Dist: pe.dist})
+		cur = pe.prev
+	}
+	out := make([]PathEdge, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out, true
+}
+
 // SemanticDistance returns the length of the shortest semantic path between
 // a and b, and false when disconnected.
 func (g *Graph) SemanticDistance(a, b ConceptID) (int, bool) {

@@ -27,11 +27,47 @@ import (
 // RelaxResult is one JSON-ready relaxed answer, with concepts and
 // instances resolved to surface names. The HTTP layer re-exports it as
 // server.RelaxResult.
+//
+// Sources and Explain are attribution extensions: Sources lists the named
+// external knowledge sources that contributed the result (multi-source
+// snapshots always, single-source snapshots only under explain mode), and
+// Explain carries the relaxation path when the request asked for it. Both
+// are omitted when unset, so classic single-source explain=false responses
+// serialize byte-identically to earlier versions.
 type RelaxResult struct {
 	Concept   string   `json:"concept"`
 	Score     float64  `json:"score"`
 	Hops      int      `json:"hops"`
 	Instances []string `json:"instances"`
+	Sources   []string `json:"sources,omitempty"`
+	Explain   *Explain `json:"explain,omitempty"`
+}
+
+// ExplainEdge is one traversed edge of an explained relaxation path:
+// concept names, the hop direction relative to the query endpoint, and the
+// original (pre-customization) semantic distance the edge carries — 1 for a
+// native subsumption, the attached distance for a shortcut.
+type ExplainEdge struct {
+	From      string `json:"from"`
+	To        string `json:"to"`
+	Direction string `json:"direction"` // "generalization" or "specialization"
+	Dist      int    `json:"dist"`
+}
+
+// Explain is the relaxation-path explanation attached to a result under
+// explain mode: the canonical up-then-down path from the query concept
+// through the deterministic least-common-subsumer representative to the
+// candidate, its Eq. 4 path weight (bit-identical to the weight the ranked
+// score used), and the name of the source EKS the path runs in.
+type Explain struct {
+	Source          string        `json:"source"`
+	Query           string        `json:"query"`
+	Subsumer        string        `json:"subsumer"`
+	Subsumers       []string      `json:"subsumers,omitempty"`
+	Generalizations int           `json:"generalizations"`
+	Specializations int           `json:"specializations"`
+	PathWeight      float64       `json:"pathWeight"`
+	Edges           []ExplainEdge `json:"edges"`
 }
 
 // BatchItem is one query of a batch relaxation request.
@@ -81,6 +117,12 @@ type Snapshot struct {
 	// terms is the precomputed term index: flagged-concept names in
 	// deterministic (ID) order, the realistic query mix GET /terms serves.
 	terms []string
+	// arms are the mounted sources in mount order; arms[0] is always the
+	// primary (the ingestion itself). A single-source snapshot has exactly
+	// one arm and serves through the classic relaxer path untouched; with
+	// secondaries present the relax entry points fuse per-arm answers
+	// (see federate.go).
+	arms []sourceArm
 	// matActive / idxActive record whether the ingestion's offline
 	// accelerations were attached to the relaxer (they are refused when
 	// their build options cannot reproduce the serving configuration).
@@ -117,6 +159,24 @@ func New(ing *core.Ingestion, cfg Config) *Snapshot {
 		cfg:     cfg,
 		terms:   flaggedTerms(ing),
 	}
+	// Mount the source arms: the primary first, then each secondary with its
+	// own combined mapper, similarity evaluator and relaxer over its graph.
+	// Secondaries always serve the live path (their worlds are small; the
+	// offline accelerations remain a primary-only optimization).
+	s.arms = []sourceArm{{name: core.PrimarySourceName, ing: ing, sim: sim, relaxer: s.relaxer, mapper: cfg.Mapper}}
+	for _, src := range ing.Sources {
+		src.Ing.Graph.Freeze()
+		m := match.NewCombined(
+			match.NewExact(src.Ing.Graph), match.NewEdit(src.Ing.Graph, 0), match.NewLookupService(src.Ing.Graph))
+		ssim := core.NewSimilarity(src.Ing.Graph, src.Ing.Frequencies, src.Ing.Ontology)
+		s.arms = append(s.arms, sourceArm{
+			name:    src.Name,
+			ing:     src.Ing,
+			sim:     ssim,
+			relaxer: core.NewRelaxer(src.Ing, ssim, m, cfg.Relax),
+			mapper:  m,
+		})
+	}
 	// Attach the ingestion's offline accelerations when their build options
 	// match the serving configuration; a mismatched store is left unused
 	// (the relaxer refuses it) and every query takes the live path.
@@ -139,13 +199,26 @@ func New(ing *core.Ingestion, cfg Config) *Snapshot {
 
 // flaggedTerms resolves the flagged concepts to names in ID order — the
 // deterministic term index Terms slices from. FlaggedIDs is already
-// ascending under both map and flat-mapped backings.
+// ascending under both map and flat-mapped backings. With secondary sources
+// mounted, their flagged names follow the primary's in mount order (each
+// source's names in its own ID order, duplicates dropped), so load
+// generators exercise terms only a secondary can answer.
 func flaggedTerms(ing *core.Ingestion) []string {
 	ids := ing.FlaggedIDs()
 	out := make([]string, 0, len(ids))
+	seen := make(map[string]bool, len(ids))
 	for _, id := range ids {
 		if c, ok := ing.Graph.Concept(id); ok {
 			out = append(out, c.Name)
+			seen[c.Name] = true
+		}
+	}
+	for _, src := range ing.Sources {
+		for _, id := range src.Ing.FlaggedIDs() {
+			if c, ok := src.Ing.Graph.Concept(id); ok && !seen[c.Name] {
+				out = append(out, c.Name)
+				seen[c.Name] = true
+			}
 		}
 	}
 	return out
@@ -249,19 +322,31 @@ func (s *Snapshot) RelaxIDs(ctx context.Context, term, qctx string, k int) ([]co
 }
 
 // Relax answers a [term, context] pair with up to k ranked, name-resolved
-// results. It implements the HTTP server's Backend contract.
+// results. It implements the HTTP server's Backend contract. Multi-source
+// snapshots answer through the fused path; single-source snapshots through
+// the classic relaxer, byte-identical to earlier versions unless the
+// context requests explain mode.
 func (s *Snapshot) Relax(ctx context.Context, term, qctx string, k int) ([]RelaxResult, error) {
+	if s.multiSource() {
+		out, _, err := s.relaxFused(ctx, term, qctx, k)
+		return out, err
+	}
 	results, err := s.RelaxIDs(ctx, term, qctx, k)
 	if err != nil {
 		return nil, err
 	}
-	return s.resolve(results), nil
+	out := s.resolve(results)
+	s.attachExplain(ctx, term, results, out)
+	return out, nil
 }
 
 // RelaxTraced is Relax plus the compute path that answered — the HTTP
 // server's TracedBackend contract, feeding the materialized/index/live
 // serving metrics.
 func (s *Snapshot) RelaxTraced(ctx context.Context, term, qctx string, k int) ([]RelaxResult, core.ServePath, error) {
+	if s.multiSource() {
+		return s.relaxFused(ctx, term, qctx, k)
+	}
 	ctxPtr, err := parseContext(qctx)
 	if err != nil {
 		return nil, core.PathLive, err
@@ -277,9 +362,12 @@ func (s *Snapshot) RelaxTraced(ctx context.Context, term, qctx string, k int) ([
 		sp.SetTag("results", strconv.Itoa(len(results)))
 		out := s.resolve(results)
 		sp.End()
+		s.attachExplain(ctx, term, results, out)
 		return out, path, nil
 	}
-	return s.resolve(results), path, nil
+	out := s.resolve(results)
+	s.attachExplain(ctx, term, results, out)
+	return out, path, nil
 }
 
 // resolve maps core results to surface names.
@@ -303,6 +391,15 @@ func (s *Snapshot) resolve(results []core.Result) []RelaxResult {
 // (unknown term, bad context) land in that item's Err while the rest of
 // the batch still answers. The deadline in ctx bounds the whole batch.
 func (s *Snapshot) RelaxBatch(ctx context.Context, items []BatchItem) []BatchOutcome {
+	if s.multiSource() {
+		// The fused path has no shared-scratch batch kernel: each item fuses
+		// its per-source answers independently, positions preserved.
+		out := make([]BatchOutcome, len(items))
+		for i, it := range items {
+			out[i].Results, out[i].Path, out[i].Err = s.relaxFused(ctx, it.Term, it.Context, it.K)
+		}
+		return out
+	}
 	out := make([]BatchOutcome, len(items))
 	queries := make([]core.BatchQuery, len(items))
 	for i, it := range items {
@@ -336,6 +433,7 @@ func (s *Snapshot) RelaxBatch(ctx context.Context, items []BatchItem) []BatchOut
 		}
 		out[i].Results = s.resolve(results[i])
 		out[i].Path = paths[i]
+		s.attachExplain(ctx, items[i].Term, results[i], out[i].Results)
 	}
 	resolveSpan.End()
 	return out
@@ -384,6 +482,22 @@ func (s *Snapshot) Stats() map[string]any {
 	}
 	live, mat, idx := s.relaxer.PathCounts()
 	stats["relaxPaths"] = map[string]uint64{"live": live, "materialized": mat, "indexed": idx}
+	// Multi-source snapshots report each mounted arm; single-source stats
+	// keep the classic shape with no extra keys.
+	if s.multiSource() {
+		stats["sourceCount"] = len(s.arms)
+		sources := make(map[string]any, len(s.arms))
+		for i := range s.arms {
+			arm := &s.arms[i]
+			sources[arm.name] = map[string]any{
+				"eksConcepts":     arm.ing.Graph.Len(),
+				"eksEdges":        arm.ing.Graph.EdgeCount(),
+				"shortcutsAdded":  arm.ing.ShortcutsAdded,
+				"flaggedConcepts": arm.ing.FlaggedCount(),
+			}
+		}
+		stats["sources"] = sources
+	}
 	if s.matActive {
 		stats["materializedEntries"] = s.ing.Materialized.Entries()
 		stats["materializedConcepts"] = s.ing.Materialized.Concepts()

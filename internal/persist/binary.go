@@ -53,8 +53,14 @@ const binaryMagic = "MRXB"
 const versionBinaryAccel = 3
 
 // SaveBinary writes the ingestion as a binary bundle — version 2, or
-// version 3 when the ingestion carries offline accelerations.
+// version 3 when the ingestion carries offline accelerations. Multi-source
+// ingestions are refused: the binary layout has no source sections, so
+// silently dropping the secondaries would save a bundle that loads as a
+// different (smaller) world. Use Save (v1) or SaveFlat (v4) instead.
 func SaveBinary(w io.Writer, ing *core.Ingestion) error {
+	if len(ing.Sources) > 0 {
+		return fmt.Errorf("persist: binary (v2/v3) bundles cannot carry secondary sources (%d mounted); save as JSON v1 or flat v4", len(ing.Sources))
+	}
 	b, err := buildBundle(ing)
 	if err != nil {
 		return err

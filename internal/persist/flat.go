@@ -135,12 +135,22 @@ const (
 	secCidxOff   uint32 = 91 // []int32 CSR into cidxPosts
 	secCidxPosts uint32 = 92 // []core.Posting, 32-byte records
 	secCidxLCS   uint32 = 93 // []eks.ConceptID, shared LCS pool
+
+	// secSources holds the secondary named sources of a federated bundle as
+	// the canonical JSON encoding of []sourceDump. Secondaries are small
+	// auxiliary vocabularies, so they ride as one self-contained section and
+	// restore onto the heap — the zero-copy columns stay a primary-only
+	// optimization. Readers that predate the kind tolerate it (unknown
+	// sections are skipped), but metaHasSources makes the load refuse to
+	// silently serve a smaller world: flag and section must agree.
+	secSources uint32 = 100
 )
 
 // META flag bits.
 const (
 	metaHasMaterialized = 1 << 0
 	metaHasCandidates   = 1 << 1
+	metaHasSources      = 1 << 2
 	matBitDynamicRadius = 1 << 0
 	matBitIncludeSelf   = 1 << 1
 )

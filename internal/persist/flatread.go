@@ -2,6 +2,7 @@ package persist
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"unsafe"
 
@@ -272,9 +273,38 @@ func (d *flatDecoder) restoreFlat(backing core.SnapshotBacking) (*core.Ingestion
 	} else if _, present := d.secs[secCidxCon]; present {
 		return nil, corruptf("flat v4", "candidate index sections present but meta flag unset")
 	}
+	if meta.flags&metaHasSources != 0 {
+		if err := d.restoreSourcesSection(ing); err != nil {
+			return nil, err
+		}
+	} else if _, present := d.secs[secSources]; present {
+		return nil, corruptf("flat v4", "source section present but meta flag unset")
+	}
 
 	ing.Backing = backing
 	return ing, nil
+}
+
+// restoreSourcesSection decodes the JSON-encoded secondary sources (see
+// secSources) and mounts them on the already-assembled primary ingestion.
+// The secondaries restore onto the heap — only the primary's columns are
+// zero-copy.
+func (d *flatDecoder) restoreSourcesSection(ing *core.Ingestion) error {
+	payload, err := d.sec(secSources, "sources")
+	if err != nil {
+		return err
+	}
+	var dumps []sourceDump
+	if err := json.Unmarshal(payload, &dumps); err != nil {
+		return corruptf("flat v4", "source section decode failed: %v", err)
+	}
+	if len(dumps) == 0 {
+		return corruptf("flat v4", "source section is empty but meta flag set")
+	}
+	if err := restoreSources(dumps, ing); err != nil {
+		return fmt.Errorf("%w: %v", corruptf("flat v4", "restore failed"), err)
+	}
+	return nil
 }
 
 // restoreOntology rebuilds the (small) domain ontology on the heap — it is

@@ -2,6 +2,7 @@ package persist
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -155,6 +156,12 @@ func encodeFlat(ing *core.Ingestion) ([]byte, error) {
 	if ing.Candidates != nil {
 		meta.flags |= metaHasCandidates
 		flatCandidateSections(fw, &meta, ing.Candidates)
+	}
+	if len(ing.Sources) > 0 {
+		meta.flags |= metaHasSources
+		if err := flatSourceSection(fw, ing); err != nil {
+			return nil, err
+		}
 	}
 
 	// The string table is complete only now; emit it with META and sort the
@@ -488,6 +495,26 @@ func flatMaterializedSections(fw *flatWriter, meta *flatMeta, m *core.Materializ
 	fw.add(secMatCnt, leInt32s(counts))
 	fw.add(secMatCandOff, leInt32s(candOff))
 	fw.add(secMatCands, leMatCands(cands))
+}
+
+// flatSourceSection emits the secondary named sources as one JSON-encoded
+// section (see secSources). Deterministic: sources serialize in mount order
+// and json.Marshal over the slice-and-scalar sourceDump is canonical.
+func flatSourceSection(fw *flatWriter, ing *core.Ingestion) error {
+	dumps := make([]sourceDump, 0, len(ing.Sources))
+	for _, src := range ing.Sources {
+		d, err := buildSourceDump(src)
+		if err != nil {
+			return err
+		}
+		dumps = append(dumps, d)
+	}
+	payload, err := json.Marshal(dumps)
+	if err != nil {
+		return fmt.Errorf("persist: encoding source section: %w", err)
+	}
+	fw.add(secSources, payload)
+	return nil
 }
 
 func flatCandidateSections(fw *flatWriter, meta *flatMeta, x *core.CandidateIndex) {

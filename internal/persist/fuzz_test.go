@@ -59,6 +59,22 @@ func FuzzLoadBundle(f *testing.F) {
 	f.Add(fa.Bytes()[:len(fa.Bytes())/2])
 	f.Add([]byte("MRXF"))
 
+	// Multi-source seeds: federated bundles carrying the named-source
+	// section (flat) and field (JSON), whole and torn, so mutations explore
+	// the source-restore path too.
+	fed := buildFederatedIngestion(f)
+	var jf, ff bytes.Buffer
+	if err := Save(&jf, fed); err != nil {
+		f.Fatal(err)
+	}
+	if err := SaveFlat(&ff, fed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(jf.Bytes())
+	f.Add(ff.Bytes())
+	f.Add(jf.Bytes()[:len(jf.Bytes())*3/4])
+	f.Add(ff.Bytes()[:len(ff.Bytes())*3/4])
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		restored, err := Load(bytes.NewReader(data))
 		if err != nil {
@@ -86,9 +102,16 @@ func FuzzOpenFlat(f *testing.F) {
 	if err := SaveFlat(&withAccel, accel); err != nil {
 		f.Fatal(err)
 	}
+	fed := buildFederatedIngestion(f)
+	var withSources bytes.Buffer
+	if err := SaveFlat(&withSources, fed); err != nil {
+		f.Fatal(err)
+	}
 	f.Add(plain.Bytes())
 	f.Add(withAccel.Bytes())
+	f.Add(withSources.Bytes())
 	f.Add(plain.Bytes()[:len(plain.Bytes())/2])
+	f.Add(withSources.Bytes()[:len(withSources.Bytes())/2])
 	f.Add(withAccel.Bytes()[:flatHeaderSize])
 	f.Add([]byte("MRXF"))
 	f.Add([]byte{})

@@ -97,6 +97,12 @@ type Bundle struct {
 	// sections loads exactly as before).
 	Materialized *core.MaterializedSnapshot   `json:"materialized,omitempty"`
 	Candidates   *core.CandidateIndexSnapshot `json:"candidateIndex,omitempty"`
+
+	// Sources carries the optional secondary named external knowledge
+	// sources of a federated ingestion. Omitted for single-source bundles
+	// (keeping their encodings byte-stable); bundles that predate the field
+	// load as the single source named "primary".
+	Sources []sourceDump `json:"sources,omitempty"`
 }
 
 type edgeDump struct {
@@ -109,6 +115,52 @@ type edgeDump struct {
 type mappingDump struct {
 	Instance kb.InstanceID `json:"instance"`
 	Concept  eks.ConceptID `json:"concept"`
+}
+
+// sourceDump is the serialized form of one secondary named source: its own
+// customized graph, mappings onto the SHARED instance store, and frequency
+// table. The store and ontology are not repeated — restore shares the
+// primary's.
+type sourceDump struct {
+	Name        string                 `json:"name"`
+	EKSConcepts []eks.Concept          `json:"eksConcepts"`
+	EKSEdges    []edgeDump             `json:"eksEdges"`
+	EKSRoot     eks.ConceptID          `json:"eksRoot"`
+	Mappings    []mappingDump          `json:"mappings"`
+	Frequencies core.FrequencySnapshot `json:"frequencies"`
+	Shortcuts   int                    `json:"shortcutsAdded"`
+}
+
+// dumpEKSGraph serializes a graph into the concept/edge/root triple shared
+// by the primary bundle fields and each sourceDump.
+func dumpEKSGraph(g *eks.Graph) (concepts []eks.Concept, edges []edgeDump, root eks.ConceptID, err error) {
+	root, ok := g.Root()
+	if !ok {
+		return nil, nil, 0, fmt.Errorf("persist: graph has no root")
+	}
+	for _, id := range g.ConceptIDs() {
+		c, _ := g.Concept(id)
+		concepts = append(concepts, c)
+		for _, e := range g.UpEdges(id) {
+			edges = append(edges, edgeDump{From: e.From, To: e.To, Dist: e.Dist, Shortcut: e.Shortcut})
+		}
+	}
+	return concepts, edges, root, nil
+}
+
+// buildSourceDump serializes one mounted secondary source.
+func buildSourceDump(src core.NamedSource) (sourceDump, error) {
+	d := sourceDump{Name: src.Name, Shortcuts: src.Ing.ShortcutsAdded}
+	var err error
+	if d.EKSConcepts, d.EKSEdges, d.EKSRoot, err = dumpEKSGraph(src.Ing.Graph); err != nil {
+		return d, fmt.Errorf("persist: source %q: %w", src.Name, err)
+	}
+	iids, cids := src.Ing.MappingPairs()
+	for i, iid := range iids {
+		d.Mappings = append(d.Mappings, mappingDump{Instance: iid, Concept: cids[i]})
+	}
+	d.Frequencies = src.Ing.Frequencies.Snapshot()
+	return d, nil
 }
 
 // buildBundle assembles the serializable form of an ingestion, shared by
@@ -125,17 +177,9 @@ func buildBundle(ing *core.Ingestion) (*Bundle, error) {
 	b.Instances = ing.Store.AllInstances()
 	b.Assertions = ing.Store.AllAssertions()
 
-	root, ok := ing.Graph.Root()
-	if !ok {
-		return nil, fmt.Errorf("persist: graph has no root")
-	}
-	b.EKSRoot = root
-	for _, id := range ing.Graph.ConceptIDs() {
-		c, _ := ing.Graph.Concept(id)
-		b.EKSConcepts = append(b.EKSConcepts, c)
-		for _, e := range ing.Graph.UpEdges(id) {
-			b.EKSEdges = append(b.EKSEdges, edgeDump{From: e.From, To: e.To, Dist: e.Dist, Shortcut: e.Shortcut})
-		}
+	var err error
+	if b.EKSConcepts, b.EKSEdges, b.EKSRoot, err = dumpEKSGraph(ing.Graph); err != nil {
+		return nil, err
 	}
 
 	iids, cids := ing.MappingPairs()
@@ -149,6 +193,13 @@ func buildBundle(ing *core.Ingestion) (*Bundle, error) {
 	}
 	if ing.Candidates != nil {
 		b.Candidates = ing.Candidates.Snapshot()
+	}
+	for _, src := range ing.Sources {
+		sd, err := buildSourceDump(src)
+		if err != nil {
+			return nil, err
+		}
+		b.Sources = append(b.Sources, sd)
 	}
 	return b, nil
 }
@@ -349,6 +400,10 @@ func ValidateForServing(ing *core.Ingestion) error {
 			return fmt.Errorf("persist: flagged concept %d has no mapped instances", id)
 		}
 	}
+	// Mounted secondary sources must each be servable on their own.
+	if err := ing.ValidateSources(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -404,28 +459,9 @@ func restore(b *Bundle) (*core.Ingestion, error) {
 		}
 	}
 
-	g := eks.NewSized(len(b.EKSConcepts))
-	for _, c := range b.EKSConcepts {
-		if err := g.AddConcept(c); err != nil {
-			return nil, fmt.Errorf("persist: eks concept %d: %w", c.ID, err)
-		}
-	}
-	for _, e := range b.EKSEdges {
-		var err error
-		if e.Shortcut {
-			err = g.AddShortcutEdge(e.From, e.To, e.Dist)
-		} else {
-			err = g.AddSubsumption(e.From, e.To)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("persist: eks edge %d->%d: %w", e.From, e.To, err)
-		}
-	}
-	if err := g.SetRoot(b.EKSRoot); err != nil {
-		return nil, fmt.Errorf("persist: %w", err)
-	}
-	if err := g.Validate(); err != nil {
-		return nil, fmt.Errorf("persist: restored graph invalid: %w", err)
+	g, err := restoreEKSGraph(b.EKSConcepts, b.EKSEdges, b.EKSRoot)
+	if err != nil {
+		return nil, err
 	}
 
 	freqs, err := core.RestoreFrequencyTable(b.Frequencies)
@@ -469,5 +505,88 @@ func restore(b *Bundle) (*core.Ingestion, error) {
 		}
 		ing.Candidates = idx
 	}
+	if err := restoreSources(b.Sources, ing); err != nil {
+		return nil, err
+	}
 	return ing, nil
+}
+
+// restoreEKSGraph rebuilds a graph from its serialized concept/edge/root
+// triple, shared by the primary restore and each secondary source.
+func restoreEKSGraph(concepts []eks.Concept, edges []edgeDump, root eks.ConceptID) (*eks.Graph, error) {
+	g := eks.NewSized(len(concepts))
+	for _, c := range concepts {
+		if err := g.AddConcept(c); err != nil {
+			return nil, fmt.Errorf("persist: eks concept %d: %w", c.ID, err)
+		}
+	}
+	for _, e := range edges {
+		var err error
+		if e.Shortcut {
+			err = g.AddShortcutEdge(e.From, e.To, e.Dist)
+		} else {
+			err = g.AddSubsumption(e.From, e.To)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("persist: eks edge %d->%d: %w", e.From, e.To, err)
+		}
+	}
+	if err := g.SetRoot(root); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("persist: restored graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+// restoreSources rebuilds the serialized secondary sources onto an already
+// restored primary ingestion: each gets its own graph, mappings and
+// frequency table while sharing the primary's store and ontology. A no-op
+// on single-source bundles.
+func restoreSources(dumps []sourceDump, ing *core.Ingestion) error {
+	for _, d := range dumps {
+		src, err := restoreSource(d, ing)
+		if err != nil {
+			return err
+		}
+		ing.Sources = append(ing.Sources, src)
+	}
+	return ing.ValidateSources()
+}
+
+// restoreSource rebuilds one secondary source over the primary's shared
+// store and ontology, validating its mappings against both.
+func restoreSource(d sourceDump, primary *core.Ingestion) (core.NamedSource, error) {
+	g, err := restoreEKSGraph(d.EKSConcepts, d.EKSEdges, d.EKSRoot)
+	if err != nil {
+		return core.NamedSource{}, fmt.Errorf("persist: source %q: %w", d.Name, err)
+	}
+	freqs, err := core.RestoreFrequencyTable(d.Frequencies)
+	if err != nil {
+		return core.NamedSource{}, fmt.Errorf("persist: source %q: %w", d.Name, err)
+	}
+	sing := &core.Ingestion{
+		Contexts:       primary.Ontology.Contexts(),
+		Mappings:       map[kb.InstanceID]eks.ConceptID{},
+		InstancesFor:   map[eks.ConceptID][]kb.InstanceID{},
+		Flagged:        map[eks.ConceptID]bool{},
+		Frequencies:    freqs,
+		Graph:          g,
+		Store:          primary.Store,
+		Ontology:       primary.Ontology,
+		ShortcutsAdded: d.Shortcuts,
+	}
+	for _, m := range d.Mappings {
+		if _, ok := primary.Store.Instance(m.Instance); !ok {
+			return core.NamedSource{}, fmt.Errorf("persist: source %q mapping references unknown instance %d", d.Name, m.Instance)
+		}
+		if _, ok := g.Concept(m.Concept); !ok {
+			return core.NamedSource{}, fmt.Errorf("persist: source %q mapping references unknown concept %d", d.Name, m.Concept)
+		}
+		sing.Mappings[m.Instance] = m.Concept
+		sing.InstancesFor[m.Concept] = append(sing.InstancesFor[m.Concept], m.Instance)
+		sing.Flagged[m.Concept] = true
+	}
+	return core.NamedSource{Name: d.Name, Ing: sing}, nil
 }

@@ -153,9 +153,21 @@ func relaxBody(term, qctx string, results []RelaxResult) map[string]any {
 	return map[string]any{"term": term, "context": qctx, "results": results}
 }
 
+// explainWanted reports whether the request opted into explain mode
+// (`explain=true` or `explain=1`). Any other value — including absence —
+// is the classic mode, whose responses stay byte-identical to servers that
+// predate the parameter.
+func explainWanted(r *http.Request) bool {
+	v := r.URL.Query().Get("explain")
+	return v == "true" || v == "1"
+}
+
 func (s *Server) handleRelax(w http.ResponseWriter, r *http.Request) {
 	term := r.URL.Query().Get("term")
 	qctx := r.URL.Query().Get("context")
+	if explainWanted(r) {
+		r = r.WithContext(core.WithExplain(r.Context()))
+	}
 	k, kSet := 0, false
 	if ks := r.URL.Query().Get("k"); ks != "" {
 		v, err := strconv.Atoi(ks)
@@ -209,6 +221,9 @@ func (s *Server) handleRelaxBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		writeError(w, http.StatusNotImplemented, "backend does not support batch relaxation")
 		return
+	}
+	if explainWanted(r) {
+		r = r.WithContext(core.WithExplain(r.Context()))
 	}
 	var req BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {

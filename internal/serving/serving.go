@@ -216,9 +216,16 @@ func (h *holder) release() { h.inflight.Add(-1) }
 
 // cacheKey normalizes the request so trivially different spellings of the
 // same query share an entry. k participates because it changes the
-// consumed candidate list, not just its length.
-func cacheKey(term, qctx string, k int) string {
-	return stringutil.Normalize(term) + "\x1f" + qctx + "\x1f" + strconv.Itoa(k)
+// consumed candidate list, not just its length. explain participates
+// because explained results carry extra fields: caching them under the
+// plain key would leak explain payloads into explain=false responses (and
+// vice versa, strip them from explain=true ones).
+func cacheKey(term, qctx string, k int, explain bool) string {
+	key := stringutil.Normalize(term) + "\x1f" + qctx + "\x1f" + strconv.Itoa(k)
+	if explain {
+		key += "\x1fx"
+	}
+	return key
 }
 
 // cacheBypassKey marks a request context as cache-exempt.
@@ -277,7 +284,8 @@ func (e *Engine) Relax(ctx context.Context, term, qctx string, k int) ([]server.
 		cspan = sp.StartChild("serving.cache")
 		cspan.SetTag("term", term)
 	}
-	results, status, err := e.cache.GetOrCompute(ctx, cacheKey(term, qctx, k), func() ([]server.RelaxResult, error) {
+	explain := core.ExplainRequested(ctx)
+	results, status, err := e.cache.GetOrCompute(ctx, cacheKey(term, qctx, k, explain), func() ([]server.RelaxResult, error) {
 		// The flight owns its deadline: a collapsed waiter's short
 		// deadline bounds only its wait, never the shared computation.
 		fctx := context.Background()
@@ -289,6 +297,11 @@ func (e *Engine) Relax(ctx context.Context, term, qctx string, k int) ([]server.
 			// the computing request's trace keeps the kernel spans.
 			if sp != nil {
 				fctx = trace.ContextWithSpan(fctx, sp)
+			}
+			// Nor its explain flag — the detached flight must compute the
+			// variant its cache key promises.
+			if explain {
+				fctx = core.WithExplain(fctx)
 			}
 		} else {
 			fctx = ctx
@@ -418,10 +431,11 @@ func (e *Engine) RelaxBatch(ctx context.Context, items []server.BatchItem) []ser
 		cspan = sp.StartChild("serving.cache")
 	}
 	epoch := e.cache.Epoch()
+	explain := core.ExplainRequested(ctx)
 	miss := make([]server.BatchItem, 0, len(items))
 	missIdx := make([]int, 0, len(items))
 	for i, it := range items {
-		if results, ok := e.cache.Get(cacheKey(it.Term, it.Context, it.K)); ok {
+		if results, ok := e.cache.Get(cacheKey(it.Term, it.Context, it.K, explain)); ok {
 			out[i].Results = results
 			e.mCacheHits.Inc()
 			continue
@@ -443,7 +457,7 @@ func (e *Engine) RelaxBatch(ctx context.Context, items []server.BatchItem) []ser
 		out[missIdx[j]] = o
 		e.mCacheMisses.Inc()
 		if o.Err == nil {
-			e.cache.Put(cacheKey(miss[j].Term, miss[j].Context, miss[j].K), o.Results, epoch)
+			e.cache.Put(cacheKey(miss[j].Term, miss[j].Context, miss[j].K, explain), o.Results, epoch)
 		}
 	}
 	return out

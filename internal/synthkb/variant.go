@@ -1,0 +1,119 @@
+package synthkb
+
+import (
+	"fmt"
+	"slices"
+
+	"medrelax/internal/eks"
+	"medrelax/internal/stringutil"
+)
+
+// GenerateVariant derives a second, deliberately different external
+// knowledge source from a generated world: a small vocabulary whose
+// concepts are named by the world's LATENT surface variants — exactly the
+// paraphrases the primary graph does not know (they were withheld from its
+// synonym index, see addSynonymOrLatent). Mounted next to the primary as a
+// named source, it resolves out-of-vocabulary query terms the primary's
+// mappers cannot place, which is the federation coverage experiment: two
+// ontologies over one KB with complementary naming.
+//
+// The shape is a shallow taxonomy: a root, one spine node per body system
+// that contributed latent variants, and one leaf per primary concept with
+// latent variants — first variant as the preferred name, the rest as
+// synonyms. IDs start at 500000 so they never collide with the primary's
+// (which start at 1000) in logs or debugging, though the graphs share no ID
+// space. Deterministic: concepts are laid out in primary-ID order.
+func GenerateVariant(w *World) (*eks.Graph, error) {
+	if w == nil || len(w.Latent) == 0 {
+		return nil, fmt.Errorf("synthkb: world has no latent variants to build a variant vocabulary from")
+	}
+	g := eks.New()
+	next := eks.ConceptID(500000)
+	add := func(name string, synonyms []string, parents ...eks.ConceptID) (eks.ConceptID, error) {
+		id := next
+		next++
+		if err := g.AddConcept(eks.Concept{ID: id, Name: name, Synonyms: synonyms}); err != nil {
+			return 0, err
+		}
+		for _, p := range parents {
+			if err := g.AddSubsumption(id, p); err != nil {
+				return 0, err
+			}
+		}
+		return id, nil
+	}
+
+	root, err := add("variant vocabulary root", nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.SetRoot(root); err != nil {
+		return nil, err
+	}
+
+	// Primary concepts with latent variants, in ID order for determinism.
+	ids := make([]eks.ConceptID, 0, len(w.Latent))
+	for id := range w.Latent {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+
+	// One spine node per contributing body system, created in first-seen
+	// (ID) order.
+	spine := map[string]eks.ConceptID{}
+	spineFor := func(system string) (eks.ConceptID, error) {
+		if system == "" {
+			return root, nil
+		}
+		if id, ok := spine[system]; ok {
+			return id, nil
+		}
+		id, err := add(system+" variant terms", nil, root)
+		if err != nil {
+			return 0, err
+		}
+		spine[system] = id
+		return id, nil
+	}
+
+	used := map[string]bool{}
+	leaves := 0
+	for _, pid := range ids {
+		variants := w.Latent[pid]
+		// The preferred name is the first variant whose normalized form is
+		// unused; later ones become synonyms (skipping collisions, which
+		// would make lookup ambiguous within this small vocabulary).
+		var name string
+		var syns []string
+		for _, v := range variants {
+			key := stringutil.Normalize(v)
+			if key == "" || used[key] {
+				continue
+			}
+			used[key] = true
+			if name == "" {
+				name = v
+			} else {
+				syns = append(syns, v)
+			}
+		}
+		if name == "" {
+			continue
+		}
+		parent, err := spineFor(w.Attrs[pid].System)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := add(name, syns, parent); err != nil {
+			return nil, err
+		}
+		leaves++
+	}
+	if leaves == 0 {
+		return nil, fmt.Errorf("synthkb: every latent variant collided; no variant concepts built")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("synthkb: variant vocabulary invalid: %w", err)
+	}
+	return g, nil
+}

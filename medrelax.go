@@ -64,6 +64,13 @@ type Config struct {
 	// MapperName selects the ingestion mapper: EXACT, EDIT or EMBEDDING.
 	// The paper uses word embeddings after Table 1; default EMBEDDING.
 	MapperName string
+	// SecondSource mounts a second external knowledge source next to the
+	// primary: the variant vocabulary derived from the world's latent
+	// surface forms (synthkb.GenerateVariant), ingested over the same KB
+	// and fused at serving time under the name "variant". Its coverage
+	// deliberately complements the primary's — it resolves paraphrase
+	// query terms the primary's mappers cannot place.
+	SecondSource bool
 }
 
 // DefaultConfig returns the configuration used by the experiment harness.
@@ -193,6 +200,24 @@ func Build(cfg Config) (*System, error) {
 	ing, err := core.Ingest(med.Ontology, med.Store, world.Graph, corp, mapper, cfg.Ingest)
 	if err != nil {
 		return nil, fmt.Errorf("medrelax: ingestion: %w", err)
+	}
+	if cfg.SecondSource {
+		vg, err := synthkb.GenerateVariant(world)
+		if err != nil {
+			return nil, fmt.Errorf("medrelax: generating variant vocabulary: %w", err)
+		}
+		// The variant source maps by surface form only (exact, then edit
+		// distance) — no embeddings: its whole point is to exactly know the
+		// names the primary does not. Its ingestion runs over the same KB
+		// store, ontology and corpus, so its frequency table speaks the
+		// same contexts. Accelerations stay primary-only.
+		vmapper := match.NewCombined(match.NewExact(vg), match.NewEdit(vg, 0))
+		vopts := core.IngestOptions{Frequency: cfg.Ingest.Frequency, Parallelism: cfg.Ingest.Parallelism}
+		ving, err := core.Ingest(med.Ontology, med.Store, vg, corp, vmapper, vopts)
+		if err != nil {
+			return nil, fmt.Errorf("medrelax: ingesting variant vocabulary: %w", err)
+		}
+		ing.Sources = []core.NamedSource{{Name: "variant", Ing: ving}}
 	}
 	timings.Ingest = time.Since(ingestStart)
 	timings.Total = time.Since(start)
